@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/quorum"
+	"myraft/internal/raft"
+	"myraft/internal/transport"
+)
+
+func main() {
+	for trial := 0; trial < 5; trial++ {
+		c, err := cluster.New(cluster.Options{
+			Raft: raft.Config{HeartbeatInterval: 50 * time.Millisecond, Strategy: quorum.SingleRegionDynamic{}},
+			NetConfig: transport.Config{IntraRegion: 150 * time.Microsecond, CrossRegion: 10 * time.Millisecond},
+		}, cluster.PaperTopology(2, 0))
+		if err != nil { panic(err) }
+		ctx := context.Background()
+		bctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		if err := c.Bootstrap(bctx, "mysql-0"); err != nil { panic(err) }
+		cancel()
+		cl := c.NewClient(0)
+		for i := 0; i < 20; i++ { cl.Write(ctx, fmt.Sprintf("k%d", i), []byte("v")) }
+		time.Sleep(200 * time.Millisecond)
+
+		start := time.Now()
+		c.Crash("mysql-0")
+		var tLeader, tMySQLLeader time.Duration
+		var firstLeader string
+		for {
+			l := c.Leader()
+			if l != nil {
+				if tLeader == 0 {
+					tLeader = time.Since(start)
+					firstLeader = string(l.Spec.ID)
+				}
+				if l.Spec.Kind == cluster.KindMySQL && tMySQLLeader == 0 {
+					tMySQLLeader = time.Since(start)
+				}
+				if tMySQLLeader != 0 { break }
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		wctx, wcancel := context.WithTimeout(ctx, 30*time.Second)
+		m, err := c.AnyPrimary(wctx)
+		wcancel()
+		if err != nil { panic(err) }
+		fmt.Printf("trial %d: first-leader(%s)=%v mysql-leader=%v published(%s)=%v\n",
+			trial, firstLeader, tLeader.Round(time.Millisecond), tMySQLLeader.Round(time.Millisecond),
+			m.Spec.ID, time.Since(start).Round(time.Millisecond))
+		c.Close()
+	}
+}

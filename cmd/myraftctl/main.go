@@ -1,0 +1,137 @@
+// Command myraftctl is the operator CLI for a running myraftd: status,
+// graceful promotion, fault injection, membership changes, binlog
+// maintenance and Quorum Fixer remediation over the admin API.
+//
+//	myraftctl status
+//	myraftctl promote mysql-1
+//	myraftctl crash mysql-0 && myraftctl status
+//	myraftctl write user:1 alice && myraftctl read user:1
+//	myraftctl add-member mysql-9 region-1 mysql true
+//	myraftctl fix-quorum
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"myraft/internal/adminapi"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: myraftctl [-addr URL] <command> [args]
+
+commands:
+  status                                 show replicaset status
+  promote <target>                       graceful leadership transfer
+  crash <id> | restart <id>              fault injection
+  partition <a> <b> | heal               network fault injection
+  add-member <id> <region> <kind> <voter>  membership change (kind: mysql|logtailer)
+  remove-member <id>                     membership change
+  write <key> <value> | read <key>       client operations
+  flush-binlogs                          FLUSH BINARY LOGS through Raft
+  fix-quorum [allow-data-loss]           Quorum Fixer remediation
+`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7070", "myraftd admin API address")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := adminapi.NewClient(*addr)
+	if err := run(c, args); err != nil {
+		fmt.Fprintf(os.Stderr, "myraftctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(c *adminapi.Client, args []string) error {
+	need := func(n int) error {
+		if len(args)-1 < n {
+			usage()
+		}
+		return nil
+	}
+	switch args[0] {
+	case "status":
+		st, err := c.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replicaset %s  primary=%s\n", st.Name, st.Primary)
+		fmt.Printf("%-12s %-10s %-10s %-6s %-10s %-8s %-10s %s\n",
+			"ID", "REGION", "KIND", "DOWN", "ROLE", "TERM", "COMMIT", "LAST")
+		for _, m := range st.Members {
+			fmt.Printf("%-12s %-10s %-10s %-6v %-10s %-8d %-10d %s\n",
+				m.ID, m.Region, m.Kind, m.Down, m.Role, m.Term, m.CommitIndex, m.LastOpID)
+		}
+		return nil
+	case "promote":
+		need(1)
+		if err := c.Promote(args[1]); err != nil {
+			return err
+		}
+		fmt.Printf("promoted %s\n", args[1])
+		return nil
+	case "crash":
+		need(1)
+		return c.Crash(args[1])
+	case "restart":
+		need(1)
+		return c.Restart(args[1])
+	case "partition":
+		need(2)
+		return c.Partition(args[1], args[2])
+	case "heal":
+		return c.Heal()
+	case "add-member":
+		need(4)
+		voter, err := strconv.ParseBool(args[4])
+		if err != nil {
+			return fmt.Errorf("voter must be true/false: %w", err)
+		}
+		return c.AddMember(args[1], args[2], args[3], voter)
+	case "remove-member":
+		need(1)
+		return c.RemoveMember(args[1])
+	case "write":
+		need(2)
+		op, err := c.Write(args[1], args[2])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("committed at OpID %s\n", op)
+		return nil
+	case "read":
+		need(1)
+		v, found, err := c.Read(args[1])
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Println("(not found)")
+			return nil
+		}
+		fmt.Println(v)
+		return nil
+	case "flush-binlogs":
+		return c.FlushBinlogs()
+	case "fix-quorum":
+		allowLoss := len(args) > 1 && args[1] == "allow-data-loss"
+		chosen, err := c.FixQuorum(allowLoss)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("promoted %s via quorum override\n", chosen)
+		return nil
+	default:
+		usage()
+		return nil
+	}
+}

@@ -1,0 +1,87 @@
+// Command myraftd runs a complete simulated MyRaft replicaset — MySQL
+// servers and logtailers across regions on the simulated WAN — and serves
+// the admin API for myraftctl. It is the interactive entry point of this
+// reproduction: boot a ring, point myraftctl (or curl) at it, kill
+// primaries, watch failovers.
+//
+//	myraftd -listen 127.0.0.1:7070 -followers 2 -strategy single-region-dynamic -proxy
+//	myraftctl -addr http://127.0.0.1:7070 status
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"myraft/internal/adminapi"
+	"myraft/internal/cluster"
+	"myraft/internal/quorum"
+	"myraft/internal/raft"
+	"myraft/internal/transport"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7070", "admin API listen address")
+		dir       = flag.String("dir", "", "state directory (temp dir when empty)")
+		followers = flag.Int("followers", 2, "follower regions (each: 1 MySQL voter + 2 logtailers)")
+		learners  = flag.Int("learners", 1, "learner replicas")
+		strategy  = flag.String("strategy", "single-region-dynamic", "quorum: majority|single-region-dynamic|static-any-region|grid")
+		proxy     = flag.Bool("proxy", true, "enable region-proxy replication (§4.2)")
+		heartbeat = flag.Duration("heartbeat", 100*time.Millisecond, "raft heartbeat interval (paper: 500ms)")
+		crossRTT  = flag.Duration("cross-region", 10*time.Millisecond, "simulated cross-region one-way latency")
+	)
+	flag.Parse()
+
+	rcfg := raft.Config{
+		HeartbeatInterval: *heartbeat,
+		Strategy:          quorum.ByName(*strategy),
+	}
+	if *proxy {
+		rcfg.Route = raft.RegionProxyRoute
+	}
+	c, err := cluster.New(cluster.Options{
+		Name: "myraftd",
+		Dir:  *dir,
+		Raft: rcfg,
+		NetConfig: transport.Config{
+			IntraRegion: 150 * time.Microsecond,
+			CrossRegion: *crossRTT,
+		},
+	}, cluster.PaperTopology(*followers, *learners))
+	if err != nil {
+		log.Fatalf("myraftd: %v", err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+		cancel()
+		log.Fatalf("myraftd: bootstrap: %v", err)
+	}
+	cancel()
+	log.Printf("replicaset up: %d members, strategy=%s proxy=%v, primary=mysql-0",
+		3*(*followers+1)+*learners, *strategy, *proxy)
+
+	srv := &http.Server{Addr: *listen, Handler: adminapi.NewServer(c)}
+	go func() {
+		log.Printf("admin API listening on http://%s (try: myraftctl -addr http://%s status)", *listen, *listen)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("myraftd: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+	shutdownCtx, shutdownCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutdownCancel()
+	srv.Shutdown(shutdownCtx)
+}

@@ -1,0 +1,125 @@
+// Command repro regenerates the paper's evaluation (§6): every figure and
+// table, plus the ablations documented in DESIGN.md, against the
+// simulated substrates of this repository.
+//
+// Usage:
+//
+//	repro -exp table2 -scale 20 -trials 10
+//	repro -exp fig5a -duration 5s
+//	repro -exp all
+//
+// Experiments: fig5a (production latency/throughput, Figures 5a+5b),
+// fig5c (sysbench latency/throughput, Figures 5c+5d), table2 (promotion
+// and failover downtime), proxy (§4.2 bandwidth), mock (§4.3 ablation),
+// flexi (§4.1 quorum-mode ablation), rollout (§5.2 enable-raft window).
+//
+// The -scale flag divides every protocol duration (heartbeats, detection
+// timeouts, WAN latencies) so that minute-long baseline failovers can be
+// measured quickly; reported numbers are converted back to paper units.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"myraft/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: fig5a|fig5c|table2|proxy|mock|flexi|rollout|all")
+		scale     = flag.Float64("scale", 20, "time compression factor (1 = real paper timings)")
+		trials    = flag.Int("trials", 10, "trials for downtime experiments")
+		duration  = flag.Duration("duration", 2*time.Second, "workload duration (wall time) for latency experiments")
+		clients   = flag.Int("clients", 8, "workload client concurrency")
+		followers = flag.Int("followers", 2, "follower regions (paper: 5)")
+		learners  = flag.Int("learners", 0, "learner replicas (paper: 2)")
+		timeout   = flag.Duration("timeout", 15*time.Minute, "overall timeout")
+	)
+	flag.Parse()
+
+	p := experiments.Params{
+		Scale:           *scale,
+		Trials:          *trials,
+		Duration:        *duration,
+		Clients:         *clients,
+		FollowerRegions: *followers,
+		Learners:        *learners,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	run := func(name string) error {
+		fmt.Printf("=== %s ===\n", name)
+		start := time.Now()
+		var err error
+		switch name {
+		case "fig5a":
+			var res *experiments.ABResult
+			if res, err = experiments.Fig5aProduction(ctx, p); err == nil {
+				fmt.Println("Figure 5a/5b — production workload (clients ~10ms from primary):")
+				fmt.Println(res)
+				fmt.Println(experiments.LatencyHistogramRows(res, 12))
+			}
+		case "fig5c":
+			var res *experiments.ABResult
+			if res, err = experiments.Fig5cSysbench(ctx, p); err == nil {
+				fmt.Println("Figure 5c/5d — sysbench OLTP-write workload (co-located clients):")
+				fmt.Println(res)
+				fmt.Println(experiments.LatencyHistogramRows(res, 12))
+			}
+		case "table2":
+			var res *experiments.Table2Result
+			if res, err = experiments.Table2(ctx, p); err == nil {
+				fmt.Println("Table 2 — promotion/failover downtime (ms, paper units):")
+				fmt.Println(res)
+				f, pr := res.Ratios()
+				fmt.Printf("improvement: failover %.1fx, promotion %.1fx (paper: 24x, 4x)\n", f, pr)
+			}
+		case "proxy":
+			var res *experiments.ProxyResult
+			if res, err = experiments.ProxyBandwidth(ctx, p); err == nil {
+				fmt.Println("§4.2 — proxying cross-region bandwidth:")
+				fmt.Println(res)
+			}
+		case "mock":
+			var res *experiments.MockElectionResult
+			if res, err = experiments.MockElectionAblation(ctx, p); err == nil {
+				fmt.Println("§4.3 — mock election ablation (transfer toward lagging region):")
+				fmt.Println(res)
+			}
+		case "flexi":
+			var res []experiments.QuorumModeResult
+			if res, err = experiments.QuorumModes(ctx, p); err == nil {
+				fmt.Println("§4.1 — commit latency by quorum mode (co-located clients):")
+				for _, r := range res {
+					fmt.Printf("  %-24s %s\n", r.Mode, r.Latency)
+				}
+			}
+		case "rollout":
+			var res *experiments.RolloutResult
+			if res, err = experiments.Rollout(ctx, p); err == nil {
+				fmt.Println("§5.2 — enable-raft migration window:")
+				fmt.Println(res)
+			}
+		default:
+			err = fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		return err
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig5a", "fig5c", "table2", "proxy", "mock", "flexi", "rollout"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

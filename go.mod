@@ -1,0 +1,3 @@
+module myraft
+
+go 1.24

@@ -1,0 +1,289 @@
+// Package adminapi exposes a running MyRaft replicaset over a small HTTP
+// JSON API, standing in for the paper's operational surface: myraftd
+// serves it and myraftctl consumes it. It supports status inspection,
+// graceful promotion (§4.3), fault injection (crash/restart, partitions),
+// membership changes (§2.2), binlog maintenance (§A.1), Quorum Fixer
+// remediation (§5.3), and test reads/writes.
+package adminapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/opid"
+	"myraft/internal/quorumfixer"
+	"myraft/internal/raft"
+	"myraft/internal/wire"
+)
+
+// MemberStatus is one member's externally visible state.
+type MemberStatus struct {
+	ID          string      `json:"id"`
+	Region      string      `json:"region"`
+	Kind        string      `json:"kind"`
+	Down        bool        `json:"down"`
+	Role        string      `json:"role,omitempty"`
+	Term        uint64      `json:"term,omitempty"`
+	Leader      string      `json:"leader,omitempty"`
+	CommitIndex uint64      `json:"commit_index,omitempty"`
+	LastOpID    string      `json:"last_opid,omitempty"`
+	ReadOnly    *bool       `json:"read_only,omitempty"`
+	GTIDs       string      `json:"gtid_executed,omitempty"`
+	BinlogFiles []FileEntry `json:"binlog_files,omitempty"`
+}
+
+// FileEntry mirrors SHOW BINARY LOGS output.
+type FileEntry struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// ClusterStatus is the /status payload.
+type ClusterStatus struct {
+	Name    string         `json:"name"`
+	Primary string         `json:"primary,omitempty"`
+	Members []MemberStatus `json:"members"`
+}
+
+// Server wraps a cluster with the admin handlers.
+type Server struct {
+	c   *cluster.Cluster
+	mux *http.ServeMux
+}
+
+// NewServer builds the admin handler for a cluster.
+func NewServer(c *cluster.Cluster) *Server {
+	s := &Server{c: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /status", s.handleStatus)
+	s.mux.HandleFunc("POST /promote", s.handlePromote)
+	s.mux.HandleFunc("POST /crash", s.handleCrash)
+	s.mux.HandleFunc("POST /restart", s.handleRestart)
+	s.mux.HandleFunc("POST /partition", s.handlePartition)
+	s.mux.HandleFunc("POST /heal", s.handleHeal)
+	s.mux.HandleFunc("POST /member/add", s.handleAddMember)
+	s.mux.HandleFunc("POST /member/remove", s.handleRemoveMember)
+	s.mux.HandleFunc("POST /write", s.handleWrite)
+	s.mux.HandleFunc("GET /read", s.handleRead)
+	s.mux.HandleFunc("POST /flush-binlogs", s.handleFlush)
+	s.mux.HandleFunc("POST /fix-quorum", s.handleFixQuorum)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.WriteHeader(code)
+	writeJSON(w, map[string]string{"error": err.Error()})
+}
+
+// Status builds the cluster status snapshot.
+func (s *Server) Status() ClusterStatus {
+	st := ClusterStatus{Name: s.c.Name()}
+	if id, ok := s.c.Registry().Primary(s.c.Name()); ok {
+		st.Primary = string(id)
+	}
+	for _, m := range s.c.Members() {
+		ms := MemberStatus{
+			ID:     string(m.Spec.ID),
+			Region: string(m.Spec.Region),
+			Kind:   "mysql",
+			Down:   m.IsDown(),
+		}
+		if m.Spec.Kind == cluster.KindLogtailer {
+			ms.Kind = "logtailer"
+		}
+		if node := m.Node(); node != nil {
+			ns := node.Status()
+			ms.Role = ns.Role.String()
+			ms.Term = ns.Term
+			ms.Leader = string(ns.Leader)
+			ms.CommitIndex = ns.CommitIndex
+			ms.LastOpID = ns.LastOpID.String()
+		}
+		if srv := m.Server(); srv != nil {
+			ro := srv.IsReadOnly()
+			ms.ReadOnly = &ro
+			ms.GTIDs = srv.GTIDExecuted().String()
+			for _, f := range srv.BinlogFiles() {
+				ms.BinlogFiles = append(ms.BinlogFiles, FileEntry{Name: f.Name, Size: f.Size})
+			}
+		}
+		st.Members = append(st.Members, ms)
+	}
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Status())
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	target := wire.NodeID(r.FormValue("target"))
+	if target == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("target required"))
+		return
+	}
+	if err := s.c.TransferLeadership(target); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	if err := s.c.WaitForPrimary(ctx, target); err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	writeJSON(w, map[string]string{"primary": string(target)})
+}
+
+func (s *Server) handleCrash(w http.ResponseWriter, r *http.Request) {
+	if err := s.c.Crash(wire.NodeID(r.FormValue("id"))); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleRestart(w http.ResponseWriter, r *http.Request) {
+	if err := s.c.Restart(wire.NodeID(r.FormValue("id"))); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	a, b := wire.NodeID(r.FormValue("a")), wire.NodeID(r.FormValue("b"))
+	if a == "" || b == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("a and b required"))
+		return
+	}
+	s.c.Net().Partition(a, b)
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleHeal(w http.ResponseWriter, r *http.Request) {
+	s.c.Net().HealAll()
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) leaderNode() (*raft.Node, error) {
+	m := s.c.Leader()
+	if m == nil || m.Node() == nil {
+		return nil, fmt.Errorf("no leader")
+	}
+	return m.Node(), nil
+}
+
+func (s *Server) handleAddMember(w http.ResponseWriter, r *http.Request) {
+	node, err := s.leaderNode()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	voter, _ := strconv.ParseBool(r.FormValue("voter"))
+	witness := r.FormValue("kind") == "logtailer"
+	m := wire.Member{
+		ID:      wire.NodeID(r.FormValue("id")),
+		Region:  wire.Region(r.FormValue("region")),
+		Voter:   voter || witness,
+		Witness: witness,
+	}
+	if m.ID == "" || m.Region == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("id and region required"))
+		return
+	}
+	op, err := node.AddMember(m)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	s.waitAndReply(w, r, node, op)
+}
+
+func (s *Server) handleRemoveMember(w http.ResponseWriter, r *http.Request) {
+	node, err := s.leaderNode()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	op, err := node.RemoveMember(wire.NodeID(r.FormValue("id")))
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	s.waitAndReply(w, r, node, op)
+}
+
+func (s *Server) waitAndReply(w http.ResponseWriter, r *http.Request, node *raft.Node, op opid.OpID) {
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	if err := node.WaitCommitted(ctx, op.Index); err != nil {
+		writeErr(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	writeJSON(w, map[string]string{"opid": op.String()})
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	key, value := r.FormValue("key"), r.FormValue("value")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("key required"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	res, err := s.c.NewClient(0).Write(ctx, key, []byte(value))
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, map[string]string{"opid": res.OpID.String(), "latency": res.Latency.String()})
+}
+
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	v, ok, err := s.c.NewClient(0).Read(ctx, r.FormValue("key"))
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, map[string]any{"found": ok, "value": string(v)})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	m := s.c.Leader()
+	if m == nil || m.Server() == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("no primary"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	if err := m.Server().FlushBinaryLogs(ctx); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleFixQuorum(w http.ResponseWriter, r *http.Request) {
+	allowLoss, _ := strconv.ParseBool(r.FormValue("allow_data_loss"))
+	report, err := quorumfixer.Fix(r.Context(), s.c, quorumfixer.Options{AllowDataLoss: allowLoss})
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, map[string]string{"chosen": string(report.Chosen), "opid": report.ChosenOpID.String()})
+}

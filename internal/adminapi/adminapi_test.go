@@ -1,0 +1,217 @@
+package adminapi
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/quorum"
+	"myraft/internal/raft"
+	"myraft/internal/transport"
+)
+
+// testStack boots a small cluster with its admin server and an HTTP
+// client pointed at it.
+func testStack(t *testing.T) (*cluster.Cluster, *Client) {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{
+		Name: "rs-admin",
+		Dir:  t.TempDir(),
+		Raft: raft.Config{
+			HeartbeatInterval: 10 * time.Millisecond,
+			Strategy:          quorum.SingleRegionDynamic{},
+		},
+		NetConfig: transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: 2 * time.Millisecond,
+		},
+	}, cluster.PaperTopology(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(c))
+	t.Cleanup(srv.Close)
+	return c, NewClient(srv.URL)
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	_, client := testStack(t)
+	st, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Primary != "mysql-0" {
+		t.Fatalf("primary = %q", st.Primary)
+	}
+	if len(st.Members) != 6 {
+		t.Fatalf("members = %d", len(st.Members))
+	}
+	var sawLeader, sawLogtailer bool
+	for _, m := range st.Members {
+		if m.Role == "leader" {
+			sawLeader = true
+			if m.ReadOnly == nil || *m.ReadOnly {
+				t.Fatalf("leader read-only: %+v", m)
+			}
+			if len(m.BinlogFiles) == 0 || m.GTIDs == "" && m.LastOpID == "0.0" {
+				t.Fatalf("leader missing log info: %+v", m)
+			}
+		}
+		if m.Kind == "logtailer" {
+			sawLogtailer = true
+		}
+	}
+	if !sawLeader || !sawLogtailer {
+		t.Fatalf("roles missing: leader=%v logtailer=%v", sawLeader, sawLogtailer)
+	}
+}
+
+func TestWriteAndRead(t *testing.T) {
+	_, client := testStack(t)
+	op, err := client.Write("user:1", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op == "" {
+		t.Fatal("no opid")
+	}
+	v, found, err := client.Read("user:1")
+	if err != nil || !found || v != "alice" {
+		t.Fatalf("read = %q %v %v", v, found, err)
+	}
+	_, found, err = client.Read("missing")
+	if err != nil || found {
+		t.Fatalf("missing key: found=%v err=%v", found, err)
+	}
+}
+
+func TestWriteRequiresKey(t *testing.T) {
+	_, client := testStack(t)
+	if _, err := client.Write("", "x"); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestPromoteEndpoint(t *testing.T) {
+	c, client := testStack(t)
+	if err := client.Promote("mysql-1"); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := c.Registry().Primary(c.Name()); id != "mysql-1" {
+		t.Fatalf("primary = %s", id)
+	}
+	if err := client.Promote("ghost"); err == nil {
+		t.Fatal("promote to unknown member succeeded")
+	}
+}
+
+func TestCrashRestartEndpoints(t *testing.T) {
+	c, client := testStack(t)
+	if err := client.Crash("mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.AnyPrimary(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Restart("mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range st.Members {
+		if m.ID == "mysql-0" && m.Down {
+			t.Fatal("mysql-0 still down after restart")
+		}
+	}
+	if err := client.Crash("ghost"); err == nil {
+		t.Fatal("crash of unknown member succeeded")
+	}
+}
+
+func TestMembershipEndpoints(t *testing.T) {
+	_, client := testStack(t)
+	if err := client.AddMember("learner-9", "region-0", "mysql", false); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := client.Status()
+	_ = st
+	if err := client.RemoveMember("learner-9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.AddMember("", "", "mysql", false); err == nil {
+		t.Fatal("empty member accepted")
+	}
+}
+
+func TestFlushBinlogsEndpoint(t *testing.T) {
+	c, client := testStack(t)
+	if _, err := client.Write("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	before := len(c.Member("mysql-0").Server().BinlogFiles())
+	if err := client.FlushBinlogs(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Member("mysql-0").Server().BinlogFiles()); got <= before {
+		t.Fatalf("files %d -> %d, want rotation", before, got)
+	}
+}
+
+func TestPartitionAndHealEndpoints(t *testing.T) {
+	_, client := testStack(t)
+	if err := client.Partition("mysql-0", "mysql-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Partition("", ""); err == nil {
+		t.Fatal("empty partition accepted")
+	}
+}
+
+func TestFixQuorumEndpoint(t *testing.T) {
+	c, client := testStack(t)
+	// Healthy ring: the fixer must refuse.
+	if _, err := client.FixQuorum(false); err == nil {
+		t.Fatal("fixer ran on a healthy ring")
+	}
+	// Shatter region-0 and remediate.
+	if _, err := client.Write("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Let region-1 converge so conservative mode has a full-log survivor.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		sums := c.EngineChecksums()
+		if len(sums) == 2 && sums["mysql-0"] == sums["mysql-1"] {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	client.Crash("lt-0-0")
+	client.Crash("lt-0-1")
+	client.Crash("mysql-0")
+	chosen, err := client.FixQuorum(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen == "" {
+		t.Fatal("no chosen member reported")
+	}
+	if _, err := client.Write("post", "fix"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package adminapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is the myraftctl side of the admin API.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets the admin endpoint at base (e.g.
+// "http://127.0.0.1:7070").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+func (c *Client) do(method, path string, params url.Values, out any) error {
+	u := c.base + path
+	var body io.Reader
+	if method == http.MethodPost && params != nil {
+		body = strings.NewReader(params.Encode())
+	} else if params != nil {
+		u += "?" + params.Encode()
+	}
+	req, err := http.NewRequest(method, u, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("adminapi: %s", e.Error)
+		}
+		return fmt.Errorf("adminapi: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}
+
+// Status fetches the cluster status.
+func (c *Client) Status() (ClusterStatus, error) {
+	var st ClusterStatus
+	err := c.do(http.MethodGet, "/status", nil, &st)
+	return st, err
+}
+
+// Promote gracefully transfers leadership to target.
+func (c *Client) Promote(target string) error {
+	return c.do(http.MethodPost, "/promote", url.Values{"target": {target}}, nil)
+}
+
+// Crash injects a crash into a member.
+func (c *Client) Crash(id string) error {
+	return c.do(http.MethodPost, "/crash", url.Values{"id": {id}}, nil)
+}
+
+// Restart recovers a crashed member.
+func (c *Client) Restart(id string) error {
+	return c.do(http.MethodPost, "/restart", url.Values{"id": {id}}, nil)
+}
+
+// Partition blocks traffic between two members.
+func (c *Client) Partition(a, b string) error {
+	return c.do(http.MethodPost, "/partition", url.Values{"a": {a}, "b": {b}}, nil)
+}
+
+// Heal removes all partitions.
+func (c *Client) Heal() error { return c.do(http.MethodPost, "/heal", nil, nil) }
+
+// AddMember proposes a membership addition.
+func (c *Client) AddMember(id, region, kind string, voter bool) error {
+	return c.do(http.MethodPost, "/member/add", url.Values{
+		"id": {id}, "region": {region}, "kind": {kind}, "voter": {fmt.Sprint(voter)},
+	}, nil)
+}
+
+// RemoveMember proposes a membership removal.
+func (c *Client) RemoveMember(id string) error {
+	return c.do(http.MethodPost, "/member/remove", url.Values{"id": {id}}, nil)
+}
+
+// Write performs a client write through the replicaset.
+func (c *Client) Write(key, value string) (string, error) {
+	var out map[string]string
+	err := c.do(http.MethodPost, "/write", url.Values{"key": {key}, "value": {value}}, &out)
+	return out["opid"], err
+}
+
+// Read reads a key from the primary.
+func (c *Client) Read(key string) (string, bool, error) {
+	var out struct {
+		Found bool   `json:"found"`
+		Value string `json:"value"`
+	}
+	err := c.do(http.MethodGet, "/read", url.Values{"key": {key}}, &out)
+	return out.Value, out.Found, err
+}
+
+// FlushBinlogs rotates the primary's binlog through Raft.
+func (c *Client) FlushBinlogs() error {
+	return c.do(http.MethodPost, "/flush-binlogs", nil, nil)
+}
+
+// FixQuorum runs the Quorum Fixer remediation.
+func (c *Client) FixQuorum(allowDataLoss bool) (string, error) {
+	var out map[string]string
+	err := c.do(http.MethodPost, "/fix-quorum",
+		url.Values{"allow_data_loss": {fmt.Sprint(allowDataLoss)}}, &out)
+	return out["chosen"], err
+}

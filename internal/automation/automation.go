@@ -1,0 +1,275 @@
+// Package automation implements the external control plane of the prior
+// setup (§1, §6): the out-of-band processes that, before MyRaft, owned
+// failure detection, failover and primary promotion for semi-sync
+// replicasets. Its architecture — a monitor pinging the primary, a
+// multi-step orchestration acquiring distributed locks and repointing
+// replicas — is exactly what the paper replaced with in-server Raft,
+// and its timing profile is what Table 2's Semi-Sync rows measure:
+// conservative detection timeouts (tens of seconds, to avoid false
+// positives that would cause split-brain without consensus) plus a
+// sequence of control-plane steps each costing an RPC round trip.
+package automation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"myraft/internal/opid"
+	"myraft/internal/semisync"
+	"myraft/internal/wire"
+)
+
+// Config tunes the control plane.
+type Config struct {
+	// PingInterval is the monitor's health-check cadence (default 1s).
+	PingInterval time.Duration
+	// DetectionTimeout is how long the primary must be continuously
+	// unhealthy before failover starts (default 45s). Without consensus,
+	// automation must be conservative: a false positive means two
+	// primaries.
+	DetectionTimeout time.Duration
+	// StepDelay is the cost of one control-plane step — a lock service
+	// round trip, a fleet-query, a config push (default 100ms).
+	StepDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PingInterval == 0 {
+		c.PingInterval = time.Second
+	}
+	if c.DetectionTimeout == 0 {
+		c.DetectionTimeout = 45 * time.Second
+	}
+	if c.StepDelay == 0 {
+		c.StepDelay = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Scale divides all durations by f for time-scaled experiments.
+func (c Config) Scale(f float64) Config {
+	c = c.withDefaults()
+	scale := func(d time.Duration) time.Duration { return time.Duration(float64(d) / f) }
+	c.PingInterval = scale(c.PingInterval)
+	c.DetectionTimeout = scale(c.DetectionTimeout)
+	c.StepDelay = scale(c.StepDelay)
+	return c
+}
+
+// Controller is the automation for one baseline replicaset.
+type Controller struct {
+	rs  *semisync.Replicaset
+	cfg Config
+
+	mu            sync.Mutex
+	lock          bool // the "distributed lock" for control-plane operations
+	stopCh        chan struct{}
+	stopOnce      sync.Once
+	failoverCount int
+}
+
+// New creates a controller.
+func New(rs *semisync.Replicaset, cfg Config) *Controller {
+	return &Controller{rs: rs, cfg: cfg.withDefaults(), stopCh: make(chan struct{})}
+}
+
+// Bootstrap promotes the initial primary.
+func (c *Controller) Bootstrap(ctx context.Context, primary wire.NodeID) error {
+	return c.rs.MakePrimary(ctx, primary)
+}
+
+// Start launches the background failure monitor.
+func (c *Controller) Start() { go c.monitor() }
+
+// Stop terminates the monitor.
+func (c *Controller) Stop() { c.stopOnce.Do(func() { close(c.stopCh) }) }
+
+// FailoverCount reports how many automatic failovers have run.
+func (c *Controller) FailoverCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failoverCount
+}
+
+// monitor pings the primary and triggers failover after DetectionTimeout
+// of continuous failure.
+func (c *Controller) monitor() {
+	ticker := time.NewTicker(c.cfg.PingInterval)
+	defer ticker.Stop()
+	var firstFailure time.Time
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-ticker.C:
+		}
+		primary := c.rs.Primary()
+		healthy := false
+		if primary != "" {
+			if n := c.rs.Node(primary); n != nil && !n.IsDown() {
+				healthy = true
+			}
+		}
+		if primary == "" {
+			// Failover already cleared it (or bootstrap pending); the
+			// monitor only reacts to an unhealthy *current* primary.
+			firstFailure = time.Time{}
+			continue
+		}
+		if healthy {
+			firstFailure = time.Time{}
+			continue
+		}
+		if firstFailure.IsZero() {
+			firstFailure = time.Now()
+			continue
+		}
+		if time.Since(firstFailure) >= c.cfg.DetectionTimeout {
+			firstFailure = time.Time{}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*c.cfg.DetectionTimeout)
+			_ = c.Failover(ctx)
+			cancel()
+		}
+	}
+}
+
+// step simulates one control-plane round trip.
+func (c *Controller) step() { time.Sleep(c.cfg.StepDelay) }
+
+// regions lists the distinct regions of the replicaset's members.
+func (c *Controller) regions() []wire.Region {
+	seen := make(map[wire.Region]bool)
+	var out []wire.Region
+	for _, n := range c.rs.Nodes() {
+		if !seen[n.Region] {
+			seen[n.Region] = true
+			out = append(out, n.Region)
+		}
+	}
+	return out
+}
+
+// acquireLock takes the replicaset's distributed operation lock.
+func (c *Controller) acquireLock() error {
+	c.step()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lock {
+		return fmt.Errorf("automation: replicaset lock held")
+	}
+	c.lock = true
+	return nil
+}
+
+func (c *Controller) releaseLock() {
+	c.mu.Lock()
+	c.lock = false
+	c.mu.Unlock()
+}
+
+// pickCandidate queries every live MySQL replica and returns the one with
+// the longest log (the most caught-up GTID set, in MySQL terms).
+func (c *Controller) pickCandidate(exclude wire.NodeID) (*semisync.Node, error) {
+	c.step() // fleet query round trip
+	var best *semisync.Node
+	var bestOp opid.OpID
+	for _, n := range c.rs.Nodes() {
+		if n.ID == exclude || n.Kind != semisync.KindMySQL || n.IsDown() {
+			continue
+		}
+		if op := n.LastOpID(); best == nil || bestOp.Less(op) {
+			best = n
+			bestOp = op
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("automation: no healthy candidate")
+	}
+	return best, nil
+}
+
+// Failover replaces a dead primary: pick the most caught-up replica,
+// align the other replicas' logs to it, promote it, and repoint
+// replication. Client-visible downtime runs from the primary's death
+// until the new primary publishes itself.
+func (c *Controller) Failover(ctx context.Context) error {
+	if err := c.acquireLock(); err != nil {
+		return err
+	}
+	defer c.releaseLock()
+
+	dead := c.rs.Primary()
+	candidate, err := c.pickCandidate(dead)
+	if err != nil {
+		return err
+	}
+	c.step() // push repoint configuration
+	if err := c.rs.AlignReplicaLogs(candidate.ID); err != nil {
+		return err
+	}
+	if err := c.rs.MakePrimary(ctx, candidate.ID); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.failoverCount++
+	c.mu.Unlock()
+	return nil
+}
+
+// GracefulPromotion moves the primary role to target while the old
+// primary is healthy (maintenance promotion). Downtime runs from the old
+// primary's write gate closing to the target publishing itself.
+func (c *Controller) GracefulPromotion(ctx context.Context, target wire.NodeID) error {
+	if err := c.acquireLock(); err != nil {
+		return err
+	}
+	defer c.releaseLock()
+
+	old := c.rs.Primary()
+	if old == "" {
+		return fmt.Errorf("automation: no primary to demote")
+	}
+	oldNode := c.rs.Node(old)
+	tgt := c.rs.Node(target)
+	if tgt == nil || tgt.Kind != semisync.KindMySQL || tgt.IsDown() {
+		return fmt.Errorf("automation: bad promotion target %s", target)
+	}
+
+	// Disable writes on the old primary (an RPC round trip); downtime
+	// starts here. Dump threads keep running so the target can drain the
+	// remaining log.
+	c.step()
+	oldNode.Server().DisableWrites()
+	tail := oldNode.LastIndex()
+	for tgt.LastIndex() < tail {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Verify the fleet's replication positions before switching (GTID
+	// comparison round trip).
+	c.step()
+	// Now fully demote the old primary (stops its replication threads).
+	if err := c.rs.Demote(old); err != nil {
+		return err
+	}
+	c.step() // demote RPC + read_only verification
+	if err := c.rs.AlignReplicaLogs(target); err != nil {
+		return err
+	}
+	// Repoint replication: one configuration push per region's members
+	// (CHANGE MASTER TO on every replica and acker).
+	for range c.regions() {
+		c.step()
+	}
+	if err := c.rs.MakePrimary(ctx, target); err != nil {
+		return err
+	}
+	c.step() // promote RPC + service-discovery publish round trip
+	c.rs.ResumeReplication(old)
+	return nil
+}

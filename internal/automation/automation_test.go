@@ -1,0 +1,186 @@
+package automation
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"myraft/internal/semisync"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+func testReplicaset(t *testing.T, nRegions int) *semisync.Replicaset {
+	t.Helper()
+	var specs []semisync.NodeSpec
+	for r := 0; r < nRegions; r++ {
+		region := wire.Region(fmt.Sprintf("region-%d", r))
+		specs = append(specs,
+			semisync.NodeSpec{ID: wire.NodeID(fmt.Sprintf("mysql-%d", r)), Region: region, Kind: semisync.KindMySQL},
+			semisync.NodeSpec{ID: wire.NodeID(fmt.Sprintf("lt-%d-0", r)), Region: region, Kind: semisync.KindLogtailer},
+			semisync.NodeSpec{ID: wire.NodeID(fmt.Sprintf("lt-%d-1", r)), Region: region, Kind: semisync.KindLogtailer},
+		)
+	}
+	rs, err := semisync.New(semisync.Options{
+		Dir: t.TempDir(),
+		NetConfig: transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: 2 * time.Millisecond,
+		},
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rs.Close)
+	return rs
+}
+
+// fastConfig runs the control plane at 100x speed for tests.
+func fastConfig() Config {
+	return Config{
+		PingInterval:     10 * time.Millisecond,
+		DetectionTimeout: 100 * time.Millisecond,
+		StepDelay:        2 * time.Millisecond,
+	}
+}
+
+func TestBootstrapPublishesPrimary(t *testing.T) {
+	rs := testReplicaset(t, 2)
+	c := New(rs, fastConfig())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := rs.Registry().Primary(rs.Name()); !ok || id != "mysql-0" {
+		t.Fatalf("published primary = %v %v", id, ok)
+	}
+}
+
+func TestAutomaticFailoverAfterDetectionTimeout(t *testing.T) {
+	rs := testReplicaset(t, 2)
+	c := New(rs, fastConfig())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	// Feed some data so the candidate selection has something to compare.
+	primary := rs.Node("mysql-0").Server()
+	for i := 0; i < 5; i++ {
+		if _, err := primary.Set(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	rs.Crash("mysql-0")
+	// Automation detects and fails over.
+	n, err := rs.WaitForPrimary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if n.ID != "mysql-1" {
+		t.Fatalf("new primary = %s", n.ID)
+	}
+	if c.FailoverCount() != 1 {
+		t.Fatalf("failover count = %d", c.FailoverCount())
+	}
+	// Downtime is dominated by the detection timeout.
+	if elapsed < 100*time.Millisecond {
+		t.Fatalf("failover faster than detection timeout: %v", elapsed)
+	}
+	// Committed (semi-sync acked AND replicated) data survives when the
+	// candidate had it.
+	if v, ok := n.Server().Read("k4"); !ok || string(v) != "v" {
+		t.Logf("note: k4 = %q %v (async tail may be lost in the baseline)", v, ok)
+	}
+	// New primary serves writes.
+	if _, err := n.Server().Set(ctx, "post", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGracefulPromotionMovesPrimaryWithBoundedDowntime(t *testing.T) {
+	rs := testReplicaset(t, 2)
+	c := New(rs, fastConfig())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	primary := rs.Node("mysql-0").Server()
+	for i := 0; i < 10; i++ {
+		if _, err := primary.Set(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	if err := c.GracefulPromotion(ctx, "mysql-1"); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if rs.Primary() != "mysql-1" {
+		t.Fatalf("primary = %s", rs.Primary())
+	}
+	// All pre-promotion data present on the new primary (graceful path
+	// never loses data).
+	for i := 0; i < 10; i++ {
+		if v, ok := rs.Node("mysql-1").Server().Read(fmt.Sprintf("k%d", i)); !ok || string(v) != "v" {
+			t.Fatalf("k%d = %q %v", i, v, ok)
+		}
+	}
+	// The old primary resumes as a replica.
+	if _, err := rs.Node("mysql-1").Server().Set(ctx, "post", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := rs.Node("mysql-0").Server().Read("post"); ok && string(v) == "x" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, ok := rs.Node("mysql-0").Server().Read("post"); !ok || string(v) != "x" {
+		t.Fatalf("old primary not following: %q %v", v, ok)
+	}
+	t.Logf("graceful promotion downtime ~ %v", elapsed)
+}
+
+func TestFailoverWithNoCandidateFails(t *testing.T) {
+	rs := testReplicaset(t, 1)
+	c := New(rs, fastConfig())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	rs.Crash("mysql-0")
+	if err := c.Failover(ctx); err == nil {
+		t.Fatal("failover succeeded with no candidates")
+	}
+}
+
+func TestLockPreventsConcurrentOperations(t *testing.T) {
+	rs := testReplicaset(t, 3)
+	cfg := fastConfig()
+	cfg.StepDelay = 50 * time.Millisecond
+	c := New(rs, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.GracefulPromotion(ctx, "mysql-1") }()
+	time.Sleep(10 * time.Millisecond) // let the first op take the lock
+	if err := c.GracefulPromotion(ctx, "mysql-2"); err == nil {
+		t.Fatal("second operation acquired the held lock")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,841 @@
+package binlog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"myraft/internal/gtid"
+	"myraft/internal/opid"
+)
+
+// Persona selects the naming role of newly created log files. MySQL uses
+// binlogs on a primary and relay-logs on a replica; promotion/demotion
+// rewires between the two (§3.2–3.3). The logical entry sequence is
+// unaffected by the persona.
+type Persona int
+
+const (
+	// PersonaBinlog names files "binlog.NNNNNN" (primary mode).
+	PersonaBinlog Persona = iota
+	// PersonaRelay names files "relaylog.NNNNNN" (replica mode).
+	PersonaRelay
+)
+
+// Prefix returns the file-name prefix for the persona.
+func (p Persona) Prefix() string {
+	if p == PersonaRelay {
+		return "relaylog"
+	}
+	return "binlog"
+}
+
+func (p Persona) String() string { return p.Prefix() }
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the directory holding the log files and the index file.
+	Dir string
+	// Persona selects binlog vs relay-log naming for new files.
+	Persona Persona
+	// SyncOnAppend fsyncs after every append. The commit pipeline
+	// normally leaves this false and calls Sync once per group.
+	SyncOnAppend bool
+}
+
+// indexFileName is the sidecar file listing log files in order, mirroring
+// MySQL's binlog index file.
+const indexFileName = "log.index"
+
+// FileInfo describes one log file, as reported by SHOW BINARY LOGS.
+type FileInfo struct {
+	Name       string
+	FirstIndex uint64 // index of the first entry, 0 when the file has none
+	LastIndex  uint64 // index of the last entry, 0 when the file has none
+	Size       int64
+}
+
+// entryLoc records where an entry lives on disk.
+type entryLoc struct {
+	file   *logFile
+	offset int64
+	length int64
+}
+
+// logFile is the in-memory bookkeeping for one on-disk file.
+type logFile struct {
+	name       string
+	firstIndex uint64
+	lastIndex  uint64
+	size       int64
+}
+
+// Log is a file-backed replicated-log store. All methods are safe for
+// concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	dir     string
+	persona Persona
+	syncAll bool
+
+	files  []*logFile
+	active *logFile
+	f      *os.File
+	w      *bufio.Writer
+
+	firstIndex uint64 // lowest live entry index; 0 when the log is empty
+	lastOpID   opid.OpID
+	gtids      *gtid.Set // GTIDs of every entry ever appended (incl. purged)
+	offsets    map[uint64]entryLoc
+	seq        int // sequence number of the next file to create
+}
+
+// ErrNotFound is returned when a requested entry index is not on disk
+// (purged, truncated, or never written).
+var ErrNotFound = errors.New("binlog: entry not found")
+
+// ErrOutOfOrder is returned when an appended entry does not directly
+// follow the current tail.
+var ErrOutOfOrder = errors.New("binlog: append out of order")
+
+// Open opens (or creates) the log in opts.Dir, recovering state from the
+// index file and the log files. A torn final entry (crash mid-write) is
+// truncated away, implementing case 1 of the paper's recovery discussion
+// (§A.2): a transaction that never fully reached the log is simply gone.
+func Open(opts Options) (*Log, error) {
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("binlog: %w", err)
+	}
+	l := &Log{
+		dir:     opts.Dir,
+		persona: opts.Persona,
+		syncAll: opts.SyncOnAppend,
+		gtids:   gtid.NewSet(),
+		offsets: make(map[uint64]entryLoc),
+		seq:     1,
+	}
+	names, err := l.readIndexFile()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if err := l.recoverFile(name); err != nil {
+			return nil, err
+		}
+	}
+	if len(l.files) == 0 {
+		if err := l.createFileLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		last := l.files[len(l.files)-1]
+		f, err := os.OpenFile(filepath.Join(l.dir, last.name), os.O_WRONLY, 0)
+		if err != nil {
+			return nil, fmt.Errorf("binlog: reopen active: %w", err)
+		}
+		if err := f.Truncate(last.size); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("binlog: trim torn tail: %w", err)
+		}
+		if _, err := f.Seek(last.size, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("binlog: seek: %w", err)
+		}
+		l.active = last
+		l.f = f
+		l.w = bufio.NewWriter(f)
+	}
+	return l, nil
+}
+
+// readIndexFile returns the ordered file names from the index file, or nil
+// when it does not exist yet.
+func (l *Log) readIndexFile() ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(l.dir, indexFileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("binlog: read index: %w", err)
+	}
+	var names []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			names = append(names, line)
+		}
+	}
+	return names, nil
+}
+
+// writeIndexFileLocked persists the current file list.
+func (l *Log) writeIndexFileLocked() error {
+	var b strings.Builder
+	for _, f := range l.files {
+		b.WriteString(f.name)
+		b.WriteByte('\n')
+	}
+	tmp := filepath.Join(l.dir, indexFileName+".tmp")
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("binlog: write index: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, indexFileName)); err != nil {
+		return fmt.Errorf("binlog: install index: %w", err)
+	}
+	return nil
+}
+
+// recoverFile scans one file, rebuilding offsets, GTIDs and the tail
+// position. The scan stops at the first torn or corrupt record; everything
+// after that point is discarded.
+func (l *Log) recoverFile(name string) error {
+	path := filepath.Join(l.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("binlog: recover %s: %w", name, err)
+	}
+	lf := &logFile{name: name}
+	if seq, ok := fileSeq(name); ok && seq >= l.seq {
+		l.seq = seq + 1
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		return &ErrCorrupt{File: name, Offset: 0, Reason: "bad magic"}
+	}
+	pos := int64(len(magic))
+	// Header events: format description, previous GTIDs.
+	for i := 0; i < 2; i++ {
+		ev, n, err := decodeEvent(data[pos:])
+		if err != nil || ev == nil {
+			return &ErrCorrupt{File: name, Offset: pos, Reason: "bad header event"}
+		}
+		if i == 0 && ev.typ != EventFormatDesc {
+			return &ErrCorrupt{File: name, Offset: pos, Reason: "missing format description"}
+		}
+		if i == 1 {
+			if ev.typ != EventPrevGTIDs {
+				return &ErrCorrupt{File: name, Offset: pos, Reason: "missing previous gtids"}
+			}
+			if len(l.files) == 0 {
+				prev, err := gtid.ParseSet(string(ev.body))
+				if err != nil {
+					return &ErrCorrupt{File: name, Offset: pos, Reason: "bad previous gtids: " + err.Error()}
+				}
+				l.gtids.Union(prev)
+			}
+		}
+		pos += int64(n)
+	}
+	lf.size = pos
+	for {
+		entry, n, err := readEntryAt(data, pos, name)
+		if err != nil || entry == nil {
+			break // torn/corrupt tail: keep what we have
+		}
+		loc := entryLoc{file: lf, offset: pos, length: n}
+		l.offsets[entry.OpID.Index] = loc
+		if lf.firstIndex == 0 {
+			lf.firstIndex = entry.OpID.Index
+		}
+		lf.lastIndex = entry.OpID.Index
+		if l.firstIndex == 0 {
+			l.firstIndex = entry.OpID.Index
+		}
+		l.lastOpID = entry.OpID
+		if entry.HasGTID {
+			l.gtids.Add(entry.GTID)
+		}
+		pos += n
+		lf.size = pos
+	}
+	l.files = append(l.files, lf)
+	return nil
+}
+
+// readEntryAt decodes the full entry starting at pos. It returns the entry
+// and its encoded length, (nil, 0, nil) on a clean end-of-data, and an
+// error on corruption.
+func readEntryAt(data []byte, pos int64, fileName string) (*Entry, int64, error) {
+	start := pos
+	ev, n, err := decodeEvent(data[pos:])
+	if err != nil {
+		return nil, 0, &ErrCorrupt{File: fileName, Offset: pos, Reason: err.Error()}
+	}
+	if ev == nil {
+		return nil, 0, nil
+	}
+	if ev.typ != EventGTID {
+		return nil, 0, &ErrCorrupt{File: fileName, Offset: pos, Reason: "expected GTID event, got " + ev.typ.String()}
+	}
+	hdr, err := decodeGTIDEventBody(ev.body)
+	if err != nil {
+		return nil, 0, &ErrCorrupt{File: fileName, Offset: pos, Reason: err.Error()}
+	}
+	pos += int64(n)
+	payload := make([]byte, 0, hdr.payloadLen)
+	for i := uint32(0); i < hdr.eventsToXid; i++ {
+		ev, n, err = decodeEvent(data[pos:])
+		if err != nil {
+			return nil, 0, &ErrCorrupt{File: fileName, Offset: pos, Reason: err.Error()}
+		}
+		if ev == nil {
+			return nil, 0, nil
+		}
+		if ev.typ != EventRows {
+			return nil, 0, &ErrCorrupt{File: fileName, Offset: pos, Reason: "expected Rows event"}
+		}
+		payload = append(payload, ev.body...)
+		pos += int64(n)
+	}
+	ev, n, err = decodeEvent(data[pos:])
+	if err != nil {
+		return nil, 0, &ErrCorrupt{File: fileName, Offset: pos, Reason: err.Error()}
+	}
+	if ev == nil {
+		return nil, 0, nil
+	}
+	if ev.typ != EventXid {
+		return nil, 0, &ErrCorrupt{File: fileName, Offset: pos, Reason: "expected Xid event"}
+	}
+	pos += int64(n)
+	e := &Entry{
+		OpID:    hdr.op,
+		Type:    hdr.entryType,
+		HasGTID: hdr.hasGTID,
+		Payload: payload,
+	}
+	if hdr.hasGTID {
+		e.GTID = hdr.g
+	}
+	if uint32(len(payload)) != hdr.payloadLen || e.Checksum() != hdr.payloadSum {
+		return nil, 0, &ErrCorrupt{File: fileName, Offset: start, Reason: "payload checksum mismatch"}
+	}
+	return e, pos - start, nil
+}
+
+func fileSeq(name string) (int, bool) {
+	i := strings.LastIndexByte(name, '.')
+	if i < 0 {
+		return 0, false
+	}
+	var seq int
+	if _, err := fmt.Sscanf(name[i+1:], "%d", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// createFileLocked opens a fresh file under the current persona and writes
+// its header (magic, format description, previous GTIDs).
+func (l *Log) createFileLocked() error {
+	name := fmt.Sprintf("%s.%06d", l.persona.Prefix(), l.seq)
+	l.seq++
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("binlog: create %s: %w", name, err)
+	}
+	hdr := append([]byte(nil), magic...)
+	fd := make([]byte, 0, 3)
+	fd = append(fd, byte(formatVersion>>8), byte(formatVersion), byte(l.persona))
+	hdr = (&event{typ: EventFormatDesc, body: fd}).appendTo(hdr)
+	hdr = (&event{typ: EventPrevGTIDs, body: []byte(l.gtids.String())}).appendTo(hdr)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("binlog: write header: %w", err)
+	}
+	lf := &logFile{name: name, size: int64(len(hdr))}
+	if l.f != nil {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+		l.f.Close()
+	}
+	l.files = append(l.files, lf)
+	l.active = lf
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	return l.writeIndexFileLocked()
+}
+
+// Append writes one entry at the tail. The entry's index must be exactly
+// lastIndex+1 (or anything for the first entry of an empty log, supporting
+// a follower joining mid-stream). Appending an EntryRotate rotates the
+// file after the entry is written, which is how replicated FLUSH BINARY
+// LOGS keeps files aligned across the ring (§A.1).
+func (l *Log) Append(e *Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return fmt.Errorf("binlog: log closed")
+	}
+	if l.lastOpID.Index != 0 && e.OpID.Index != l.lastOpID.Index+1 {
+		return fmt.Errorf("%w: index %d after tail %d", ErrOutOfOrder, e.OpID.Index, l.lastOpID.Index)
+	}
+	if e.OpID.Term < l.lastOpID.Term {
+		return fmt.Errorf("%w: term %d below tail term %d", ErrOutOfOrder, e.OpID.Term, l.lastOpID.Term)
+	}
+	buf := encodeEntry(e)
+	if _, err := l.w.Write(buf); err != nil {
+		return fmt.Errorf("binlog: append: %w", err)
+	}
+	l.offsets[e.OpID.Index] = entryLoc{file: l.active, offset: l.active.size, length: int64(len(buf))}
+	if l.active.firstIndex == 0 {
+		l.active.firstIndex = e.OpID.Index
+	}
+	l.active.lastIndex = e.OpID.Index
+	l.active.size += int64(len(buf))
+	if l.firstIndex == 0 {
+		l.firstIndex = e.OpID.Index
+	}
+	l.lastOpID = e.OpID
+	if e.HasGTID {
+		l.gtids.Add(e.GTID)
+	}
+	if l.syncAll {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if e.Type == EntryRotate {
+		return l.createFileLocked()
+	}
+	return nil
+}
+
+func (l *Log) flushLocked() error {
+	if l.w == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("binlog: flush: %w", err)
+	}
+	return nil
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil {
+		return fmt.Errorf("binlog: log closed")
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("binlog: sync: %w", err)
+	}
+	return nil
+}
+
+// Sync flushes buffered appends and fsyncs the active file. The commit
+// pipeline calls this once per commit group.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// Rotate forces a file rotation without a replicated rotate entry. It is
+// used for local maintenance (e.g. persona rewiring during promotion).
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.createFileLocked()
+}
+
+// SetPersona changes the naming persona for files created from now on and
+// rotates so the active file matches. This is the "rewiring" step of the
+// promotion/demotion orchestration (§3.3).
+func (l *Log) SetPersona(p Persona) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.persona == p {
+		return nil
+	}
+	l.persona = p
+	return l.createFileLocked()
+}
+
+// Persona returns the current naming persona.
+func (l *Log) Persona() Persona {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.persona
+}
+
+// Entry reads the entry at index from disk, verifying checksums. This is
+// the historical-read path the leader uses when a lagging follower needs
+// entries that have fallen out of the in-memory cache (§3.1).
+func (l *Log) Entry(index uint64) (*Entry, error) {
+	l.mu.Lock()
+	loc, ok := l.offsets[index]
+	if !ok {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: index %d", ErrNotFound, index)
+	}
+	if loc.file == l.active {
+		if err := l.flushLocked(); err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+	}
+	path := filepath.Join(l.dir, loc.file.name)
+	l.mu.Unlock()
+
+	data := make([]byte, loc.length)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("binlog: open %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(data, loc.offset); err != nil {
+		return nil, fmt.Errorf("binlog: read entry %d: %w", index, err)
+	}
+	e, _, err := readEntryAt(data, 0, loc.file.name)
+	if err != nil {
+		return nil, err
+	}
+	if e == nil {
+		return nil, &ErrCorrupt{File: loc.file.name, Offset: loc.offset, Reason: "short entry"}
+	}
+	if e.OpID.Index != index {
+		return nil, &ErrCorrupt{File: loc.file.name, Offset: loc.offset, Reason: "index mismatch"}
+	}
+	return e, nil
+}
+
+// Scan calls fn for each entry with index >= from, in order, until fn
+// returns false or the tail is reached. Files are read sequentially (one
+// read per file, not per entry), so scanning a recovered log is cheap
+// even for large histories.
+func (l *Log) Scan(from uint64, fn func(*Entry) bool) error {
+	l.mu.Lock()
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	type fileRange struct {
+		name        string
+		first, last uint64
+	}
+	var files []fileRange
+	for _, f := range l.files {
+		if f.firstIndex == 0 || f.lastIndex < from {
+			continue
+		}
+		files = append(files, fileRange{name: f.name, first: f.firstIndex, last: f.lastIndex})
+	}
+	lastIndex := l.lastOpID.Index
+	dir := l.dir
+	l.mu.Unlock()
+
+	for _, fr := range files {
+		data, err := os.ReadFile(filepath.Join(dir, fr.name))
+		if err != nil {
+			return fmt.Errorf("binlog: scan %s: %w", fr.name, err)
+		}
+		pos := int64(len(magic))
+		for i := 0; i < 2; i++ { // skip header events
+			ev, n, err := decodeEvent(data[pos:])
+			if err != nil || ev == nil {
+				return &ErrCorrupt{File: fr.name, Offset: pos, Reason: "bad header during scan"}
+			}
+			pos += int64(n)
+		}
+		for {
+			e, n, err := readEntryAt(data, pos, fr.name)
+			if err != nil {
+				return err
+			}
+			if e == nil {
+				break
+			}
+			pos += n
+			if e.OpID.Index < from {
+				continue
+			}
+			if e.OpID.Index > lastIndex {
+				return nil
+			}
+			if !fn(e) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// TruncateAfter removes every entry with index > index and returns the
+// removed entries (newest last) so the caller can unwind GTID metadata,
+// implementing demotion step 4 of §3.3. Truncating to 0 empties the log.
+func (l *Log) TruncateAfter(index uint64) ([]*Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if index >= l.lastOpID.Index {
+		return nil, nil
+	}
+	if err := l.flushLocked(); err != nil {
+		return nil, err
+	}
+	var removed []*Entry
+	for idx := index + 1; idx <= l.lastOpID.Index; idx++ {
+		loc, ok := l.offsets[idx]
+		if !ok {
+			continue
+		}
+		data := make([]byte, loc.length)
+		rf, err := os.Open(filepath.Join(l.dir, loc.file.name))
+		if err != nil {
+			return nil, fmt.Errorf("binlog: truncate read: %w", err)
+		}
+		_, rerr := rf.ReadAt(data, loc.offset)
+		rf.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("binlog: truncate read: %w", rerr)
+		}
+		e, _, err := readEntryAt(data, 0, loc.file.name)
+		if err != nil || e == nil {
+			return nil, fmt.Errorf("binlog: truncate decode %d: %v", idx, err)
+		}
+		removed = append(removed, e)
+		if e.HasGTID {
+			l.gtids.Remove(e.GTID)
+		}
+		delete(l.offsets, idx)
+	}
+	// Find the file that keeps the tail and drop every later file.
+	keep := len(l.files) - 1
+	for keep > 0 && (l.files[keep].firstIndex == 0 || l.files[keep].firstIndex > index) {
+		// A header-only file (firstIndex 0) created by rotation after the
+		// truncation point is also dropped, unless it is the only file.
+		keep--
+	}
+	tail := l.files[keep]
+	for _, f := range l.files[keep+1:] {
+		if err := os.Remove(filepath.Join(l.dir, f.name)); err != nil {
+			return nil, fmt.Errorf("binlog: remove %s: %w", f.name, err)
+		}
+	}
+	l.files = l.files[:keep+1]
+
+	// Shrink the tail file to end right after the last kept entry.
+	newSize := tail.size
+	newLast := opid.Zero
+	if index >= tail.firstIndex && tail.firstIndex != 0 && index <= tail.lastIndex {
+		loc := l.offsets[index]
+		newSize = loc.offset + loc.length
+		tail.lastIndex = index
+	} else if tail.firstIndex == 0 || index < tail.firstIndex {
+		// Everything in the tail file goes; cut back to its header.
+		newSize = headerSize(l.gtidsBeforeFileLocked(tail))
+		tail.firstIndex = 0
+		tail.lastIndex = 0
+	}
+	if loc, ok := l.offsets[index]; ok {
+		e, err := l.entryAtLocked(loc)
+		if err != nil {
+			return nil, err
+		}
+		newLast = e.OpID
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, tail.name), os.O_WRONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("binlog: reopen tail: %w", err)
+	}
+	if err := f.Truncate(newSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("binlog: shrink tail: %w", err)
+	}
+	if _, err := f.Seek(newSize, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("binlog: seek tail: %w", err)
+	}
+	tail.size = newSize
+	l.active = tail
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.lastOpID = newLast
+	if index == 0 {
+		l.firstIndex = 0
+	}
+	return removed, l.writeIndexFileLocked()
+}
+
+// entryAtLocked reads and decodes the entry at loc. mu must be held and
+// the writer flushed.
+func (l *Log) entryAtLocked(loc entryLoc) (*Entry, error) {
+	data := make([]byte, loc.length)
+	f, err := os.Open(filepath.Join(l.dir, loc.file.name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(data, loc.offset); err != nil {
+		return nil, err
+	}
+	e, _, err := readEntryAt(data, 0, loc.file.name)
+	if err != nil {
+		return nil, err
+	}
+	if e == nil {
+		return nil, &ErrCorrupt{File: loc.file.name, Offset: loc.offset, Reason: "short entry"}
+	}
+	return e, nil
+}
+
+// gtidsBeforeFileLocked reconstructs the previous-GTIDs set that was (or
+// would be) written into the header of lf.
+func (l *Log) gtidsBeforeFileLocked(lf *logFile) *gtid.Set {
+	s := l.gtids.Clone()
+	// Remove GTIDs of entries at or after lf's first entry.
+	if lf.firstIndex != 0 {
+		for idx := lf.firstIndex; idx <= l.lastOpID.Index; idx++ {
+			if loc, ok := l.offsets[idx]; ok {
+				if e, err := l.entryAtLocked(loc); err == nil && e.HasGTID {
+					s.Remove(e.GTID)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// headerSize returns the size of a file header carrying the given
+// previous-GTIDs set.
+func headerSize(prev *gtid.Set) int64 {
+	n := int64(len(magic))
+	n += int64((&event{typ: EventFormatDesc, body: make([]byte, 3)}).encodedLen())
+	n += int64((&event{typ: EventPrevGTIDs, body: []byte(prev.String())}).encodedLen())
+	return n
+}
+
+// PurgeTo deletes whole files whose entries all precede index. The active
+// file is never purged. This implements PURGE BINARY LOGS; Raft-side
+// watermark heuristics decide the index (§A.1).
+func (l *Log) PurgeTo(index uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cut := 0
+	for cut < len(l.files)-1 {
+		f := l.files[cut]
+		if f.lastIndex == 0 || f.lastIndex >= index {
+			break
+		}
+		cut++
+	}
+	if cut == 0 {
+		return nil
+	}
+	for _, f := range l.files[:cut] {
+		for idx := f.firstIndex; idx != 0 && idx <= f.lastIndex; idx++ {
+			delete(l.offsets, idx)
+		}
+		if err := os.Remove(filepath.Join(l.dir, f.name)); err != nil {
+			return fmt.Errorf("binlog: purge %s: %w", f.name, err)
+		}
+	}
+	l.files = append([]*logFile(nil), l.files[cut:]...)
+	if first := l.files[0]; first.firstIndex != 0 {
+		l.firstIndex = first.firstIndex
+	} else {
+		l.firstIndex = 0
+	}
+	return l.writeIndexFileLocked()
+}
+
+// Files lists the current log files oldest-first (SHOW BINARY LOGS).
+func (l *Log) Files() []FileInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]FileInfo, len(l.files))
+	for i, f := range l.files {
+		out[i] = FileInfo{Name: f.name, FirstIndex: f.firstIndex, LastIndex: f.lastIndex, Size: f.size}
+	}
+	return out
+}
+
+// LastOpID returns the OpID of the tail entry, or opid.Zero when empty.
+func (l *Log) LastOpID() opid.OpID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastOpID
+}
+
+// FirstIndex returns the lowest entry index still on disk, or 0 when the
+// log holds no entries.
+func (l *Log) FirstIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstIndex
+}
+
+// GTIDSet returns a copy of the executed-GTID set of the log (including
+// purged files, matching MySQL's gtid_executed semantics).
+func (l *Log) GTIDSet() *gtid.Set {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gtids.Clone()
+}
+
+// Crash simulates a process crash: the active file is closed without
+// flushing the write buffer, so recently appended entries that were never
+// synced are torn off, exactly the torn-tail situation Open recovers from
+// (§A.2 case 1).
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		l.f.Close() // deliberately skip the buffered-writer flush
+		l.f = nil
+		l.w = nil
+	}
+}
+
+// Close flushes and closes the active file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	l.w = nil
+	return err
+}
+
+// Checksum returns a CRC-32C over the logical entry stream (OpIDs, types
+// and payloads) starting at from. The shadow tester compares this value
+// across members to verify the log-equality invariant.
+func (l *Log) Checksum(from uint64) (uint32, error) {
+	var sum uint32
+	err := l.Scan(from, func(e *Entry) bool {
+		var hdr [17]byte
+		hdr[0] = byte(e.Type)
+		be := hdr[1:]
+		putUint64(be, e.OpID.Term)
+		putUint64(be[8:], e.OpID.Index)
+		sum = crc32Update(sum, hdr[:])
+		sum = crc32Update(sum, e.Payload)
+		return true
+	})
+	return sum, err
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+func crc32Update(sum uint32, data []byte) uint32 {
+	return crc32.Update(sum, castagnoli, data)
+}

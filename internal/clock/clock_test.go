@@ -1,0 +1,184 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := Real()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real().Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestRealTimerFires(t *testing.T) {
+	c := Real()
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("real timer did not fire within 1s")
+	}
+}
+
+func TestRealTickerFires(t *testing.T) {
+	c := Real()
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-tk.C():
+		case <-time.After(time.Second):
+			t.Fatalf("real ticker tick %d did not arrive", i)
+		}
+	}
+}
+
+func TestFakeAdvanceFiresTimer(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer(10 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before expiry")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("timer did not fire at expiry")
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on armed timer returned false")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on stopped timer returned true")
+	}
+}
+
+func TestFakeTimerReset(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer(time.Second)
+	tm.Stop()
+	if tm.Reset(3*time.Second) != false {
+		t.Fatal("Reset on stopped timer should report inactive")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("reset timer fired early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+}
+
+func TestFakeTickerRepeats(t *testing.T) {
+	f := NewFake()
+	tk := f.NewTicker(time.Second)
+	for i := 0; i < 5; i++ {
+		f.Advance(time.Second)
+		select {
+		case <-tk.C():
+		default:
+			t.Fatalf("tick %d missing", i)
+		}
+	}
+	tk.Stop()
+	f.Advance(time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("tick after Stop")
+	default:
+	}
+}
+
+func TestFakeTickerDropsUnreadTicks(t *testing.T) {
+	f := NewFake()
+	tk := f.NewTicker(time.Second)
+	f.Advance(10 * time.Second) // 10 ticks, buffer of 1
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("got %d buffered ticks, want 1 (unread ticks drop)", n)
+	}
+}
+
+func TestFakeAdvanceOrdersTimers(t *testing.T) {
+	f := NewFake()
+	first := f.NewTimer(time.Second)
+	second := f.NewTimer(2 * time.Second)
+	f.Advance(3 * time.Second)
+	t1 := <-first.C()
+	t2 := <-second.C()
+	if !t1.Before(t2) {
+		t.Fatalf("timer fire times out of order: %v then %v", t1, t2)
+	}
+}
+
+func TestFakeSleepUnblocksOnAdvance(t *testing.T) {
+	f := NewFake()
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(time.Second)
+		close(done)
+	}()
+	// Let the sleeper register its timer before advancing.
+	for i := 0; i < 1000; i++ {
+		f.mu.Lock()
+		n := len(f.timers)
+		f.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestFakeSince(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+	f.Advance(90 * time.Second)
+	if got := f.Since(start); got != 90*time.Second {
+		t.Fatalf("Since = %v, want 90s", got)
+	}
+}

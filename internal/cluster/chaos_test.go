@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"myraft/internal/quorum"
+	"myraft/internal/wire"
+	"myraft/internal/workload"
+)
+
+// TestChaosRandomFaults drives a seeded random schedule of crashes,
+// restarts, partitions, heals and graceful transfers against a FlexiRaft
+// ring under continuous client load, then heals everything and verifies
+// the safety invariants: ring-wide log equality and engine equality.
+// This is the randomized complement to the deterministic §A.2 recovery
+// tests and the shadow-testing soaks.
+func TestChaosRandomFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaos(t, seed)
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed int64) {
+	c := bootCluster(t, testOptions(t, quorum.SingleRegionDynamic{}), PaperTopology(2, 0))
+	rng := rand.New(rand.NewSource(seed))
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Background load for the whole chaos phase.
+	client := c.NewClient(0)
+	driver := workload.DriverFunc(func(ctx context.Context, key string, value []byte) (time.Duration, error) {
+		res, err := client.TryWrite(ctx, key, value)
+		return res.Latency, err
+	})
+	wctx, stopLoad := context.WithCancel(ctx)
+	loadDone := make(chan *workload.Result, 1)
+	go func() { loadDone <- workload.Run(wctx, driver, workload.Config{Clients: 4, RetryOnError: true}) }()
+
+	members := []wire.NodeID{
+		"mysql-0", "mysql-1", "mysql-2",
+		"lt-0-0", "lt-0-1", "lt-1-0", "lt-1-1", "lt-2-0", "lt-2-1",
+	}
+	mysqls := []wire.NodeID{"mysql-0", "mysql-1", "mysql-2"}
+	down := map[wire.NodeID]bool{}
+	partitioned := false
+
+	ops := 0
+	for elapsed := time.Duration(0); elapsed < 8*time.Second; {
+		step := time.Duration(50+rng.Intn(250)) * time.Millisecond
+		time.Sleep(step)
+		elapsed += step
+		ops++
+		switch rng.Intn(5) {
+		case 0: // crash someone (at most 2 down at once)
+			if len(down) >= 2 {
+				continue
+			}
+			id := members[rng.Intn(len(members))]
+			if down[id] {
+				continue
+			}
+			if err := c.Crash(id); err == nil {
+				down[id] = true
+			}
+		case 1: // restart someone
+			for id := range down {
+				if err := c.Restart(id); err != nil {
+					t.Fatalf("restart %s: %v", id, err)
+				}
+				delete(down, id)
+				break
+			}
+		case 2: // partition a random pair
+			a := members[rng.Intn(len(members))]
+			b := members[rng.Intn(len(members))]
+			if a != b {
+				c.Net().Partition(a, b)
+				partitioned = true
+			}
+		case 3: // heal all partitions
+			if partitioned {
+				c.Net().HealAll()
+				partitioned = false
+			}
+		case 4: // attempt a graceful transfer (failures are fine)
+			target := mysqls[rng.Intn(len(mysqls))]
+			if !down[target] {
+				_ = c.TransferLeadership(target)
+			}
+		}
+	}
+
+	// Heal the world and let the ring converge.
+	c.Net().HealAll()
+	for id := range down {
+		if err := c.Restart(id); err != nil {
+			t.Fatalf("final restart %s: %v", id, err)
+		}
+	}
+	if _, err := c.AnyPrimary(ctx); err != nil {
+		t.Fatalf("no primary after chaos: %v", err)
+	}
+	stopLoad()
+	res := <-loadDone
+	t.Logf("chaos(seed=%d): %d fault ops, %d successful writes, %d client errors",
+		seed, ops, res.Latency.Count(), res.Errors)
+	if res.Latency.Count() == 0 {
+		t.Fatal("workload never made progress")
+	}
+
+	// Safety invariants after quiescence.
+	deadline := time.Now().Add(30 * time.Second)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		lastErr = verifyRingConsistency(c)
+		if lastErr == nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("ring never converged after chaos: %v", lastErr)
+}
+
+// verifyRingConsistency checks log equality (from the newest common first
+// index) and engine equality across settled appliers.
+func verifyRingConsistency(c *Cluster) error {
+	from := uint64(1)
+	for _, m := range c.Members() {
+		if m.IsDown() {
+			return fmt.Errorf("member %s still down", m.Spec.ID)
+		}
+		var first uint64
+		switch {
+		case m.Server() != nil:
+			first = m.Server().Log().FirstIndex()
+		case m.Tailer() != nil:
+			first = m.Tailer().Log().FirstIndex()
+		}
+		if first > from {
+			from = first
+		}
+	}
+	sums, err := c.LogChecksums(from)
+	if err != nil {
+		return err
+	}
+	var want uint32
+	started := false
+	for id, s := range sums {
+		if !started {
+			want, started = s, true
+			continue
+		}
+		if s != want {
+			return fmt.Errorf("log divergence at %s", id)
+		}
+	}
+	var tails []uint64
+	for _, m := range c.Members() {
+		if m.Server() != nil {
+			tails = append(tails, m.Server().Engine().LastCommitted().Index)
+		}
+	}
+	for i := 1; i < len(tails); i++ {
+		if tails[i] != tails[0] {
+			return fmt.Errorf("appliers not settled: %v", tails)
+		}
+	}
+	esums := c.EngineChecksums()
+	started = false
+	for id, s := range esums {
+		if !started {
+			want, started = s, true
+			continue
+		}
+		if s != want {
+			return fmt.Errorf("engine divergence at %s", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"myraft/internal/opid"
+)
+
+// Client is a simulated database client: it resolves the primary through
+// service discovery, submits writes, and retries through failovers. The
+// configured RTT stands in for the client↔primary network distance of the
+// paper's production evaluation (~10ms, §6.1); sysbench-style runs use
+// RTT 0 (clients co-located with the primary).
+type Client struct {
+	c *Cluster
+	// RTT is the simulated client-to-primary round trip added to every
+	// attempt.
+	RTT time.Duration
+	// RetryInterval paces re-resolution when no primary is available.
+	RetryInterval time.Duration
+}
+
+// NewClient creates a client for the replicaset with the given simulated
+// round-trip time.
+func (c *Cluster) NewClient(rtt time.Duration) *Client {
+	return &Client{c: c, RTT: rtt, RetryInterval: 2 * time.Millisecond}
+}
+
+// WriteResult reports one completed write.
+type WriteResult struct {
+	OpID    opid.OpID
+	Latency time.Duration
+	// Retries counts failed attempts before success (0 in steady state).
+	Retries int
+}
+
+// Write upserts key=value on the current primary, retrying across
+// failovers until ctx expires. Latency covers the full client experience
+// including retries — this is what the paper's downtime and
+// commit-latency metrics observe.
+func (cl *Client) Write(ctx context.Context, key string, value []byte) (WriteResult, error) {
+	start := time.Now()
+	retries := 0
+	for {
+		srv, _, ok := cl.c.primaryServer()
+		if ok {
+			if cl.RTT > 0 {
+				time.Sleep(cl.RTT / 2)
+			}
+			op, err := srv.Set(ctx, key, value)
+			if cl.RTT > 0 {
+				time.Sleep(cl.RTT / 2)
+			}
+			if err == nil {
+				return WriteResult{OpID: op, Latency: time.Since(start), Retries: retries}, nil
+			}
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return WriteResult{}, err
+			}
+		}
+		retries++
+		select {
+		case <-ctx.Done():
+			return WriteResult{}, ctx.Err()
+		case <-time.After(cl.RetryInterval):
+		}
+	}
+}
+
+// TryWrite performs a single attempt with no retry, for workloads that
+// account failed writes as downtime themselves.
+func (cl *Client) TryWrite(ctx context.Context, key string, value []byte) (WriteResult, error) {
+	start := time.Now()
+	srv, _, ok := cl.c.primaryServer()
+	if !ok {
+		return WriteResult{}, errors.New("cluster: no primary published")
+	}
+	if cl.RTT > 0 {
+		time.Sleep(cl.RTT / 2)
+	}
+	op, err := srv.Set(ctx, key, value)
+	if cl.RTT > 0 {
+		time.Sleep(cl.RTT / 2)
+	}
+	if err != nil {
+		return WriteResult{}, err
+	}
+	return WriteResult{OpID: op, Latency: time.Since(start)}, nil
+}
+
+// Read resolves the primary and reads key from it (read-your-writes).
+func (cl *Client) Read(ctx context.Context, key string) ([]byte, bool, error) {
+	for {
+		srv, _, ok := cl.c.primaryServer()
+		if ok {
+			v, found := srv.Read(key)
+			return v, found, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-time.After(cl.RetryInterval):
+		}
+	}
+}

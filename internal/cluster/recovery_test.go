@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"myraft/internal/gtid"
+	"myraft/internal/quorum"
+	"myraft/internal/wire"
+)
+
+// The three crash-recovery cases of §A.2, exercised end to end.
+
+// Case 1: the transaction never reached the binlog (in-memory payload
+// lost, prepared engine state rolled back on restart). No reconciliation
+// with the ring is needed.
+func TestRecoveryCase1TransactionNeverLogged(t *testing.T) {
+	c := bootCluster(t, testOptions(t, quorum.SingleRegionDynamic{}), smallTopology())
+	client := c.NewClient(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := client.Write(ctx, "durable", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	tailBefore := c.Member("mysql-0").Server().Log().LastOpID()
+
+	// Cut the primary's raft node off from its own log by crashing the
+	// whole member before any new write: the crash itself guarantees
+	// nothing new was logged.
+	if err := c.Crash("mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AnyPrimary(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart("mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "rejoin", func() bool {
+		m := c.Member("mysql-0")
+		return m.Server() != nil && m.Server().Log().LastOpID().Index >= tailBefore.Index
+	})
+	// No prepared leftovers, engine consistent.
+	if got := c.Member("mysql-0").Server().Engine().PreparedCount(); got != 0 {
+		t.Fatalf("prepared leftovers: %d", got)
+	}
+}
+
+// Case 2: the transaction was written to the erstwhile leader's binlog
+// but never reached other members. After failover the new leader (elected
+// through the old data quorum's logtailers) does not have it; when the
+// crashed leader rejoins, its extra entries are truncated and their GTIDs
+// removed from all metadata.
+func TestRecoveryCase2UnreplicatedTailTruncated(t *testing.T) {
+	c := bootCluster(t, testOptions(t, quorum.SingleRegionDynamic{}), smallTopology())
+	client := c.NewClient(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		if _, err := client.Write(ctx, fmt.Sprintf("committed%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Isolate the primary so its next writes reach nobody, then write
+	// (these proposals go to its binlog but can never consensus-commit).
+	primary := c.Member("mysql-0")
+	for _, other := range []string{"mysql-1", "lt-0-0", "lt-0-1", "lt-1-0", "lt-1-1"} {
+		c.Net().Partition("mysql-0", wire.NodeID(other))
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	primary.Server().Set(wctx, "doomed", []byte("x")) // fails: no quorum
+	wcancel()
+	doomedTail := primary.Server().Log().LastOpID()
+	doomedGTIDs := primary.Server().GTIDExecuted()
+
+	// Crash it; the ring elects a new leader through the logtailers that
+	// hold the committed (but not the doomed) entries.
+	if err := c.Crash("mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	c.Net().HealAll()
+	next, err := c.AnyPrimary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Spec.ID == "mysql-0" {
+		t.Fatal("crashed primary still primary")
+	}
+	// New writes on the new timeline.
+	if _, err := client.Write(ctx, "newera", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the erstwhile leader: it must truncate the doomed tail,
+	// drop its GTIDs, and converge with the ring.
+	if err := c.Restart("mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "doomed tail truncated", func() bool {
+		m := c.Member("mysql-0")
+		if m.Server() == nil {
+			return false
+		}
+		if _, ok := m.Server().Read("doomed"); ok {
+			return false
+		}
+		v, ok := m.Server().Read("newera")
+		return ok && string(v) == "y"
+	})
+	rejoined := c.Member("mysql-0").Server()
+	// The doomed transaction's GTID left all metadata (§3.3 step 4).
+	if doomedTail.Index > 0 {
+		doomed := gtid.GTID{Source: "uuid-mysql-0", ID: doomedGTIDs.NextID("uuid-mysql-0") - 1}
+		if rejoined.GTIDExecuted().Contains(doomed) && !nextHasGTID(c, doomed) {
+			t.Fatalf("doomed gtid %v survived truncation: %s", doomed, rejoined.GTIDExecuted())
+		}
+	}
+	// Log checksums converge ring-wide.
+	waitFor(t, "log equality after truncation", func() bool {
+		sums, err := c.LogChecksums(1)
+		if err != nil {
+			return false
+		}
+		var want uint32
+		first := true
+		for _, s := range sums {
+			if first {
+				want, first = s, false
+			} else if s != want {
+				return false
+			}
+		}
+		return !first
+	})
+}
+
+// nextHasGTID reports whether the current primary's executed set has g
+// (if it does, the entry actually replicated and case 3 applies).
+func nextHasGTID(c *Cluster, g gtid.GTID) bool {
+	m := c.Leader()
+	if m == nil || m.Server() == nil {
+		return false
+	}
+	return m.Server().GTIDExecuted().Contains(g)
+}
+
+// Case 3: the transaction reached the next leader before the crash; logs
+// match, no truncation, and the transaction is reapplied from scratch by
+// the applier on the rejoined member.
+func TestRecoveryCase3ReplicatedEntryReapplied(t *testing.T) {
+	c := bootCluster(t, testOptions(t, quorum.SingleRegionDynamic{}), smallTopology())
+	client := c.NewClient(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// Committed writes that have replicated everywhere.
+	for i := 0; i < 10; i++ {
+		if _, err := client.Write(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "full replication", func() bool {
+		sums := c.EngineChecksums()
+		return len(sums) == 2 && sums["mysql-0"] == sums["mysql-1"]
+	})
+
+	// Crash the primary; its committed entries are on the next leader.
+	if err := c.Crash("mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AnyPrimary(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart("mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	// No truncation: the rejoined log tail only grows, and the engine
+	// converges via the applier.
+	waitFor(t, "reapply convergence", func() bool {
+		m := c.Member("mysql-0")
+		if m.Server() == nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			if v, ok := m.Server().Read(fmt.Sprintf("k%d", i)); !ok || string(v) != "v" {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,73 @@
+// Package discovery simulates the service discovery system of the paper:
+// the final step of every promotion publishes the new primary so clients
+// can route their writes (§3.3 step 5, §5.2 step 5). Failover downtime as
+// observed by clients is therefore bounded by how quickly a new leader
+// completes promotion and publishes itself.
+package discovery
+
+import (
+	"sync"
+	"time"
+
+	"myraft/internal/wire"
+)
+
+// Registry maps replicaset names to their current primary. All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	primary map[string]wire.NodeID
+	history map[string][]Event
+}
+
+// Event records one published change, for post-hoc downtime analysis.
+type Event struct {
+	Primary wire.NodeID
+	At      time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		primary: make(map[string]wire.NodeID),
+		history: make(map[string][]Event),
+	}
+}
+
+// PublishPrimary records id as the primary of the replicaset.
+func (r *Registry) PublishPrimary(replicaset string, id wire.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.primary[replicaset] == id {
+		return
+	}
+	r.primary[replicaset] = id
+	r.history[replicaset] = append(r.history[replicaset], Event{Primary: id, At: time.Now()})
+}
+
+// Unpublish clears the primary of the replicaset (used by the rollout
+// tooling while a replicaset is write-disabled).
+func (r *Registry) Unpublish(replicaset string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.primary[replicaset]; !ok {
+		return
+	}
+	delete(r.primary, replicaset)
+	r.history[replicaset] = append(r.history[replicaset], Event{Primary: "", At: time.Now()})
+}
+
+// Primary resolves the current primary of the replicaset.
+func (r *Registry) Primary(replicaset string) (wire.NodeID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.primary[replicaset]
+	return id, ok
+}
+
+// History returns the publication history of the replicaset.
+func (r *Registry) History(replicaset string) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.history[replicaset]...)
+}

@@ -1,0 +1,57 @@
+package discovery
+
+import "testing"
+
+func TestPublishAndResolve(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Primary("rs1"); ok {
+		t.Fatal("empty registry resolved a primary")
+	}
+	r.PublishPrimary("rs1", "mysql-0")
+	id, ok := r.Primary("rs1")
+	if !ok || id != "mysql-0" {
+		t.Fatalf("Primary = %v %v", id, ok)
+	}
+	r.PublishPrimary("rs1", "mysql-1")
+	id, _ = r.Primary("rs1")
+	if id != "mysql-1" {
+		t.Fatalf("Primary after change = %v", id)
+	}
+	if len(r.History("rs1")) != 2 {
+		t.Fatalf("history = %v", r.History("rs1"))
+	}
+}
+
+func TestRepublishSamePrimaryIsNoop(t *testing.T) {
+	r := NewRegistry()
+	r.PublishPrimary("rs1", "a")
+	r.PublishPrimary("rs1", "a")
+	if len(r.History("rs1")) != 1 {
+		t.Fatalf("duplicate publish recorded: %v", r.History("rs1"))
+	}
+}
+
+func TestUnpublish(t *testing.T) {
+	r := NewRegistry()
+	r.Unpublish("rs1") // no-op on empty
+	r.PublishPrimary("rs1", "a")
+	r.Unpublish("rs1")
+	if _, ok := r.Primary("rs1"); ok {
+		t.Fatal("primary survived unpublish")
+	}
+	if len(r.History("rs1")) != 2 {
+		t.Fatalf("history = %v", r.History("rs1"))
+	}
+}
+
+func TestReplicasetsAreIndependent(t *testing.T) {
+	r := NewRegistry()
+	r.PublishPrimary("rs1", "a")
+	r.PublishPrimary("rs2", "b")
+	if id, _ := r.Primary("rs1"); id != "a" {
+		t.Fatal("rs1 wrong")
+	}
+	if id, _ := r.Primary("rs2"); id != "b" {
+		t.Fatal("rs2 wrong")
+	}
+}

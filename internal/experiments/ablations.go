@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/metrics"
+	"myraft/internal/quorum"
+	"myraft/internal/raft"
+	"myraft/internal/wire"
+	"myraft/internal/workload"
+)
+
+// QuorumModeResult compares commit latency across FlexiRaft quorum modes
+// (the §4.1 ablation): single-region-dynamic commits at intra-region
+// latency; majority and grid must cross the WAN.
+type QuorumModeResult struct {
+	Mode    string
+	Latency *metrics.Histogram
+}
+
+// QuorumModes measures client-observed commit latency (co-located
+// clients) for each quorum strategy on the paper topology.
+func QuorumModes(ctx context.Context, p Params) ([]QuorumModeResult, error) {
+	p = p.withDefaults()
+	var out []QuorumModeResult
+	for _, s := range []quorum.Strategy{
+		quorum.SingleRegionDynamic{}, quorum.Majority{}, quorum.Grid{},
+	} {
+		c, err := cluster.New(cluster.Options{
+			Dir: "",
+			Raft: func() raft.Config {
+				cfg := p.raftConfig()
+				cfg.Strategy = s
+				return cfg
+			}(),
+			NetConfig: p.netConfig(),
+		}, cluster.PaperTopology(p.FollowerRegions, p.Learners))
+		if err != nil {
+			return out, err
+		}
+		bctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err = c.Bootstrap(bctx, "mysql-0")
+		cancel()
+		if err != nil {
+			c.Close()
+			return out, fmt.Errorf("experiments: bootstrap %s: %w", s.Name(), err)
+		}
+		res := workload.Run(ctx, clusterDriver(c, 0), workload.Config{
+			Clients:      p.Clients,
+			Duration:     p.Duration,
+			RetryOnError: true,
+		})
+		c.Close()
+		out = append(out, QuorumModeResult{Mode: s.Name(), Latency: res.Latency})
+	}
+	return out, nil
+}
+
+// MockElectionResult is the §4.3 ablation: availability impact of
+// transferring leadership toward a region whose logtailers lag, with and
+// without the mock-election pre-check.
+type MockElectionResult struct {
+	// WithMock: the transfer is refused; downtime observed by clients.
+	WithMockDowntime time.Duration
+	WithMockRefused  bool
+	// WithoutMock: the transfer proceeds blindly; downtime observed.
+	WithoutMockDowntime time.Duration
+	Params              Params
+}
+
+func (r *MockElectionResult) String() string {
+	return fmt.Sprintf(
+		"with mock election: refused=%v downtime=%v | without: downtime=%v (paper units: %v vs %v)",
+		r.WithMockRefused, r.WithMockDowntime, r.WithoutMockDowntime,
+		r.Params.unscaled(r.WithMockDowntime).Round(time.Millisecond),
+		r.Params.unscaled(r.WithoutMockDowntime).Round(time.Millisecond))
+}
+
+// MockElectionAblation reproduces the §4.3 scenario: the target region's
+// logtailers are unhealthy (their replication links are pathologically
+// slow), so they lag far behind the leader's cursor. With mock elections,
+// the transfer is refused up front — clients never see downtime. Without
+// them (stock kuduraft, DisableMockElection), the transfer's only check
+// is target catch-up: it fires, the target must then collect votes and
+// commit its No-Op through the slow in-region logtailers, and clients see
+// an extended write-unavailability window.
+func MockElectionAblation(ctx context.Context, p Params) (*MockElectionResult, error) {
+	p = p.withDefaults()
+	res := &MockElectionResult{Params: p}
+
+	run := func(mockEnabled bool) (time.Duration, bool, error) {
+		pp := p
+		rcfg := pp.raftConfig()
+		rcfg.MockLagAllowance = 8 // strict: a lagging region is refused
+		rcfg.DisableMockElection = !mockEnabled
+		// Long election timeout so the fired transfer's election is not
+		// aborted by re-campaigning while votes crawl through the slow
+		// links; the "stuck leader can cause problems for a long time"
+		// situation of §4.3.
+		rcfg.ElectionTimeoutTicks = 30
+		rcfg.TransferTimeout = pp.scaled(60 * paperHeartbeat)
+		c, err := cluster.New(cluster.Options{
+			Raft:      rcfg,
+			NetConfig: pp.netConfig(),
+		}, cluster.PaperTopology(1, 0))
+		if err != nil {
+			return 0, false, err
+		}
+		defer c.Close()
+		bctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err = c.Bootstrap(bctx, "mysql-0")
+		cancel()
+		if err != nil {
+			return 0, false, err
+		}
+		// Make region-1's logtailers unhealthy: unreachable and "not
+		// replaced quickly enough" (§4.3). They lag the leader's cursor
+		// the whole time; the target MySQL itself stays healthy and
+		// caught up — hazard class (1) of §4.3.
+		for _, lt := range []wire.NodeID{"lt-1-0", "lt-1-1"} {
+			for _, other := range []wire.NodeID{"mysql-0", "mysql-1", "lt-0-0", "lt-0-1"} {
+				c.Net().Partition(lt, other)
+			}
+		}
+		// Continuous production traffic keeps the slow logtailers trailing
+		// the leader's cursor throughout the transfer attempt.
+		client := c.NewClient(0)
+		for i := 0; i < 64; i++ {
+			if _, err := client.Write(ctx, fmt.Sprintf("lagkey%d", i), []byte("v")); err != nil {
+				return 0, false, err
+			}
+		}
+		wctx, stopWrites := context.WithCancel(ctx)
+		writerDone := make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			for i := 0; wctx.Err() == nil; i++ {
+				client.Write(wctx, fmt.Sprintf("bg%d", i), []byte("v"))
+			}
+		}()
+		defer func() {
+			stopWrites()
+			<-writerDone
+		}()
+
+		prober := workload.NewProber(clusterDriver(c, 0), p.probeInterval())
+		prober.Start()
+		transferErr := c.TransferLeadership("mysql-1")
+		refused := transferErr != nil
+		if !refused {
+			// The transfer fired toward the unhealthy region: the new
+			// leader cannot assemble its in-region quorum and the ring
+			// stalls. After a bounded outage the unhealthy logtailers
+			// come back (automation finally replaced them); writes resume
+			// once the stuck election resolves.
+			time.Sleep(p.scaled(20 * paperHeartbeat))
+			c.Net().HealAll()
+			// Wait until a client write actually succeeds again (the
+			// registry alone can be stale: the quiesced old leader is
+			// still published).
+			deadline := time.Now().Add(120 * time.Second)
+			for {
+				wctx, cancel := context.WithTimeout(ctx, time.Second)
+				_, werr := client.Write(wctx, "recovery-probe", []byte("v"))
+				cancel()
+				if werr == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					prober.Stop()
+					return 0, false, fmt.Errorf("experiments: ring never recovered: %w", werr)
+				}
+			}
+		}
+		// Give the prober a beat to observe recovery, then collect.
+		time.Sleep(p.scaled(2 * paperHeartbeat))
+		ws := prober.Stop()
+		var worst time.Duration
+		for _, w := range ws {
+			if w.Duration > worst {
+				worst = w.Duration
+			}
+		}
+		return worst, refused, nil
+	}
+
+	var err error
+	res.WithMockDowntime, res.WithMockRefused, err = run(true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: with mock: %w", err)
+	}
+	res.WithoutMockDowntime, _, err = run(false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: without mock: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/metrics"
+	"myraft/internal/wire"
+	"myraft/internal/workload"
+)
+
+// DowntimeResult holds one Table 2 row: the distribution of
+// client-observed write-unavailability windows for one (mode, operation)
+// pair, in paper time units.
+type DowntimeResult struct {
+	Mode      string // "Raft" or "Semi-Sync"
+	Operation string // "Failover" or "Promotion"
+	Windows   *metrics.Histogram
+	Params    Params
+}
+
+// Row renders the Table 2 columns (pct99, pct95, median, avg) in
+// milliseconds of paper time.
+func (r *DowntimeResult) Row() (p99, p95, median, avg int64) {
+	ms := func(d time.Duration) int64 {
+		return int64(r.Params.unscaled(d) / time.Millisecond)
+	}
+	return ms(r.Windows.Percentile(99)), ms(r.Windows.Percentile(95)),
+		ms(r.Windows.Percentile(50)), ms(r.Windows.Mean())
+}
+
+func (r *DowntimeResult) String() string {
+	p99, p95, med, avg := r.Row()
+	return fmt.Sprintf("%-9s %-9s pct99=%-8d pct95=%-8d median=%-8d avg=%-8d (ms, n=%d)",
+		r.Mode, r.Operation, p99, p95, med, avg, r.Windows.Count())
+}
+
+// waitForWindow polls the prober until it has at least n windows or the
+// context expires; it returns the last window observed.
+func waitForWindow(ctx context.Context, p *workload.Prober, n int) (workload.Window, error) {
+	for {
+		ws := p.Windows()
+		if len(ws) >= n {
+			return ws[len(ws)-1], nil
+		}
+		select {
+		case <-ctx.Done():
+			return workload.Window{}, fmt.Errorf("experiments: no downtime window observed: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// RaftFailover measures dead-primary failover downtime on MyRaft
+// (Table 2 row "Raft / Failover"): crash the current primary, measure the
+// client-observed window until writes resume on the new primary, restart
+// the crashed member, repeat.
+func RaftFailover(ctx context.Context, p Params) (*DowntimeResult, error) {
+	p = p.withDefaults()
+	c, err := myRaftStack(ctx, p, "")
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	res := &DowntimeResult{Mode: "Raft", Operation: "Failover", Windows: metrics.NewHistogram(), Params: p}
+
+	prober := workload.NewProber(clusterDriver(c, 0), p.probeInterval())
+	prober.Start()
+	defer prober.Stop()
+
+	for trial := 0; trial < p.Trials; trial++ {
+		primary, err := c.AnyPrimary(ctx)
+		if err != nil {
+			return res, err
+		}
+		if err := c.Crash(primary.Spec.ID); err != nil {
+			return res, err
+		}
+		if _, err := c.AnyPrimary(ctx); err != nil {
+			return res, fmt.Errorf("experiments: trial %d: failover never completed: %w", trial, err)
+		}
+		w, err := waitForWindow(ctx, prober, trial+1)
+		if err != nil {
+			return res, err
+		}
+		res.Windows.Observe(w.Duration)
+		if err := c.Restart(primary.Spec.ID); err != nil {
+			return res, err
+		}
+		// Let the rejoiner catch up before the next trial.
+		time.Sleep(p.scaled(2 * paperHeartbeat))
+	}
+	return res, nil
+}
+
+// RaftPromotion measures graceful promotion downtime on MyRaft (Table 2
+// row "Raft / Promotion"): TransferLeadership between MySQL voters under
+// probe load.
+func RaftPromotion(ctx context.Context, p Params) (*DowntimeResult, error) {
+	p = p.withDefaults()
+	c, err := myRaftStack(ctx, p, "")
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	res := &DowntimeResult{Mode: "Raft", Operation: "Promotion", Windows: metrics.NewHistogram(), Params: p}
+
+	prober := workload.NewProber(clusterDriver(c, 0), p.probeInterval())
+	prober.Start()
+	defer prober.Stop()
+
+	voters := mysqlVoterIDs(p.FollowerRegions)
+	for trial := 0; trial < p.Trials; trial++ {
+		primary, err := c.AnyPrimary(ctx)
+		if err != nil {
+			return res, err
+		}
+		var target wire.NodeID
+		for _, id := range voters {
+			if id != primary.Spec.ID {
+				target = id
+				break
+			}
+		}
+		if err := c.TransferLeadership(target); err != nil {
+			return res, fmt.Errorf("experiments: trial %d: transfer: %w", trial, err)
+		}
+		if err := c.WaitForPrimary(ctx, target); err != nil {
+			return res, err
+		}
+		w, err := waitForWindow(ctx, prober, trial+1)
+		if err != nil {
+			return res, err
+		}
+		res.Windows.Observe(w.Duration)
+		time.Sleep(p.scaled(2 * paperHeartbeat))
+	}
+	return res, nil
+}
+
+// SemiSyncFailover measures dead-primary failover on the prior setup
+// (Table 2 row "Semi-Sync / Failover"): the external automation must
+// first detect the dead primary (conservative timeout), then orchestrate
+// the repoint.
+func SemiSyncFailover(ctx context.Context, p Params) (*DowntimeResult, error) {
+	p = p.withDefaults()
+	rs, ctrl, err := baselineStack(ctx, p, "")
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	ctrl.Start()
+	defer ctrl.Stop()
+	res := &DowntimeResult{Mode: "Semi-Sync", Operation: "Failover", Windows: metrics.NewHistogram(), Params: p}
+
+	prober := workload.NewProber(baselineDriver(rs, 0), p.probeInterval())
+	prober.Start()
+	defer prober.Stop()
+
+	for trial := 0; trial < p.Trials; trial++ {
+		primary := rs.Primary()
+		if err := rs.Crash(primary); err != nil {
+			return res, err
+		}
+		if _, err := rs.WaitForPrimary(ctx); err != nil {
+			return res, fmt.Errorf("experiments: trial %d: baseline failover: %w", trial, err)
+		}
+		w, err := waitForWindow(ctx, prober, trial+1)
+		if err != nil {
+			return res, err
+		}
+		res.Windows.Observe(w.Duration)
+		if err := rs.Restart(primary); err != nil {
+			return res, err
+		}
+		rs.ResumeReplication(primary)
+		time.Sleep(p.scaled(2 * paperPingInterval))
+	}
+	return res, nil
+}
+
+// SemiSyncPromotion measures graceful promotion on the prior setup
+// (Table 2 row "Semi-Sync / Promotion"): the automation's multi-step
+// demote/drain/repoint/promote sequence.
+func SemiSyncPromotion(ctx context.Context, p Params) (*DowntimeResult, error) {
+	p = p.withDefaults()
+	rs, ctrl, err := baselineStack(ctx, p, "")
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	res := &DowntimeResult{Mode: "Semi-Sync", Operation: "Promotion", Windows: metrics.NewHistogram(), Params: p}
+
+	prober := workload.NewProber(baselineDriver(rs, 0), p.probeInterval())
+	prober.Start()
+	defer prober.Stop()
+
+	voters := mysqlVoterIDs(p.FollowerRegions)
+	for trial := 0; trial < p.Trials; trial++ {
+		primary := rs.Primary()
+		var target wire.NodeID
+		for _, id := range voters {
+			if id != primary {
+				target = id
+				break
+			}
+		}
+		if err := ctrl.GracefulPromotion(ctx, target); err != nil {
+			return res, fmt.Errorf("experiments: trial %d: promotion: %w", trial, err)
+		}
+		w, err := waitForWindow(ctx, prober, trial+1)
+		if err != nil {
+			return res, err
+		}
+		res.Windows.Observe(w.Duration)
+		time.Sleep(p.scaled(2 * paperPingInterval))
+	}
+	return res, nil
+}
+
+// Table2 runs all four rows and renders them as the paper's table.
+type Table2Result struct {
+	Rows []*DowntimeResult
+}
+
+func (t *Table2Result) String() string {
+	tb := metrics.NewTable("Mode", "Operation", "pct99", "pct95", "Median", "Avg")
+	for _, r := range t.Rows {
+		p99, p95, med, avg := r.Row()
+		tb.AddRow(r.Mode, r.Operation, p99, p95, med, avg)
+	}
+	return tb.String()
+}
+
+// Ratios reports the failover and promotion improvement factors (the
+// paper: 24x and 4x).
+func (t *Table2Result) Ratios() (failover, promotion float64) {
+	var raftF, raftP, semiF, semiP time.Duration
+	for _, r := range t.Rows {
+		m := r.Windows.Mean()
+		switch r.Mode + "/" + r.Operation {
+		case "Raft/Failover":
+			raftF = m
+		case "Raft/Promotion":
+			raftP = m
+		case "Semi-Sync/Failover":
+			semiF = m
+		case "Semi-Sync/Promotion":
+			semiP = m
+		}
+	}
+	if raftF > 0 {
+		failover = float64(semiF) / float64(raftF)
+	}
+	if raftP > 0 {
+		promotion = float64(semiP) / float64(raftP)
+	}
+	return failover, promotion
+}
+
+// Table2 runs the full Table 2 comparison.
+func Table2(ctx context.Context, p Params) (*Table2Result, error) {
+	p = p.withDefaults()
+	out := &Table2Result{}
+	for _, run := range []func(context.Context, Params) (*DowntimeResult, error){
+		SemiSyncFailover, SemiSyncPromotion, RaftFailover, RaftPromotion,
+	} {
+		r, err := run(ctx, p)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/automation"
+	"myraft/internal/cluster"
+	"myraft/internal/semisync"
+	"myraft/internal/workload"
+)
+
+// ABResult holds the two sides of a §6.1 A/B comparison.
+type ABResult struct {
+	MyRaft *workload.Result
+	Prior  *workload.Result
+	Params Params
+}
+
+// LatencyDelta returns the mean-latency difference of MyRaft relative to
+// the prior setup, in percent (positive = MyRaft slower; the paper
+// reports +0.8% for production and +1.9% for sysbench).
+func (r *ABResult) LatencyDelta() float64 {
+	prior := r.Prior.Latency.Mean()
+	if prior == 0 {
+		return 0
+	}
+	return 100 * (float64(r.MyRaft.Latency.Mean()) - float64(prior)) / float64(prior)
+}
+
+// ThroughputDelta returns MyRaft's throughput relative to the prior
+// setup, in percent (positive = MyRaft faster).
+func (r *ABResult) ThroughputDelta() float64 {
+	prior := r.Prior.Throughput()
+	if prior == 0 {
+		return 0
+	}
+	return 100 * (r.MyRaft.Throughput() - prior) / prior
+}
+
+// String renders a Figure 5-style report.
+func (r *ABResult) String() string {
+	return fmt.Sprintf(
+		"MyRaft : %s  throughput=%.0f/s\nPrior  : %s  throughput=%.0f/s\nlatency delta=%+.1f%%  throughput delta=%+.1f%%",
+		r.MyRaft.Latency, r.MyRaft.Throughput(),
+		r.Prior.Latency, r.Prior.Throughput(),
+		r.LatencyDelta(), r.ThroughputDelta())
+}
+
+// myRaftStack boots a MyRaft cluster in the paper topology with a
+// promoted primary.
+func myRaftStack(ctx context.Context, p Params, dir string) (*cluster.Cluster, error) {
+	c, err := cluster.New(cluster.Options{
+		Name:      "rs-myraft",
+		Dir:       dir,
+		Raft:      p.raftConfig(),
+		NetConfig: p.netConfig(),
+	}, cluster.PaperTopology(p.FollowerRegions, p.Learners))
+	if err != nil {
+		return nil, err
+	}
+	bctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(bctx, "mysql-0"); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// baselineStack boots a semi-sync replicaset with its automation.
+func baselineStack(ctx context.Context, p Params, dir string) (*semisync.Replicaset, *automation.Controller, error) {
+	rs, err := semisync.New(semisync.Options{
+		Name:      "rs-prior",
+		Dir:       dir,
+		NetConfig: p.netConfig(),
+	}, baselineSpecs(p.FollowerRegions, p.Learners))
+	if err != nil {
+		return nil, nil, err
+	}
+	ctrl := automation.New(rs, p.automationConfig())
+	bctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := ctrl.Bootstrap(bctx, "mysql-0"); err != nil {
+		rs.Close()
+		return nil, nil, err
+	}
+	return rs, ctrl, nil
+}
+
+// clusterDriver adapts a MyRaft cluster client to the workload Driver.
+func clusterDriver(c *cluster.Cluster, rtt time.Duration) workload.Driver {
+	client := c.NewClient(rtt)
+	return workload.DriverFunc(func(ctx context.Context, key string, value []byte) (time.Duration, error) {
+		res, err := client.TryWrite(ctx, key, value)
+		if err != nil {
+			return 0, err
+		}
+		return res.Latency, nil
+	})
+}
+
+// baselineDriver adapts a semisync client to the workload Driver.
+func baselineDriver(rs *semisync.Replicaset, rtt time.Duration) workload.Driver {
+	client := rs.NewClient(rtt)
+	return workload.DriverFunc(func(ctx context.Context, key string, value []byte) (time.Duration, error) {
+		return client.TryWrite(ctx, key, value)
+	})
+}
+
+// runAB runs the same workload against both stacks sequentially.
+func runAB(ctx context.Context, p Params, cfg workload.Config, rtt time.Duration) (*ABResult, error) {
+	myc, err := myRaftStack(ctx, p, "")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: myraft stack: %w", err)
+	}
+	myRes := workload.Run(ctx, clusterDriver(myc, rtt), cfg)
+	myc.Close()
+
+	rs, ctrl, err := baselineStack(ctx, p, "")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: baseline stack: %w", err)
+	}
+	priorRes := workload.Run(ctx, baselineDriver(rs, rtt), cfg)
+	ctrl.Stop()
+	rs.Close()
+
+	return &ABResult{MyRaft: myRes, Prior: priorRes, Params: p}, nil
+}
+
+// Fig5aProduction reproduces Figure 5a/5b: commit latency and throughput
+// under the production-like workload, clients ~10ms from the primary,
+// topology of §6.1 (5 follower regions, 2 learners, 2 logtailers per
+// region).
+func Fig5aProduction(ctx context.Context, p Params) (*ABResult, error) {
+	p = p.withDefaults()
+	cfg := workload.Production(p.Clients, p.Duration)
+	return runAB(ctx, p, cfg, p.clientRTT())
+}
+
+// Fig5cSysbench reproduces Figure 5c/5d: the sysbench-OLTP-write-like
+// workload, clients co-located with the primary (no client RTT),
+// unthrottled.
+func Fig5cSysbench(ctx context.Context, p Params) (*ABResult, error) {
+	p = p.withDefaults()
+	cfg := workload.Sysbench(p.Clients, p.Duration)
+	return runAB(ctx, p, cfg, 0)
+}
+
+// LatencyHistogramRows renders a textual latency histogram (the Figure 5
+// visual) with the given number of buckets.
+func LatencyHistogramRows(r *ABResult, buckets int) string {
+	lo := r.MyRaft.Latency.Min()
+	if m := r.Prior.Latency.Min(); m < lo {
+		lo = m
+	}
+	hi := r.MyRaft.Latency.Percentile(99)
+	if m := r.Prior.Latency.Percentile(99); m > hi {
+		hi = m
+	}
+	if hi <= lo {
+		hi = lo + time.Millisecond
+	}
+	my := r.MyRaft.Latency.Buckets(lo, hi, buckets)
+	pr := r.Prior.Latency.Buckets(lo, hi, buckets)
+	width := (hi - lo) / time.Duration(buckets)
+	out := fmt.Sprintf("%-14s %10s %10s\n", "latency", "myraft", "prior")
+	for i := 0; i < buckets; i++ {
+		out += fmt.Sprintf("%-14v %10d %10d\n", (lo + time.Duration(i)*width).Round(10*time.Microsecond), my[i], pr[i])
+	}
+	return out
+}

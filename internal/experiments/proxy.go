@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/transport"
+	"myraft/internal/workload"
+)
+
+// ProxyResult compares cross-region traffic with and without Proxying
+// (§4.2.2): same topology, same workload, byte-accounted WAN links.
+type ProxyResult struct {
+	Direct  transport.Stats
+	Proxied transport.Stats
+	Writes  int // successful writes per side
+	Params  Params
+}
+
+// Savings returns the cross-region byte reduction in percent.
+func (r *ProxyResult) Savings() float64 {
+	d := r.Direct.CrossRegionBytes()
+	if d == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(r.Proxied.CrossRegionBytes())/float64(d))
+}
+
+func (r *ProxyResult) String() string {
+	return fmt.Sprintf(
+		"cross-region bytes: direct=%d proxied=%d (%.1f%% saved); total bytes: direct=%d proxied=%d; writes/side=%d",
+		r.Direct.CrossRegionBytes(), r.Proxied.CrossRegionBytes(), r.Savings(),
+		r.Direct.TotalBytes(), r.Proxied.TotalBytes(), r.Writes)
+}
+
+// ProxyBandwidth runs the §4.2 bandwidth comparison: N writes of ~500
+// bytes (the paper's average log entry) against the paper topology with
+// direct fan-out and with region proxying, measuring bytes per directed
+// region pair.
+func ProxyBandwidth(ctx context.Context, p Params) (*ProxyResult, error) {
+	p = p.withDefaults()
+	res := &ProxyResult{Params: p}
+	run := func(proxy bool) (transport.Stats, int, error) {
+		pp := p
+		pp.Proxying = proxy
+		c, err := myRaftStack(ctx, pp, "")
+		if err != nil {
+			return transport.Stats{}, 0, err
+		}
+		defer c.Close()
+		// Settle, then measure a burst.
+		time.Sleep(p.scaled(2 * paperHeartbeat))
+		c.Net().ResetStats()
+		wres := workload.Run(ctx, clusterDriver(c, 0), workload.Config{
+			Clients:      p.Clients,
+			Duration:     p.Duration,
+			ValueSize:    500,
+			RetryOnError: true,
+		})
+		// Wait for full convergence so both runs count the same work.
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			sums, err := c.LogChecksums(1)
+			if err == nil {
+				same := true
+				var want uint32
+				first := true
+				for _, s := range sums {
+					if first {
+						want = s
+						first = false
+					} else if s != want {
+						same = false
+					}
+				}
+				if same && !first {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return c.Net().Stats(), wres.Latency.Count(), nil
+	}
+	direct, n1, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: direct run: %w", err)
+	}
+	proxied, n2, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: proxied run: %w", err)
+	}
+	res.Direct = direct
+	res.Proxied = proxied
+	res.Writes = min(n1, n2)
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

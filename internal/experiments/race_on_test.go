@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active; timing-sensitive
+// shape tests skip because the detector's 5-20x slowdown distorts the
+// latency comparisons they assert on.
+const raceEnabled = true

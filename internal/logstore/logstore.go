@@ -1,0 +1,83 @@
+// Package logstore adapts a MySQL binary log to the raft.LogStore
+// interface. It is the concrete "log abstraction specialized for MySQL"
+// of §3.1, shared by the mysql_raft_repl plugin (full MySQL servers) and
+// by logtailers (witnesses that keep a log but no storage engine).
+package logstore
+
+import (
+	"myraft/internal/binlog"
+	"myraft/internal/opid"
+	"myraft/internal/wire"
+)
+
+// BinlogStore implements raft.LogStore over a binlog.Log.
+type BinlogStore struct {
+	Log *binlog.Log
+}
+
+// ToBinlogEntry converts a wire entry to its binlog form. Entry kinds
+// share numeric values across the wire and disk formats.
+func ToBinlogEntry(e *wire.LogEntry) *binlog.Entry {
+	return &binlog.Entry{
+		OpID:    e.OpID,
+		Type:    binlog.EntryType(e.Kind),
+		HasGTID: e.HasGTID,
+		GTID:    e.GTID,
+		Payload: e.Payload,
+	}
+}
+
+// ToWireEntry converts a binlog entry to its wire form.
+func ToWireEntry(e *binlog.Entry) *wire.LogEntry {
+	return &wire.LogEntry{
+		OpID:    e.OpID,
+		Kind:    wire.EntryType(e.Type),
+		HasGTID: e.HasGTID,
+		GTID:    e.GTID,
+		Payload: e.Payload,
+	}
+}
+
+// Append implements raft.LogStore.
+func (s BinlogStore) Append(e *wire.LogEntry) error {
+	return s.Log.Append(ToBinlogEntry(e))
+}
+
+// Entry implements raft.LogStore.
+func (s BinlogStore) Entry(index uint64) (*wire.LogEntry, error) {
+	be, err := s.Log.Entry(index)
+	if err != nil {
+		return nil, err
+	}
+	return ToWireEntry(be), nil
+}
+
+// LastOpID implements raft.LogStore.
+func (s BinlogStore) LastOpID() opid.OpID { return s.Log.LastOpID() }
+
+// FirstIndex implements raft.LogStore.
+func (s BinlogStore) FirstIndex() uint64 { return s.Log.FirstIndex() }
+
+// TruncateAfter implements raft.LogStore.
+func (s BinlogStore) TruncateAfter(index uint64) ([]*wire.LogEntry, error) {
+	removed, err := s.Log.TruncateAfter(index)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*wire.LogEntry, len(removed))
+	for i, be := range removed {
+		out[i] = ToWireEntry(be)
+	}
+	return out, nil
+}
+
+// Sync implements raft.LogStore.
+func (s BinlogStore) Sync() error { return s.Log.Sync() }
+
+// ScanFrom streams entries sequentially from the underlying files; the
+// raft node uses it to recover membership and warm its cache cheaply.
+func (s BinlogStore) ScanFrom(from uint64, fn func(*wire.LogEntry) bool) error {
+	return s.Log.Scan(from, func(be *binlog.Entry) bool {
+		return fn(ToWireEntry(be))
+	})
+}

@@ -1,0 +1,91 @@
+package logstore
+
+import (
+	"testing"
+
+	"myraft/internal/binlog"
+	"myraft/internal/gtid"
+	"myraft/internal/opid"
+	"myraft/internal/wire"
+)
+
+func openStore(t *testing.T) BinlogStore {
+	t.Helper()
+	log, err := binlog.Open(binlog.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { log.Close() })
+	return BinlogStore{Log: log}
+}
+
+func entry(term, index uint64, payload string) *wire.LogEntry {
+	return &wire.LogEntry{
+		OpID:    opid.OpID{Term: term, Index: index},
+		Kind:    1,
+		HasGTID: true,
+		GTID:    gtid.GTID{Source: "u", ID: int64(index)},
+		Payload: []byte(payload),
+	}
+}
+
+func TestConversionRoundTrip(t *testing.T) {
+	e := entry(3, 7, "payload")
+	be := ToBinlogEntry(e)
+	if be.OpID != e.OpID || be.Type != binlog.EntryType(e.Kind) || be.GTID != e.GTID || string(be.Payload) != "payload" {
+		t.Fatalf("to binlog: %+v", be)
+	}
+	back := ToWireEntry(be)
+	if back.OpID != e.OpID || back.Kind != e.Kind || back.GTID != e.GTID || string(back.Payload) != "payload" || back.HasGTID != e.HasGTID {
+		t.Fatalf("to wire: %+v", back)
+	}
+}
+
+func TestStoreImplementsLogStoreContract(t *testing.T) {
+	s := openStore(t)
+	if s.FirstIndex() != 0 || !s.LastOpID().IsZero() {
+		t.Fatal("fresh store not empty")
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if err := s.Append(entry(1, i, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.FirstIndex() != 1 || s.LastOpID().Index != 5 {
+		t.Fatalf("bounds: %d..%v", s.FirstIndex(), s.LastOpID())
+	}
+	e, err := s.Entry(3)
+	if err != nil || e.OpID.Index != 3 {
+		t.Fatalf("Entry(3) = %v %v", e, err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.TruncateAfter(2)
+	if err != nil || len(removed) != 3 {
+		t.Fatalf("truncate: %d removed, %v", len(removed), err)
+	}
+	if removed[0].OpID.Index != 3 || removed[0].Kind != 1 {
+		t.Fatalf("removed[0] = %+v", removed[0])
+	}
+}
+
+func TestScanFromConvertsEntries(t *testing.T) {
+	s := openStore(t)
+	for i := uint64(1); i <= 6; i++ {
+		s.Append(entry(1, i, "x"))
+	}
+	var indexes []uint64
+	if err := s.ScanFrom(3, func(e *wire.LogEntry) bool {
+		if e.Kind != 1 || !e.HasGTID {
+			t.Fatalf("conversion lost fields: %+v", e)
+		}
+		indexes = append(indexes, e.OpID.Index)
+		return e.OpID.Index < 5 // early stop
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(indexes) != 3 || indexes[0] != 3 || indexes[2] != 5 {
+		t.Fatalf("indexes = %v", indexes)
+	}
+}

@@ -1,0 +1,141 @@
+// Package logtailer implements the witness entity of MyRaft (§2.1,
+// Table 1): a Raft voter that keeps a full replicated log but has no
+// storage engine. Logtailers exist so the in-region data-commit quorum of
+// FlexiRaft (one MySQL primary plus two logtailers) can acknowledge
+// writes at intra-region latency without running full database replicas.
+//
+// Because Raft's longest-log voting rules can elect a logtailer as a
+// temporary leader during failover, the logtailer's promotion callback
+// immediately hands leadership to the most caught-up MySQL voter via a
+// regular graceful TransferLeadership (§2.2, §4.1).
+package logtailer
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"myraft/internal/binlog"
+	"myraft/internal/logstore"
+	"myraft/internal/raft"
+	"myraft/internal/wire"
+)
+
+// Logtailer is one witness instance.
+type Logtailer struct {
+	id  wire.NodeID
+	log *binlog.Log
+
+	mu   sync.Mutex
+	node *raft.Node
+
+	// TransferDelay throttles the leader-handoff retry loop.
+	TransferDelay time.Duration
+}
+
+// New opens (or recovers) a logtailer whose log lives under dir.
+func New(id wire.NodeID, dir string) (*Logtailer, error) {
+	log, err := binlog.Open(binlog.Options{
+		Dir:     filepath.Join(dir, "logs"),
+		Persona: binlog.PersonaRelay,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("logtailer: %w", err)
+	}
+	return &Logtailer{id: id, log: log, TransferDelay: 10 * time.Millisecond}, nil
+}
+
+// ID returns the logtailer's node ID.
+func (lt *Logtailer) ID() wire.NodeID { return lt.id }
+
+// Log returns the underlying replicated log.
+func (lt *Logtailer) Log() *binlog.Log { return lt.log }
+
+// LogStore returns the raft.LogStore view of the log.
+func (lt *Logtailer) LogStore() raft.LogStore { return logstore.BinlogStore{Log: lt.log} }
+
+// AttachNode connects the raft node (after raft.NewNode).
+func (lt *Logtailer) AttachNode(n *raft.Node) {
+	lt.mu.Lock()
+	lt.node = n
+	lt.mu.Unlock()
+}
+
+// Node returns the attached node.
+func (lt *Logtailer) Node() *raft.Node {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.node
+}
+
+// OnPromote implements raft.Callbacks: a logtailer elected leader holds no
+// database, so it transfers leadership to the most caught-up non-witness
+// voter (§2.2). It retries while it remains leader, excluding targets
+// whose transfer already failed (e.g. the dead primary whose crash caused
+// this election).
+func (lt *Logtailer) OnPromote(info raft.PromoteInfo) {
+	node := lt.Node()
+	if node == nil {
+		return
+	}
+	failed := make(map[wire.NodeID]bool)
+	for attempt := 0; attempt < 40; attempt++ {
+		st := node.Status()
+		if st.Role != raft.RoleLeader || st.Term != info.Term {
+			return // someone else took over; done
+		}
+		// Until replication acknowledgements arrive, match indexes are
+		// zero and liveness is unknown; insisting on match > 0 avoids
+		// handing leadership to the dead member that caused this
+		// failover. After several beats, fall back to any candidate.
+		requireAck := attempt < 10
+		target := bestTransferTarget(st, lt.id, failed, requireAck)
+		if target != "" {
+			if err := node.TransferLeadership(target); err == nil {
+				return
+			}
+			failed[target] = true
+		}
+		time.Sleep(lt.TransferDelay)
+	}
+}
+
+// bestTransferTarget picks the non-witness voter with the highest match
+// index, skipping excluded members and (when requireAck is set) members
+// that have not acknowledged any replication yet.
+func bestTransferTarget(st raft.Status, self wire.NodeID, exclude map[wire.NodeID]bool, requireAck bool) wire.NodeID {
+	var best wire.NodeID
+	var bestMatch uint64
+	for _, m := range st.Config.Members {
+		if m.ID == self || !m.Voter || m.Witness || exclude[m.ID] {
+			continue
+		}
+		match := st.Match[m.ID]
+		if requireAck && match == 0 {
+			continue
+		}
+		if best == "" || match > bestMatch {
+			best = m.ID
+			bestMatch = match
+		}
+	}
+	return best
+}
+
+// OnDemote implements raft.Callbacks (nothing to do: no engine).
+func (lt *Logtailer) OnDemote(uint64) {}
+
+// OnCommitAdvance implements raft.Callbacks (nothing to apply).
+func (lt *Logtailer) OnCommitAdvance(uint64) {}
+
+// OnMembershipChange implements raft.Callbacks.
+func (lt *Logtailer) OnMembershipChange(wire.Config) {}
+
+// Crash simulates a process crash (torn log tail).
+func (lt *Logtailer) Crash() { lt.log.Crash() }
+
+// Close shuts the logtailer down cleanly.
+func (lt *Logtailer) Close() error { return lt.log.Close() }
+
+var _ raft.Callbacks = (*Logtailer)(nil)

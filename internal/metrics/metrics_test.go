@@ -1,0 +1,241 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	tests := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{1, 1 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		if got := h.Percentile(tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("Mean = %v, want 20ms", got)
+	}
+}
+
+func TestHistogramMinMax(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(7 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(9 * time.Millisecond)
+	if h.Min() != 3*time.Millisecond {
+		t.Fatalf("Min = %v", h.Min())
+	}
+	if h.Max() != 9*time.Millisecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramObserveAfterPercentile(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	_ = h.Percentile(50) // sorts
+	h.Observe(time.Microsecond)
+	if got := h.Min(); got != time.Microsecond {
+		t.Fatalf("Min after late observe = %v, want 1us", got)
+	}
+}
+
+func TestHistogramSummarize(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summarize()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Median != 500*time.Microsecond {
+		t.Fatalf("Median = %v", s.Median)
+	}
+	if s.P99 != 990*time.Microsecond {
+		t.Fatalf("P99 = %v", s.P99)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	counts := h.Buckets(0, 100*time.Millisecond, 10)
+	if len(counts) != 10 {
+		t.Fatalf("len = %d", len(counts))
+	}
+	for i, c := range counts {
+		if c != 10 {
+			t.Fatalf("bucket %d = %d, want 10", i, c)
+		}
+	}
+}
+
+func TestHistogramBucketsOutOfRangeDropped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Millisecond)
+	h.Observe(time.Second)
+	counts := h.Buckets(0, 100*time.Millisecond, 4)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 0 {
+		t.Fatalf("out-of-range samples counted: %v", counts)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramPercentileOrderProperty(t *testing.T) {
+	// Property: for any sample set, percentiles are monotone in p and
+	// bounded by min/max.
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, r := range raw {
+			h.Observe(time.Duration(r))
+		}
+		p50, p95, p99 := h.Percentile(50), h.Percentile(95), h.Percentile(99)
+		return h.Min() <= p50 && p50 <= p95 && p95 <= p99 && p99 <= h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 10000 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+}
+
+func TestSeriesPerInterval(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSeries(start)
+	s.Record(start.Add(100 * time.Millisecond))
+	s.Record(start.Add(200 * time.Millisecond))
+	s.Record(start.Add(1100 * time.Millisecond))
+	s.Record(start.Add(5 * time.Second)) // beyond horizon, dropped
+	counts := s.PerInterval(time.Second, 2*time.Second)
+	if len(counts) != 2 || counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("counts = %v, want [2 1]", counts)
+	}
+}
+
+func TestSeriesClampsEarlyEvents(t *testing.T) {
+	start := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSeries(start)
+	s.Record(start.Add(-time.Second))
+	counts := s.PerInterval(time.Second, time.Second)
+	if counts[0] != 1 {
+		t.Fatalf("early event not clamped into first bucket: %v", counts)
+	}
+}
+
+func TestSeriesInvalidArgs(t *testing.T) {
+	s := NewSeries(time.Now())
+	if got := s.PerInterval(0, time.Second); got != nil {
+		t.Fatalf("zero width should return nil, got %v", got)
+	}
+	if got := s.PerInterval(time.Second, 0); got != nil {
+		t.Fatalf("zero horizon should return nil, got %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Mode", "Operation", "Avg")
+	tb.AddRow("Semi-Sync", "Failover", 59133)
+	tb.AddRow("Raft", "Promotion", 218)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "Semi-Sync") {
+		t.Fatalf("row formatting wrong: %q", lines[1])
+	}
+	// Columns must align: "Operation" header starts at same offset as "Failover".
+	if strings.Index(lines[0], "Operation") != strings.Index(lines[1], "Failover") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1500 * time.Microsecond)
+	if !strings.Contains(h.String(), "n=1") {
+		t.Fatalf("String() = %q", h.String())
+	}
+}

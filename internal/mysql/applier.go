@@ -1,0 +1,268 @@
+package mysql
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"myraft/internal/binlog"
+	"myraft/internal/storage"
+)
+
+// applier is the replica-side applier thread (§3.5): it picks consensus-
+// committed transactions out of the relay log and applies them to the
+// storage engine through the same prepare/commit cycle as the primary.
+// Its gate is the Raft commit marker, forwarded by the plugin through
+// Server.OnCommitAdvance; its starting cursor comes from the engine's
+// last committed transaction (the online recovery protocol of §3.3
+// demotion step 5 and §A.2).
+type applier struct {
+	s *Server
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	running     bool
+	stopRequest bool
+	commitIdx   uint64
+	applied     uint64
+	waiters     []chan struct{}
+	done        chan struct{}
+	lastErr     error // most recent apply failure (diagnostics)
+}
+
+func newApplier(s *Server) *applier {
+	a := &applier{s: s}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// start launches the applier goroutine, positioning the cursor at the
+// engine's last committed OpID.
+func (a *applier) start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.running {
+		return
+	}
+	a.running = true
+	a.stopRequest = false
+	a.applied = a.s.engine.LastCommitted().Index
+	a.done = make(chan struct{})
+	go a.run(a.done)
+}
+
+// stop terminates the applier goroutine and waits for it to exit.
+func (a *applier) stop() {
+	a.mu.Lock()
+	if !a.running {
+		a.mu.Unlock()
+		return
+	}
+	a.stopRequest = true
+	done := a.done
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	<-done
+}
+
+// notify advances the commit gate.
+func (a *applier) notify(commitIdx uint64) {
+	a.mu.Lock()
+	if commitIdx > a.commitIdx {
+		a.commitIdx = commitIdx
+	}
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// isRunning reports whether the applier goroutine is active.
+func (a *applier) isRunning() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running
+}
+
+// lastApplied reports the highest applied index.
+func (a *applier) lastApplied() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
+}
+
+// catchUpTo blocks until the applier has applied everything up to index
+// (promotion step 2, §3.3).
+func (a *applier) catchUpTo(ctx context.Context, index uint64) error {
+	a.mu.Lock()
+	if !a.running {
+		a.mu.Unlock()
+		// No applier (e.g. fresh bootstrap as primary): nothing to wait
+		// for if the engine is already there.
+		if a.s.engine.LastCommitted().Index >= index || index == 0 {
+			return nil
+		}
+		return fmt.Errorf("mysql: applier not running, cannot catch up to %d", index)
+	}
+	ch := make(chan struct{})
+	a.waiters = append(a.waiters, ch)
+	a.mu.Unlock()
+
+	for {
+		a.mu.Lock()
+		done := a.applied >= index || a.appliedThroughIndexLocked(index)
+		a.mu.Unlock()
+		if done {
+			return nil
+		}
+		select {
+		case <-ch:
+			// progress was made; loop and re-check
+			a.mu.Lock()
+			ch = make(chan struct{})
+			a.waiters = append(a.waiters, ch)
+			a.mu.Unlock()
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// appliedThroughIndexLocked also treats non-data entries at the tail as
+// applied: the No-Op itself is never applied to the engine, so catching
+// up "to the No-Op" means every data entry before it is in.
+func (a *applier) appliedThroughIndexLocked(index uint64) bool {
+	if a.applied >= index {
+		return true
+	}
+	// Everything between applied and index must be non-data entries.
+	for i := a.applied + 1; i <= index; i++ {
+		e, err := a.s.log.Entry(i)
+		if err != nil || e.Type == binlog.EntryNormal {
+			return false
+		}
+	}
+	return true
+}
+
+// signalWaiters wakes catch-up waiters after progress.
+func (a *applier) signalWaiters() {
+	for _, ch := range a.waiters {
+		close(ch)
+	}
+	a.waiters = nil
+}
+
+// run is the applier loop.
+func (a *applier) run(done chan struct{}) {
+	defer close(done)
+	for {
+		a.mu.Lock()
+		for !a.stopRequest && a.applied >= a.commitIdx {
+			a.cond.Wait()
+		}
+		if a.stopRequest {
+			a.running = false
+			a.signalWaiters()
+			a.mu.Unlock()
+			return
+		}
+		next := a.applied + 1
+		limit := a.commitIdx
+		a.mu.Unlock()
+
+		applied, ok := a.applyRange(next, limit)
+		a.mu.Lock()
+		if applied > a.applied {
+			a.applied = applied
+		}
+		a.signalWaiters()
+		if !ok && !a.stopRequest {
+			// Transient failure (entry not readable yet, lock conflict,
+			// engine hiccup): back off briefly, then retry. The timer
+			// self-wakes the loop so a failure at the tail — with no
+			// further commit-advance notifications coming — cannot park
+			// the applier forever.
+			timer := time.AfterFunc(5*time.Millisecond, func() {
+				a.mu.Lock()
+				a.cond.Broadcast()
+				a.mu.Unlock()
+			})
+			a.cond.Wait()
+			timer.Stop()
+		}
+		a.mu.Unlock()
+	}
+}
+
+// applyRange applies entries [from, to] to the engine, returning the last
+// index applied and whether the whole range succeeded.
+func (a *applier) applyRange(from, to uint64) (uint64, bool) {
+	last := from - 1
+	for idx := from; idx <= to; idx++ {
+		e, err := a.s.log.Entry(idx)
+		if err != nil {
+			a.setErr(fmt.Errorf("read %d: %w", idx, err))
+			return last, false
+		}
+		if err := a.applyEntry(e); err != nil {
+			a.setErr(err)
+			return last, false
+		}
+		last = idx
+	}
+	return last, true
+}
+
+func (a *applier) setErr(err error) {
+	a.mu.Lock()
+	a.lastErr = err
+	a.mu.Unlock()
+}
+
+// LastError reports the most recent apply failure (nil when healthy).
+func (a *applier) LastError() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastErr
+}
+
+// applyEntry applies one relay-log transaction: RBR payload decoded, rows
+// staged, prepare, engine commit stamped with the entry's OpID. The
+// commit-marker gate already ran, so stage 2 of the replica pipeline is
+// implicitly satisfied (§3.5).
+func (a *applier) applyEntry(e *binlog.Entry) error {
+	if e.Type != binlog.EntryNormal {
+		return nil // No-Ops, config changes and rotates don't touch the engine.
+	}
+	// Idempotence across restarts: the engine cursor may trail entries
+	// already applied before a crash that the WAL replayed.
+	if a.s.engine.LastCommitted().AtLeast(e.OpID) && !a.s.engine.LastCommitted().IsZero() {
+		if e.OpID.Index <= a.s.engine.LastCommitted().Index {
+			return nil
+		}
+	}
+	changes, err := storage.DecodeChanges(e.Payload)
+	if err != nil {
+		return fmt.Errorf("mysql: applier decode %s: %w", e.OpID, err)
+	}
+	txn := a.s.engine.Begin()
+	for _, c := range changes {
+		if c.IsDelete() {
+			err = txn.Delete(c.Key)
+		} else {
+			err = txn.Set(c.Key, c.After)
+		}
+		if err != nil {
+			txn.Rollback()
+			return fmt.Errorf("mysql: applier stage %s: %w", e.OpID, err)
+		}
+	}
+	if err := txn.Prepare(); err != nil {
+		txn.Rollback()
+		return fmt.Errorf("mysql: applier prepare %s: %w", e.OpID, err)
+	}
+	if err := txn.Commit(e.OpID); err != nil {
+		return fmt.Errorf("mysql: applier commit %s: %w", e.OpID, err)
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package mysql
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"myraft/internal/opid"
+	"myraft/internal/storage"
+)
+
+// pipeline implements the 3-stage group commit of §3.4. Client threads
+// enqueue prepared transactions; a dedicated worker goroutine drains the
+// queue into groups and walks each group through the stages in tandem:
+//
+//  1. Flush: each transaction is proposed through Raft, which assigns its
+//     OpID and writes it to the binlog; the log is synced once per group.
+//  2. Wait for Raft consensus commit: the group blocks on the LAST
+//     transaction of the group (consensus on the last one implies all).
+//  3. Storage engine commit: the prepared transactions are committed to
+//     the engine in order and their clients released.
+//
+// The worker — not the submitting client — owns a transaction once it is
+// enqueued: a client whose context expires mid-wait simply stops waiting,
+// while the transaction still commits if consensus is reached (MySQL
+// semantics for a disconnected client) or rolls back if consensus fails.
+// This also preserves the invariant that the engine's commit sequence is
+// gap-free, which the applier's restart cursor depends on (§3.3 step 5).
+//
+// Stage 2 deliberately has no timeout: on a leader that cannot reach its
+// quorum, commits block until the partition heals or leadership is lost —
+// the paper's "consistency over availability" choice (§4.1). The
+// consensus layer fails the wait on demotion, crash or shutdown.
+type pipeline struct {
+	s *Server
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*pendingTxn
+	failed error
+	done   chan struct{}
+}
+
+// pendingTxn is one client transaction riding the pipeline.
+type pendingTxn struct {
+	repl Replicator
+	txn  *storage.Txn
+	op   opid.OpID
+	done chan error
+}
+
+func newPipeline(s *Server) *pipeline {
+	p := &pipeline{s: s, done: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	go p.run()
+	return p
+}
+
+// commit enqueues one prepared transaction and waits for its outcome (or
+// the client's context, whichever comes first).
+func (p *pipeline) commit(ctx context.Context, repl Replicator, txn *storage.Txn) (opid.OpID, error) {
+	pt := &pendingTxn{repl: repl, txn: txn, done: make(chan error, 1)}
+	p.mu.Lock()
+	if p.failed != nil {
+		err := p.failed
+		p.mu.Unlock()
+		txn.Rollback()
+		return opid.Zero, err
+	}
+	p.queue = append(p.queue, pt)
+	p.cond.Signal()
+	p.mu.Unlock()
+
+	select {
+	case err := <-pt.done:
+		if err != nil {
+			return opid.Zero, err
+		}
+		return pt.op, nil
+	case <-ctx.Done():
+		// The client abandons the wait; the pipeline still owns the
+		// transaction and will commit or roll it back when consensus
+		// resolves.
+		return opid.Zero, ctx.Err()
+	}
+}
+
+// run is the worker loop: it drains the queue into groups and processes
+// them. Consecutive transactions sharing a Replicator form one group
+// (the replicator changes only across role transitions).
+func (p *pipeline) run() {
+	defer close(p.done)
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && p.failed == nil {
+			p.cond.Wait()
+		}
+		if p.failed != nil {
+			err := p.failed
+			queue := p.queue
+			p.queue = nil
+			p.mu.Unlock()
+			for _, pt := range queue {
+				p.abort(pt, err)
+			}
+			return
+		}
+		group := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+
+		for len(group) > 0 {
+			repl := group[0].repl
+			n := 1
+			for n < len(group) && group[n].repl == repl {
+				n++
+			}
+			p.processGroup(repl, group[:n])
+			group = group[n:]
+		}
+	}
+}
+
+// processGroup walks one group through the three stages.
+func (p *pipeline) processGroup(repl Replicator, group []*pendingTxn) {
+	// Stage 1 — Flush: propose every transaction; Raft stamps OpIDs and
+	// writes the binlog through the plugin's log abstraction.
+	flushed := group[:0]
+	for _, pt := range group {
+		g := p.s.nextGTID()
+		payload := storage.EncodeChanges(pt.txn.Changes())
+		op, err := repl.ProposeTransaction(payload, g)
+		if err != nil {
+			p.abort(pt, err)
+			continue
+		}
+		pt.op = op
+		flushed = append(flushed, pt)
+	}
+	if len(flushed) == 0 {
+		return
+	}
+	// One durability point per group.
+	if err := p.s.log.Sync(); err != nil {
+		for _, pt := range flushed {
+			p.abort(pt, err)
+		}
+		return
+	}
+
+	// Stage 2 — wait for consensus commit of the group's last entry. The
+	// consensus layer resolves this wait on commit, demotion, or
+	// shutdown; there is deliberately no client-side timeout here (see
+	// the type comment).
+	last := flushed[len(flushed)-1]
+	if err := repl.WaitCommitted(context.Background(), last.op.Index); err != nil {
+		// Consensus failed for the tail; transactions at or below the
+		// actual commit marker may still be in — re-check individually
+		// so a partial group is not spuriously aborted.
+		commit := repl.CommitIndex()
+		healthy := true
+		for _, pt := range flushed {
+			if pt.op.Index <= commit && healthy {
+				healthy = p.engineCommit(pt)
+			} else {
+				p.abort(pt, err)
+			}
+		}
+		return
+	}
+
+	// Stage 3 — storage engine commit, strictly in group (= log) order.
+	// If one commit fails mid-group (a concurrent demotion rolled the
+	// prepared transaction back), the LATER transactions must not commit
+	// either: the engine's last-committed OpID is the applier's restart
+	// cursor (§3.3 step 5), so engine commits must stay gap-free — the
+	// applier re-applies the whole consensus-committed tail instead.
+	healthy := true
+	for _, pt := range flushed {
+		if !healthy {
+			p.abort(pt, fmt.Errorf("mysql: engine commit order broken by concurrent demotion"))
+			continue
+		}
+		healthy = p.engineCommit(pt)
+	}
+	_ = p.s.engine.Sync()
+}
+
+// abort rolls the transaction back (idempotent: a concurrent demotion may
+// have rolled it back already) and reports the failure to the client.
+func (p *pipeline) abort(pt *pendingTxn, err error) {
+	pt.txn.Rollback()
+	pt.done <- err
+}
+
+// engineCommit commits one transaction to the engine, reporting whether
+// the commit actually happened.
+func (p *pipeline) engineCommit(pt *pendingTxn) bool {
+	if err := pt.txn.Commit(pt.op); err != nil {
+		pt.done <- err
+		return false
+	}
+	pt.done <- nil
+	return true
+}
+
+// fail poisons the pipeline (crash/shutdown): queued transactions abort,
+// future commits are rejected, and the worker exits once unblocked (the
+// consensus layer fails any in-flight stage-2 wait on crash/demotion).
+func (p *pipeline) fail(err error) {
+	p.mu.Lock()
+	if p.failed == nil {
+		p.failed = err
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

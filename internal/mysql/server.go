@@ -1,0 +1,384 @@
+// Package mysql implements the simulated MySQL server of this
+// reproduction: a transactional storage engine fronted by the 3-stage
+// group-commit pipeline of §3.4 (flush to the replication log via Raft,
+// wait for consensus commit, commit to the engine), an applier thread
+// that replays relay-log transactions on replicas (§3.5), and the role
+// orchestration primitives the mysql_raft_repl plugin drives during
+// promotion and demotion (§3.3).
+//
+// The server does not know about Raft directly: transactions reach
+// consensus through the Replicator interface, which the plugin package
+// implements over a raft.Node. This mirrors the paper's layering, where
+// MySQL interfaces with kuduraft only through the plugin.
+package mysql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"myraft/internal/binlog"
+	"myraft/internal/gtid"
+	"myraft/internal/opid"
+	"myraft/internal/storage"
+	"myraft/internal/wire"
+)
+
+// Replicator is how the server reaches consensus on a transaction. The
+// plugin adapts a raft.Node to it.
+type Replicator interface {
+	// ProposeTransaction appends a client transaction to the replicated
+	// log (the binlog), returning its assigned OpID.
+	ProposeTransaction(payload []byte, g gtid.GTID) (opid.OpID, error)
+	// ProposeRotate replicates a FLUSH BINARY LOGS rotate marker (§A.1).
+	ProposeRotate() (opid.OpID, error)
+	// WaitCommitted blocks until index is consensus committed.
+	WaitCommitted(ctx context.Context, index uint64) error
+	// CommitIndex returns the current consensus commit marker.
+	CommitIndex() uint64
+}
+
+// Errors returned by the server API.
+var (
+	// ErrReadOnly rejects client writes on replicas (and on quiesced
+	// primaries before promotion completes).
+	ErrReadOnly = errors.New("mysql: server is read-only")
+	// ErrNoReplicator is returned when the plugin has not been attached.
+	ErrNoReplicator = errors.New("mysql: no replicator attached")
+	// ErrCrashed rejects operations after a simulated crash.
+	ErrCrashed = errors.New("mysql: server crashed")
+	// ErrManagedByRaft rejects legacy replication-control statements:
+	// with MyRaft, replication topology is owned by the consensus layer
+	// (§3: CHANGE MASTER TO, RESET MASTER and RESET REPLICATION were
+	// adjusted or disallowed).
+	ErrManagedByRaft = errors.New("mysql: replication is managed by raft; statement disallowed")
+)
+
+// Options configures a Server.
+type Options struct {
+	// ID identifies the server in the replicaset.
+	ID wire.NodeID
+	// Dir holds the engine WAL and the replication logs.
+	Dir string
+	// ServerUUID is the GTID source for transactions committed while this
+	// server is primary; it defaults to "uuid-<ID>".
+	ServerUUID gtid.UUID
+	// StartAsPrimary opens the log in binlog persona with writes enabled,
+	// used to bootstrap a fresh replicaset. The normal path is to start
+	// read-only as a replica and let Raft promote.
+	StartAsPrimary bool
+	// EngineOptions tunes the storage engine.
+	Engine storage.Options
+}
+
+// Server is one simulated MySQL instance.
+type Server struct {
+	opts   Options
+	log    *binlog.Log
+	engine *storage.Engine
+
+	mu       sync.Mutex
+	repl     Replicator
+	pipeline *pipeline
+	applier  *applier
+	crashed  bool
+
+	readOnly atomic.Bool
+}
+
+// NewServer opens (or recovers) a server in opts.Dir. Recovery follows
+// §A.2: the engine rolls back prepared-but-uncommitted transactions and
+// the log drops its torn tail; the applier later reconciles with the ring.
+func NewServer(opts Options) (*Server, error) {
+	if opts.ServerUUID == "" {
+		opts.ServerUUID = gtid.UUID("uuid-" + string(opts.ID))
+	}
+	persona := binlog.PersonaRelay
+	if opts.StartAsPrimary {
+		persona = binlog.PersonaBinlog
+	}
+	log, err := binlog.Open(binlog.Options{
+		Dir:     filepath.Join(opts.Dir, "logs"),
+		Persona: persona,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mysql: open log: %w", err)
+	}
+	engOpts := opts.Engine
+	engOpts.Dir = filepath.Join(opts.Dir, "engine")
+	engine, err := storage.Open(engOpts)
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("mysql: open engine: %w", err)
+	}
+	s := &Server{opts: opts, log: log, engine: engine}
+	s.readOnly.Store(!opts.StartAsPrimary)
+	s.pipeline = newPipeline(s)
+	s.applier = newApplier(s)
+	if !opts.StartAsPrimary {
+		s.applier.start()
+	}
+	return s, nil
+}
+
+// AttachReplicator wires the consensus layer in; the plugin calls this
+// once the raft node exists.
+func (s *Server) AttachReplicator(r Replicator) {
+	s.mu.Lock()
+	s.repl = r
+	s.mu.Unlock()
+}
+
+func (s *Server) replicator() (Replicator, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, ErrCrashed
+	}
+	if s.repl == nil {
+		return nil, ErrNoReplicator
+	}
+	return s.repl, nil
+}
+
+// ID returns the server's node ID.
+func (s *Server) ID() wire.NodeID { return s.opts.ID }
+
+// Log exposes the replication log; the plugin's log abstraction reads and
+// writes through it.
+func (s *Server) Log() *binlog.Log { return s.log }
+
+// Engine exposes the storage engine (checksum comparisons, tests).
+func (s *Server) Engine() *storage.Engine { return s.engine }
+
+// IsReadOnly reports whether client writes are currently rejected.
+func (s *Server) IsReadOnly() bool { return s.readOnly.Load() }
+
+// setReadOnly flips the client write gate.
+func (s *Server) setReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// Read returns the committed value of key.
+func (s *Server) Read(key string) ([]byte, bool) { return s.engine.Get(key) }
+
+// GTIDExecuted returns the executed-GTID set of the replication log
+// (SHOW MASTER STATUS).
+func (s *Server) GTIDExecuted() *gtid.Set { return s.log.GTIDSet() }
+
+// BinlogFiles lists the replication log files (SHOW BINARY LOGS).
+func (s *Server) BinlogFiles() []binlog.FileInfo { return s.log.Files() }
+
+// ChangeMaster is disallowed under MyRaft: replication sources are chosen
+// by Raft leadership, not by operators (§3).
+func (s *Server) ChangeMaster() error { return ErrManagedByRaft }
+
+// ResetMaster is disallowed under MyRaft: the binlog is the replicated
+// log and cannot be unilaterally reset (§3).
+func (s *Server) ResetMaster() error { return ErrManagedByRaft }
+
+// ResetReplication is disallowed under MyRaft (§3).
+func (s *Server) ResetReplication() error { return ErrManagedByRaft }
+
+// ExecuteWrite runs a client write transaction: mutate stages the row
+// changes, then the transaction rides the 3-stage commit pipeline (§3.4).
+// It returns the OpID under which the transaction consensus-committed.
+func (s *Server) ExecuteWrite(ctx context.Context, mutate func(*storage.Txn) error) (opid.OpID, error) {
+	if s.readOnly.Load() {
+		return opid.Zero, ErrReadOnly
+	}
+	repl, err := s.replicator()
+	if err != nil {
+		return opid.Zero, err
+	}
+	txn := s.engine.Begin()
+	if err := mutate(txn); err != nil {
+		txn.Rollback()
+		return opid.Zero, err
+	}
+	// Prepare in the engine within the client thread (§3.4): locks held,
+	// prepare marker in the engine WAL.
+	if err := txn.Prepare(); err != nil {
+		txn.Rollback()
+		return opid.Zero, err
+	}
+	// From here the pipeline owns the transaction: it commits on
+	// consensus or rolls back on failure, even if this client's context
+	// expires mid-wait (a disconnect must not abort a commit already
+	// flushed to the replicated log).
+	return s.pipeline.commit(ctx, repl, txn)
+}
+
+// Set is a convenience single-row write.
+func (s *Server) Set(ctx context.Context, key string, value []byte) (opid.OpID, error) {
+	return s.ExecuteWrite(ctx, func(t *storage.Txn) error {
+		return t.Set(key, value)
+	})
+}
+
+// Delete is a convenience single-row delete.
+func (s *Server) Delete(ctx context.Context, key string) (opid.OpID, error) {
+	return s.ExecuteWrite(ctx, func(t *storage.Txn) error {
+		return t.Delete(key)
+	})
+}
+
+// nextGTID assigns the next GTID for this server's UUID at commit time.
+func (s *Server) nextGTID() gtid.GTID {
+	set := s.log.GTIDSet()
+	return gtid.GTID{Source: s.opts.ServerUUID, ID: set.NextID(s.opts.ServerUUID)}
+}
+
+// FlushBinaryLogs rotates the binlog through a replicated rotate event
+// (§A.1). Primary only.
+func (s *Server) FlushBinaryLogs(ctx context.Context) error {
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
+	repl, err := s.replicator()
+	if err != nil {
+		return err
+	}
+	op, err := repl.ProposeRotate()
+	if err != nil {
+		return err
+	}
+	return repl.WaitCommitted(ctx, op.Index)
+}
+
+// PurgeLogsTo deletes log files wholly below index. The plugin gates the
+// index on Raft's region watermarks so out-of-region laggards can still
+// fetch history (§A.1).
+func (s *Server) PurgeLogsTo(index uint64) error { return s.log.PurgeTo(index) }
+
+// --- role orchestration (driven by the plugin's Raft callbacks, §3.3) ---
+
+// PromoteToPrimary runs the MySQL side of promotion up to (but not
+// including) the write-enable step: catch the applier up to the
+// leadership No-Op, stop it, and rewire relay-log -> binlog. The caller
+// (plugin) then re-verifies leadership, calls EnableWrites (step 4) and
+// publishes service discovery (step 5).
+func (s *Server) PromoteToPrimary(ctx context.Context, noOpIndex uint64) error {
+	repl, err := s.replicator()
+	if err != nil {
+		return err
+	}
+	// Step 2: catch up and commit everything up to the No-Op.
+	if err := repl.WaitCommitted(ctx, noOpIndex); err != nil {
+		return fmt.Errorf("mysql: promotion wait: %w", err)
+	}
+	if err := s.applier.catchUpTo(ctx, noOpIndex); err != nil {
+		return fmt.Errorf("mysql: promotion catch-up: %w", err)
+	}
+	s.applier.stop()
+	// Step 3: rewire logs into binlog mode.
+	if err := s.log.SetPersona(binlog.PersonaBinlog); err != nil {
+		return fmt.Errorf("mysql: rewire: %w", err)
+	}
+	return nil
+}
+
+// EnableWrites opens the client write gate (promotion step 4).
+func (s *Server) EnableWrites() { s.setReadOnly(false) }
+
+// DisableWrites closes the client write gate.
+func (s *Server) DisableWrites() { s.setReadOnly(true) }
+
+// DemoteToReplica runs the MySQL side of demotion: abort in-flight
+// prepared transactions, disable writes, rewire binlog -> relay-log, and
+// restart the applier positioned from the engine's last committed
+// transaction (§3.3; truncation of uncommitted log entries arrives
+// separately through the log store).
+func (s *Server) DemoteToReplica() error {
+	// Step 1: abort transactions waiting for consensus (they are in
+	// prepared state; rollback is online).
+	if err := s.engine.RollbackPrepared(); err != nil {
+		return fmt.Errorf("mysql: demotion rollback: %w", err)
+	}
+	// Step 2: disable client writes.
+	s.setReadOnly(true)
+	// Step 3: rewire logs into relay-log mode.
+	if err := s.log.SetPersona(binlog.PersonaRelay); err != nil {
+		return fmt.Errorf("mysql: rewire: %w", err)
+	}
+	// Step 5: start the applier from the engine's recovery cursor.
+	s.applier.start()
+	return nil
+}
+
+// OnCommitAdvance is forwarded by the plugin whenever Raft's commit
+// marker moves; it unblocks the applier (§3.5).
+func (s *Server) OnCommitAdvance(index uint64) { s.applier.notify(index) }
+
+// ApplierLastApplied reports the applier's progress (tests, monitoring).
+func (s *Server) ApplierLastApplied() uint64 { return s.applier.lastApplied() }
+
+// ReplicaStatus is the SHOW REPLICA STATUS analog: the externally visible
+// replication state of this server.
+type ReplicaStatus struct {
+	// ReadOnly reports whether client writes are rejected (replica mode).
+	ReadOnly bool
+	// Persona is the current log naming mode ("binlog" on a primary,
+	// "relaylog" on a replica).
+	Persona string
+	// ApplierRunning reports whether the applier thread is active.
+	ApplierRunning bool
+	// ApplierPosition is the highest log index applied to the engine.
+	ApplierPosition uint64
+	// ApplierError is the applier's most recent failure message, if any.
+	ApplierError string
+	// EngineCommitted is the OpID of the last engine-committed
+	// transaction (the recovery cursor of §3.3 step 5).
+	EngineCommitted opid.OpID
+	// GTIDExecuted is the executed-GTID set in canonical text form.
+	GTIDExecuted string
+	// LogTail is the replicated log's tail OpID.
+	LogTail opid.OpID
+}
+
+// Status reports the server's replication status.
+func (s *Server) Status() ReplicaStatus {
+	st := ReplicaStatus{
+		ReadOnly:        s.IsReadOnly(),
+		Persona:         s.log.Persona().String(),
+		ApplierRunning:  s.applier.isRunning(),
+		ApplierPosition: s.applier.lastApplied(),
+		EngineCommitted: s.engine.LastCommitted(),
+		GTIDExecuted:    s.log.GTIDSet().String(),
+		LogTail:         s.log.LastOpID(),
+	}
+	if err := s.applier.LastError(); err != nil {
+		st.ApplierError = err.Error()
+	}
+	return st
+}
+
+// ApplierLastError reports the applier's most recent failure, if any.
+func (s *Server) ApplierLastError() error { return s.applier.LastError() }
+
+// Checksum summarizes engine contents for cross-member comparison.
+func (s *Server) Checksum() uint32 { return s.engine.Checksum() }
+
+// Crash simulates a process crash: buffered log writes are torn off, the
+// engine drops its memtable, the applier dies. Reopen with NewServer.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	s.crashed = true
+	s.mu.Unlock()
+	s.applier.stop()
+	s.engine.Crash()
+	s.log.Crash()
+	s.pipeline.fail(ErrCrashed)
+}
+
+// Close shuts the server down cleanly.
+func (s *Server) Close() error {
+	s.applier.stop()
+	s.pipeline.fail(ErrCrashed)
+	if err := s.engine.Close(); err != nil {
+		s.log.Close()
+		return err
+	}
+	return s.log.Close()
+}

@@ -1,0 +1,71 @@
+package opid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if (OpID{1, 0}).IsZero() || (OpID{0, 1}).IsZero() {
+		t.Fatal("nonzero OpID reported zero")
+	}
+}
+
+func TestLessOrdersByTermThenIndex(t *testing.T) {
+	tests := []struct {
+		a, b OpID
+		want bool
+	}{
+		{OpID{1, 5}, OpID{2, 1}, true},
+		{OpID{2, 1}, OpID{1, 5}, false},
+		{OpID{1, 1}, OpID{1, 2}, true},
+		{OpID{1, 2}, OpID{1, 2}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAtLeastIsNegationOfLess(t *testing.T) {
+	f := func(t1, i1, t2, i2 uint16) bool {
+		a := OpID{uint64(t1), uint64(i1)}
+		b := OpID{uint64(t2), uint64(i2)}
+		return a.AtLeast(b) == !a.Less(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	f := func(t1, i1, t2, i2 uint16) bool {
+		a := OpID{uint64(t1), uint64(i1)}
+		b := OpID{uint64(t2), uint64(i2)}
+		// exactly one of a<b, b<a, a==b
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (OpID{3, 42}).String(); got != "3.42" {
+		t.Fatalf("String = %q", got)
+	}
+}

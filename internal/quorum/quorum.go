@@ -1,0 +1,241 @@
+// Package quorum implements the quorum strategies of FlexiRaft (§4.1 of
+// the paper). Vanilla Raft uses a simple majority of voters for both data
+// commits and leader elections. FlexiRaft instead defines quorums in terms
+// of majorities within disjoint groups of members — geographical regions —
+// trading fault tolerance for dramatically lower commit latency.
+//
+// The strategy consulted for a data commit is parameterized by the current
+// leader's region; the strategy consulted for an election additionally
+// needs the region of the last known leader, because election quorums must
+// intersect every data-commit quorum a previous leader may have used.
+package quorum
+
+import (
+	"sort"
+
+	"myraft/internal/wire"
+)
+
+// Strategy decides when acknowledgement sets satisfy data-commit and
+// leader-election quorums.
+type Strategy interface {
+	// Name identifies the strategy in logs and benchmarks.
+	Name() string
+	// DataCommitSatisfied reports whether the set of acknowledging voters
+	// (including the leader's self-vote) commits a log entry, for a
+	// leader in leaderRegion.
+	DataCommitSatisfied(cfg wire.Config, leaderRegion wire.Region, acks map[wire.NodeID]bool) bool
+	// ElectionSatisfied reports whether the set of granted votes elects a
+	// candidate in candidateRegion, given the region of the last known
+	// leader ("" when unknown).
+	ElectionSatisfied(cfg wire.Config, candidateRegion, lastLeaderRegion wire.Region, votes map[wire.NodeID]bool) bool
+}
+
+// countAcked returns how many of the members are in the ack set.
+func countAcked(members []wire.Member, acks map[wire.NodeID]bool) int {
+	n := 0
+	for _, m := range members {
+		if acks[m.ID] {
+			n++
+		}
+	}
+	return n
+}
+
+// hasMajority reports whether acks covers a strict majority of members.
+// An empty member list is unsatisfiable, never vacuously true: a quorum
+// that nobody can vote in must not commit anything.
+func hasMajority(members []wire.Member, acks map[wire.NodeID]bool) bool {
+	if len(members) == 0 {
+		return false
+	}
+	return countAcked(members, acks) >= len(members)/2+1
+}
+
+// Majority is vanilla Raft: a strict majority of all voters for both data
+// commits and elections.
+type Majority struct{}
+
+// Name implements Strategy.
+func (Majority) Name() string { return "majority" }
+
+// DataCommitSatisfied implements Strategy.
+func (Majority) DataCommitSatisfied(cfg wire.Config, _ wire.Region, acks map[wire.NodeID]bool) bool {
+	return hasMajority(cfg.Voters(), acks)
+}
+
+// ElectionSatisfied implements Strategy.
+func (Majority) ElectionSatisfied(cfg wire.Config, _, _ wire.Region, votes map[wire.NodeID]bool) bool {
+	return hasMajority(cfg.Voters(), votes)
+}
+
+// StaticAnyRegion is the flexible-quorum construction the paper rejects
+// (§4.1): a data commit needs a majority in any one region, so an election
+// must collect a majority in every region — any single region's disruption
+// blocks elections. It is implemented as a baseline for the quorum-mode
+// ablation.
+type StaticAnyRegion struct{}
+
+// Name implements Strategy.
+func (StaticAnyRegion) Name() string { return "static-any-region" }
+
+// DataCommitSatisfied implements Strategy.
+func (StaticAnyRegion) DataCommitSatisfied(cfg wire.Config, _ wire.Region, acks map[wire.NodeID]bool) bool {
+	for _, r := range cfg.Regions() {
+		if hasMajority(cfg.VotersInRegion(r), acks) {
+			return true
+		}
+	}
+	return false
+}
+
+// ElectionSatisfied implements Strategy.
+func (StaticAnyRegion) ElectionSatisfied(cfg wire.Config, _, _ wire.Region, votes map[wire.NodeID]bool) bool {
+	regions := cfg.Regions()
+	if len(regions) == 0 {
+		return false
+	}
+	for _, r := range regions {
+		if !hasMajority(cfg.VotersInRegion(r), votes) {
+			return false
+		}
+	}
+	return true
+}
+
+// SingleRegionDynamic is FlexiRaft's production mode (§4.1): the data
+// commit quorum is a majority of the voters in the current leader's
+// region, so commits complete at intra-region latency. The quorum moves
+// with the leader ("dynamic"). An election quorum must intersect the last
+// data quorum, so a candidate needs a majority of its own region (its
+// future data quorum) and a majority of the last known leader's region.
+// When the last leader is unknown (fresh cluster, lost state), it falls
+// back to a majority of every region, which intersects any possible prior
+// data quorum.
+type SingleRegionDynamic struct{}
+
+// Name implements Strategy.
+func (SingleRegionDynamic) Name() string { return "single-region-dynamic" }
+
+// DataCommitSatisfied implements Strategy.
+func (SingleRegionDynamic) DataCommitSatisfied(cfg wire.Config, leaderRegion wire.Region, acks map[wire.NodeID]bool) bool {
+	return hasMajority(cfg.VotersInRegion(leaderRegion), acks)
+}
+
+// ElectionSatisfied implements Strategy.
+func (SingleRegionDynamic) ElectionSatisfied(cfg wire.Config, candidateRegion, lastLeaderRegion wire.Region, votes map[wire.NodeID]bool) bool {
+	if !hasMajority(cfg.VotersInRegion(candidateRegion), votes) {
+		return false
+	}
+	if lastLeaderRegion == "" {
+		// Unknown history: intersect every possible prior data quorum.
+		for _, r := range cfg.Regions() {
+			if !hasMajority(cfg.VotersInRegion(r), votes) {
+				return false
+			}
+		}
+		return true
+	}
+	return hasMajority(cfg.VotersInRegion(lastLeaderRegion), votes)
+}
+
+// Grid requires region-majorities in a majority of regions for both data
+// commits and elections. Two such quorums always intersect (two majorities
+// of regions share a region, and two majorities within that region share a
+// member), making Grid self-intersecting without leader-region tracking.
+// It is the "multi-region commit quorum" configuration mentioned in §4.1
+// for applications choosing consistency over latency.
+type Grid struct{}
+
+// Name implements Strategy.
+func (Grid) Name() string { return "grid" }
+
+func gridSatisfied(cfg wire.Config, acks map[wire.NodeID]bool) bool {
+	regions := cfg.Regions()
+	if len(regions) == 0 {
+		return false
+	}
+	n := 0
+	for _, r := range regions {
+		if hasMajority(cfg.VotersInRegion(r), acks) {
+			n++
+		}
+	}
+	return n >= len(regions)/2+1
+}
+
+// DataCommitSatisfied implements Strategy.
+func (Grid) DataCommitSatisfied(cfg wire.Config, _ wire.Region, acks map[wire.NodeID]bool) bool {
+	return gridSatisfied(cfg, acks)
+}
+
+// ElectionSatisfied implements Strategy.
+func (Grid) ElectionSatisfied(cfg wire.Config, _, _ wire.Region, votes map[wire.NodeID]bool) bool {
+	return gridSatisfied(cfg, votes)
+}
+
+// CommittedIndex returns the highest log index whose acknowledgement set
+// satisfies the data-commit quorum, given each voter's match index (the
+// highest entry known replicated to it, with the leader's own last index
+// included). It works for any Strategy by testing candidate indexes in
+// descending order.
+func CommittedIndex(s Strategy, cfg wire.Config, leaderRegion wire.Region, match map[wire.NodeID]uint64) uint64 {
+	// Candidate committed indexes are exactly the distinct match values.
+	values := make([]uint64, 0, len(match))
+	seen := make(map[uint64]bool, len(match))
+	for _, v := range match {
+		if v > 0 && !seen[v] {
+			seen[v] = true
+			values = append(values, v)
+		}
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] > values[j] })
+	for _, v := range values {
+		acks := make(map[wire.NodeID]bool, len(match))
+		for id, m := range match {
+			if m >= v {
+				acks[id] = true
+			}
+		}
+		if s.DataCommitSatisfied(cfg, leaderRegion, acks) {
+			return v
+		}
+	}
+	return 0
+}
+
+// RegionWatermarks returns, per region, the highest index replicated to a
+// majority of that region's voters. FlexiRaft maintains these watermarks
+// to commit from the in-region quorum (§4.1) and to gate log purging until
+// entries have been shipped out of region (§A.1).
+func RegionWatermarks(cfg wire.Config, match map[wire.NodeID]uint64) map[wire.Region]uint64 {
+	out := make(map[wire.Region]uint64)
+	for _, r := range cfg.Regions() {
+		voters := cfg.VotersInRegion(r)
+		idxs := make([]uint64, 0, len(voters))
+		for _, m := range voters {
+			idxs = append(idxs, match[m.ID])
+		}
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i] > idxs[j] })
+		need := len(voters)/2 + 1
+		if need <= len(idxs) {
+			out[r] = idxs[need-1]
+		}
+	}
+	return out
+}
+
+// ByName returns the strategy with the given Name, defaulting to Majority
+// for unknown names.
+func ByName(name string) Strategy {
+	switch name {
+	case "single-region-dynamic":
+		return SingleRegionDynamic{}
+	case "static-any-region":
+		return StaticAnyRegion{}
+	case "grid":
+		return Grid{}
+	default:
+		return Majority{}
+	}
+}

@@ -1,0 +1,143 @@
+// Package quorumfixer implements the Quorum Fixer remediation tool
+// (§5.3): when a FlexiRaft data-commit quorum is "shattered" (e.g. the
+// leader and its in-region logtailers fail together), no member can win a
+// normal election and the replicaset loses write availability until the
+// partition heals. The fixer restores availability by (1) inspecting the
+// ring, (2) finding the healthy entity with the longest log, (3) forcibly
+// relaxing the quorum expectations so that entity can win an election,
+// and (4) resetting the quorum rules once promotion succeeds.
+//
+// Like the paper's tool it is deliberately operator-driven, never
+// automatic, and defaults to a conservative mode that refuses to elect a
+// member whose log is shorter than another healthy member's (no silent
+// data loss).
+package quorumfixer
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/opid"
+	"myraft/internal/quorum"
+	"myraft/internal/raft"
+	"myraft/internal/wire"
+)
+
+// Options configures a fix run.
+type Options struct {
+	// AllowDataLoss permits electing a member whose log trails another
+	// healthy member's (relaxed mode). Default false: conservative.
+	AllowDataLoss bool
+	// Timeout bounds the whole remediation (default 30s).
+	Timeout time.Duration
+}
+
+// Report describes what the fixer did.
+type Report struct {
+	// Chosen is the entity promoted to leader.
+	Chosen wire.NodeID
+	// ChosenOpID is its log tail at selection time.
+	ChosenOpID opid.OpID
+	// Surveyed maps each healthy member to its log tail.
+	Surveyed map[wire.NodeID]opid.OpID
+}
+
+// forced is the relaxed election quorum: any self-vote wins. Data commits
+// still use it only until the fixer resets the override.
+type forced struct{}
+
+func (forced) Name() string { return "quorum-fixer-override" }
+
+func (forced) DataCommitSatisfied(cfg wire.Config, r wire.Region, acks map[wire.NodeID]bool) bool {
+	return len(acks) >= 1
+}
+
+func (forced) ElectionSatisfied(cfg wire.Config, _, _ wire.Region, votes map[wire.NodeID]bool) bool {
+	return len(votes) >= 1
+}
+
+var _ quorum.Strategy = forced{}
+
+// Fix restores write availability on a shattered ring. It surveys the
+// healthy members out of band, picks the longest log, overrides the
+// quorum on that member, forces an election, waits for a writable
+// primary, and resets the quorum expectations.
+func Fix(ctx context.Context, c *cluster.Cluster, opts Options) (*Report, error) {
+	if opts.Timeout == 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+
+	// Step 1+2: out-of-band survey of log tails.
+	report := &Report{Surveyed: make(map[wire.NodeID]opid.OpID)}
+	var chosen *cluster.Member
+	var chosenOp opid.OpID
+	var longest opid.OpID
+	for _, m := range c.Members() {
+		if m.IsDown() || m.Node() == nil {
+			continue
+		}
+		st := m.Node().Status()
+		if st.Role == raft.RoleLeader {
+			return nil, fmt.Errorf("quorumfixer: %s is already leader; ring not shattered", m.Spec.ID)
+		}
+		report.Surveyed[m.Spec.ID] = st.LastOpID
+		if longest.Less(st.LastOpID) {
+			longest = st.LastOpID
+		}
+		// Prefer MySQL members as the next leader; a logtailer would
+		// immediately transfer away, adding a hop.
+		better := chosen == nil ||
+			chosenOp.Less(st.LastOpID) ||
+			(chosenOp == st.LastOpID && chosen.Spec.Kind == cluster.KindLogtailer && m.Spec.Kind == cluster.KindMySQL)
+		if m.Spec.Kind == cluster.KindLogtailer && chosen != nil && chosen.Spec.Kind == cluster.KindMySQL && !chosenOp.Less(st.LastOpID) {
+			better = false
+		}
+		if better {
+			chosen = m
+			chosenOp = st.LastOpID
+		}
+	}
+	if chosen == nil {
+		return nil, fmt.Errorf("quorumfixer: no healthy members")
+	}
+	if chosenOp.Less(longest) && !opts.AllowDataLoss {
+		return nil, fmt.Errorf("quorumfixer: chosen %s (log %v) trails longest log %v; rerun with AllowDataLoss to accept loss",
+			chosen.Spec.ID, chosenOp, longest)
+	}
+	report.Chosen = chosen.Spec.ID
+	report.ChosenOpID = chosenOp
+
+	// Step 3: override the quorum and force an election.
+	node := chosen.Node()
+	node.ForceQuorum(forced{})
+	defer node.ForceQuorum(nil) // step 4, always restore
+	node.CampaignNow()
+
+	// Wait for leadership; for a logtailer leader, its auto-transfer
+	// would need a healthy MySQL, so we only require Raft leadership plus
+	// (for MySQL members) write availability.
+	for {
+		st := node.Status()
+		if st.Role == raft.RoleLeader {
+			if chosen.Spec.Kind != cluster.KindMySQL {
+				return report, nil
+			}
+			if srv := chosen.Server(); srv != nil && !srv.IsReadOnly() {
+				return report, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("quorumfixer: promotion timed out: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+			if st.Role != raft.RoleLeader {
+				node.CampaignNow()
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package quorumfixer
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/quorum"
+	"myraft/internal/raft"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+// shatteredCluster bootstraps a 2-region FlexiRaft ring and destroys the
+// primary region's data quorum (leader + both in-region logtailers).
+func shatteredCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{
+		Name: "rs-fix",
+		Dir:  t.TempDir(),
+		Raft: raft.Config{
+			HeartbeatInterval: 10 * time.Millisecond,
+			Strategy:          quorum.SingleRegionDynamic{},
+		},
+		NetConfig: transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: 2 * time.Millisecond,
+		},
+	}, cluster.PaperTopology(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	client := c.NewClient(0)
+	for i := 0; i < 5; i++ {
+		if _, err := client.Write(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let region-1 fully converge before the disaster, so the survivor's
+	// log is complete (conservative mode requires this).
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		sums := c.EngineChecksums()
+		if len(sums) == 2 && sums["mysql-0"] == sums["mysql-1"] {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Shatter the quorum.
+	c.Crash("lt-0-0")
+	c.Crash("lt-0-1")
+	c.Crash("mysql-0")
+	return c
+}
+
+func TestFixRestoresAvailabilityAfterShatteredQuorum(t *testing.T) {
+	c := shatteredCluster(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Sanity: the ring cannot elect on its own (region-0 majority is
+	// unreachable), so no primary appears.
+	shortCtx, shortCancel := context.WithTimeout(ctx, 300*time.Millisecond)
+	if _, err := c.AnyPrimary(shortCtx); err == nil {
+		t.Fatal("ring recovered without the fixer; quorum not shattered")
+	}
+	shortCancel()
+
+	report, err := Fix(ctx, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Chosen == "" || len(report.Surveyed) == 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Write availability restored.
+	m, err := c.AnyPrimary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := c.NewClient(0)
+	if _, err := client.Write(ctx, "post-fix", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Committed pre-disaster data survived (the survivor had the full
+	// log).
+	if v, ok := m.Server().Read("k4"); !ok || string(v) != "v" {
+		t.Fatalf("k4 = %q %v", v, ok)
+	}
+	// Quorum override was reset: normal rules apply again. The restored
+	// ring keeps functioning (heartbeats from the fixed leader).
+	st := m.Node().Status()
+	if st.Role != raft.RoleLeader {
+		t.Fatal("fixed leader lost leadership after override reset")
+	}
+}
+
+func TestFixRefusesWhenRingHealthy(t *testing.T) {
+	c, err := cluster.New(cluster.Options{
+		Dir:  t.TempDir(),
+		Raft: raft.Config{HeartbeatInterval: 10 * time.Millisecond},
+	}, cluster.PaperTopology(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fix(ctx, c, Options{}); err == nil {
+		t.Fatal("fixer ran against a healthy ring")
+	}
+}
+
+func TestConservativeModeRefusesDataLoss(t *testing.T) {
+	c, err := cluster.New(cluster.Options{
+		Dir: t.TempDir(),
+		Raft: raft.Config{
+			HeartbeatInterval: 10 * time.Millisecond,
+			Strategy:          quorum.SingleRegionDynamic{},
+		},
+	}, cluster.PaperTopology(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	// Lag mysql-1 behind, then shatter region-0 except one logtailer that
+	// has the longest log.
+	c.Net().Partition("mysql-0", "mysql-1")
+	client := c.NewClient(0)
+	for i := 0; i < 10; i++ {
+		if _, err := client.Write(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// lt-0-0 has the full log; mysql-1 lags. Crash the leader and lt-0-1.
+	c.Crash("mysql-0")
+	c.Crash("lt-0-1")
+	// With lt-0-0 surveyed as longest but mysql-1 preferred... the fixer
+	// must pick the longest log (lt-0-0) or refuse under conservatism if
+	// it would pick a shorter one. Either way, a conservative Fix must
+	// not pick the lagging mysql-1 over the logtailer.
+	report, err := Fix(ctx, c, Options{Timeout: 10 * time.Second})
+	if err != nil {
+		// Refusal is acceptable conservative behaviour.
+		t.Logf("conservative refusal: %v", err)
+		return
+	}
+	if report.Chosen == wire.NodeID("mysql-1") {
+		t.Fatal("conservative mode elected a lagging member")
+	}
+}

@@ -1,0 +1,182 @@
+package raft
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"sync"
+
+	"myraft/internal/opid"
+	"myraft/internal/wire"
+)
+
+// entryCache is the leader/proxy in-memory log cache (§3.1, §3.4): recent
+// entries are kept in memory so replication and proxy reconstitution do
+// not need to parse binlog files; entries that fall out of the window are
+// read back through the LogStore's historical path.
+//
+// Per §3.4 ("Raft compresses the transaction and stores it in its
+// in-memory cache"), payloads above a threshold are kept flate-compressed
+// and transparently decompressed on read, trading a little CPU for cache
+// density.
+//
+// The cache is owned by the node's event loop and needs no locking.
+type entryCache struct {
+	entries  map[uint64]*cachedEntry
+	first    uint64 // lowest cached index, 0 when empty
+	last     uint64 // highest cached index, 0 when empty
+	cap      int
+	compress bool
+}
+
+// cachedEntry is one cache slot; payload is stored compressed when that
+// actually saves space.
+type cachedEntry struct {
+	meta       wire.LogEntry // Payload nil; header fields only
+	payload    []byte
+	compressed bool
+	rawLen     int
+}
+
+// compressThreshold is the minimum payload size worth compressing.
+const compressThreshold = 128
+
+func newEntryCache(capacity int, compress bool) *entryCache {
+	return &entryCache{entries: make(map[uint64]*cachedEntry), cap: capacity, compress: compress}
+}
+
+// flateWriters pools flate writers: allocating one per append would cost
+// ~1 MB and dominate the commit path.
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+// compressPayload flate-compresses data, returning (compressed, true)
+// only when compression saves space.
+func compressPayload(data []byte) ([]byte, bool) {
+	if len(data) < compressThreshold {
+		return data, false
+	}
+	w := flateWriters.Get().(*flate.Writer)
+	defer flateWriters.Put(w)
+	var buf bytes.Buffer
+	w.Reset(&buf)
+	if _, err := w.Write(data); err != nil {
+		return data, false
+	}
+	if err := w.Close(); err != nil {
+		return data, false
+	}
+	if buf.Len() >= len(data) {
+		return data, false
+	}
+	return buf.Bytes(), true
+}
+
+// decompressPayload inflates a compressed cache slot.
+func decompressPayload(data []byte, rawLen int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	out := make([]byte, 0, rawLen)
+	buf := bytes.NewBuffer(out)
+	if _, err := io.Copy(buf, r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// add inserts an entry at the tail of the cache. Non-contiguous inserts
+// reset the cache to the new entry (the window must stay contiguous for
+// range reads).
+func (c *entryCache) add(e *wire.LogEntry) {
+	idx := e.OpID.Index
+	if c.last != 0 && idx != c.last+1 {
+		c.reset()
+	}
+	meta := *e
+	meta.Payload = nil
+	var payload []byte
+	compressed := false
+	if c.compress {
+		payload, compressed = compressPayload(e.Payload)
+	} else {
+		payload = e.Payload
+	}
+	if !compressed && e.Payload != nil {
+		payload = append([]byte(nil), e.Payload...)
+	}
+	c.entries[idx] = &cachedEntry{
+		meta:       meta,
+		payload:    payload,
+		compressed: compressed,
+		rawLen:     len(e.Payload),
+	}
+	if c.first == 0 {
+		c.first = idx
+	}
+	c.last = idx
+	for len(c.entries) > c.cap {
+		delete(c.entries, c.first)
+		c.first++
+	}
+}
+
+// get returns the cached entry at index, if present, decompressing the
+// payload when needed. A decompression failure (impossible unless memory
+// was corrupted) reports a miss, falling back to the log store.
+func (c *entryCache) get(index uint64) (*wire.LogEntry, bool) {
+	ce, ok := c.entries[index]
+	if !ok {
+		return nil, false
+	}
+	e := ce.meta
+	if ce.compressed {
+		raw, err := decompressPayload(ce.payload, ce.rawLen)
+		if err != nil {
+			return nil, false
+		}
+		e.Payload = raw
+	} else if ce.rawLen > 0 {
+		e.Payload = ce.payload
+	}
+	return &e, true
+}
+
+// termAt returns the term of the cached entry at index, if present.
+func (c *entryCache) termAt(index uint64) (uint64, bool) {
+	if ce, ok := c.entries[index]; ok {
+		return ce.meta.OpID.Term, true
+	}
+	return 0, false
+}
+
+// truncateAfter drops cached entries with index > index.
+func (c *entryCache) truncateAfter(index uint64) {
+	if c.last == 0 || index >= c.last {
+		return
+	}
+	for i := index + 1; i <= c.last; i++ {
+		delete(c.entries, i)
+	}
+	if index < c.first {
+		c.reset()
+		return
+	}
+	c.last = index
+}
+
+func (c *entryCache) reset() {
+	c.entries = make(map[uint64]*cachedEntry)
+	c.first, c.last = 0, 0
+}
+
+// lastOpID returns the OpID of the cache tail, or zero when empty.
+func (c *entryCache) lastOpID() opid.OpID {
+	if c.last == 0 {
+		return opid.Zero
+	}
+	return c.entries[c.last].meta.OpID
+}

@@ -1,0 +1,229 @@
+package raft
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"myraft/internal/opid"
+	"myraft/internal/wire"
+)
+
+func cacheEntry(term, index uint64) *wire.LogEntry {
+	return &wire.LogEntry{OpID: opid.OpID{Term: term, Index: index}}
+}
+
+func TestCacheAddAndGet(t *testing.T) {
+	c := newEntryCache(10, true)
+	for i := uint64(1); i <= 5; i++ {
+		c.add(cacheEntry(1, i))
+	}
+	for i := uint64(1); i <= 5; i++ {
+		e, ok := c.get(i)
+		if !ok || e.OpID.Index != i {
+			t.Fatalf("get(%d) = %v %v", i, e, ok)
+		}
+	}
+	if _, ok := c.get(6); ok {
+		t.Fatal("phantom entry")
+	}
+	if c.lastOpID() != (opid.OpID{Term: 1, Index: 5}) {
+		t.Fatalf("lastOpID = %v", c.lastOpID())
+	}
+}
+
+func TestCacheEvictsOldest(t *testing.T) {
+	c := newEntryCache(3, true)
+	for i := uint64(1); i <= 5; i++ {
+		c.add(cacheEntry(1, i))
+	}
+	if _, ok := c.get(1); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := c.get(2); ok {
+		t.Fatal("second entry not evicted")
+	}
+	for i := uint64(3); i <= 5; i++ {
+		if _, ok := c.get(i); !ok {
+			t.Fatalf("entry %d evicted prematurely", i)
+		}
+	}
+}
+
+func TestCacheNonContiguousResets(t *testing.T) {
+	c := newEntryCache(10, true)
+	c.add(cacheEntry(1, 1))
+	c.add(cacheEntry(1, 2))
+	c.add(cacheEntry(2, 10)) // gap: reset
+	if _, ok := c.get(1); ok {
+		t.Fatal("stale window survived reset")
+	}
+	if e, ok := c.get(10); !ok || e.OpID.Term != 2 {
+		t.Fatal("new window missing")
+	}
+}
+
+func TestCacheTruncateAfter(t *testing.T) {
+	c := newEntryCache(10, true)
+	for i := uint64(1); i <= 8; i++ {
+		c.add(cacheEntry(1, i))
+	}
+	c.truncateAfter(5)
+	if _, ok := c.get(6); ok {
+		t.Fatal("truncated entry present")
+	}
+	if e, ok := c.get(5); !ok || e.OpID.Index != 5 {
+		t.Fatal("kept entry missing")
+	}
+	if c.lastOpID().Index != 5 {
+		t.Fatalf("lastOpID = %v", c.lastOpID())
+	}
+	// Truncating below the window empties it.
+	c.truncateAfter(0)
+	if c.lastOpID() != opid.Zero {
+		t.Fatalf("lastOpID after full truncate = %v", c.lastOpID())
+	}
+	// Appends restart cleanly.
+	c.add(cacheEntry(3, 1))
+	if e, ok := c.get(1); !ok || e.OpID.Term != 3 {
+		t.Fatal("append after reset failed")
+	}
+}
+
+func TestCacheTermAt(t *testing.T) {
+	c := newEntryCache(10, true)
+	c.add(cacheEntry(7, 1))
+	if term, ok := c.termAt(1); !ok || term != 7 {
+		t.Fatalf("termAt = %d %v", term, ok)
+	}
+	if _, ok := c.termAt(2); ok {
+		t.Fatal("phantom term")
+	}
+}
+
+// Property: the cache window is always contiguous and within capacity.
+func TestCacheWindowInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := newEntryCache(8, true)
+		next := uint64(1)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1:
+				c.add(cacheEntry(1, next))
+				next++
+			case 2:
+				cut := uint64(op) % (next + 1)
+				c.truncateAfter(cut)
+				if cut < next {
+					if cut == 0 || cut < c.first {
+						// window reset; next append may restart anywhere
+						next = cut + 1
+					} else {
+						next = cut + 1
+					}
+				}
+			}
+			if len(c.entries) > 8 {
+				return false
+			}
+			if c.last != 0 {
+				for i := c.first; i <= c.last; i++ {
+					if _, ok := c.entries[i]; !ok {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheCompressesLargePayloads(t *testing.T) {
+	c := newEntryCache(10, true)
+	// Highly compressible 4KB payload.
+	payload := bytes.Repeat([]byte("abcdefgh"), 512)
+	e := &wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}, Payload: payload}
+	c.add(e)
+	ce := c.entries[1]
+	if !ce.compressed {
+		t.Fatal("compressible payload stored uncompressed")
+	}
+	if len(ce.payload) >= len(payload) {
+		t.Fatalf("no space saved: %d vs %d", len(ce.payload), len(payload))
+	}
+	got, ok := c.get(1)
+	if !ok || !bytes.Equal(got.Payload, payload) {
+		t.Fatal("round trip through compression failed")
+	}
+	// The caller's view must not alias the cache.
+	got.Payload[0] = 'X'
+	again, _ := c.get(1)
+	if again.Payload[0] == 'X' {
+		t.Fatal("decompressed payload aliased between reads")
+	}
+}
+
+func TestCacheSkipsIncompressiblePayloads(t *testing.T) {
+	c := newEntryCache(10, true)
+	// Random bytes do not compress.
+	payload := make([]byte, 1024)
+	rnd := uint32(12345)
+	for i := range payload {
+		rnd = rnd*1664525 + 1013904223
+		payload[i] = byte(rnd >> 24)
+	}
+	c.add(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}, Payload: payload})
+	if c.entries[1].compressed {
+		t.Fatal("incompressible payload stored compressed")
+	}
+	got, ok := c.get(1)
+	if !ok || !bytes.Equal(got.Payload, payload) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestCacheSmallPayloadsUncompressed(t *testing.T) {
+	c := newEntryCache(10, true)
+	c.add(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}, Payload: []byte("tiny")})
+	if c.entries[1].compressed {
+		t.Fatal("tiny payload compressed")
+	}
+	got, _ := c.get(1)
+	if string(got.Payload) != "tiny" {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestCacheCompressionRoundTripProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		c := newEntryCache(4, true)
+		c.add(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}, Payload: payload})
+		got, ok := c.get(1)
+		if !ok {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(got.Payload) == 0
+		}
+		return bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheUncompressedMode(t *testing.T) {
+	c := newEntryCache(10, false)
+	payload := bytes.Repeat([]byte("abcdefgh"), 512)
+	c.add(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}, Payload: payload})
+	if c.entries[1].compressed {
+		t.Fatal("compression ran with compress=false")
+	}
+	got, ok := c.get(1)
+	if !ok || !bytes.Equal(got.Payload, payload) {
+		t.Fatal("round trip failed")
+	}
+}

@@ -1,0 +1,896 @@
+package raft
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"myraft/internal/clock"
+	"myraft/internal/gtid"
+	"myraft/internal/opid"
+	"myraft/internal/quorum"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+// peerState is the leader's replication bookkeeping for one peer. All
+// replica log bookkeeping stays in the leader even with Proxying, keeping
+// the protocol effectively standard Raft from a safety perspective
+// (§4.2.1).
+type peerState struct {
+	next    uint64 // next entry index to send
+	match   uint64 // highest index known replicated
+	lastAck time.Time
+}
+
+// commitWaiter is a pipeline thread blocked in the "wait for Raft
+// consensus commit" stage (§3.4).
+type commitWaiter struct {
+	index uint64
+	ch    chan error
+}
+
+// pendingProxy is a proxied AppendEntries whose payload the final proxy
+// could not yet reconstitute from its local log (§4.2.1).
+type pendingProxy struct {
+	req      *wire.AppendEntriesReq
+	nextHop  wire.NodeID
+	deadline time.Time
+}
+
+// confVersion is one point in the membership history, used to roll the
+// active config back when a config entry is truncated.
+type confVersion struct {
+	index uint64
+	cfg   wire.Config
+}
+
+// Node is a MyRaft consensus participant.
+type Node struct {
+	cfg   Config
+	clk   clock.Clock
+	tr    Transport
+	log   LogStore
+	cb    Callbacks
+	cache *entryCache
+	store *stateStore
+	rng   *rand.Rand
+
+	// Everything below is owned by the run loop.
+	role     Role
+	term     uint64
+	votedFor wire.NodeID
+	leader   wire.NodeID
+
+	lastLeaderRegion  wire.Region
+	lastLeaderTerm    uint64
+	lastLeaderContact time.Time
+
+	members     wire.Config
+	confHistory []confVersion
+
+	commitIndex uint64
+	lastOpID    opid.OpID
+	firstIndex  uint64
+
+	peers    map[wire.NodeID]*peerState
+	campaign *campaignState
+	mock     *mockState
+	transfer *transferState
+	override quorum.Strategy // quorum fixer override; nil normally
+
+	waiters      []commitWaiter
+	pendingProxy []pendingProxy
+
+	electionDeadline time.Time
+	noOpIndex        uint64 // index of this leadership's No-Op entry
+	needsBroadcast   bool   // coalesces broadcasts across queued proposals
+
+	api  chan func()
+	stop chan struct{}
+	done chan struct{}
+}
+
+// campaignState tracks an in-flight (pre-)election.
+type campaignState struct {
+	kind  wire.VoteKind
+	term  uint64 // term being campaigned for
+	votes map[wire.NodeID]bool
+	// intersect collects the last-known-leader regions reported by
+	// granting voters (FlexiRaft voting history, §4.1); the election
+	// quorum must hold a majority in each.
+	intersect map[wire.Region]bool
+}
+
+// mockState tracks a mock election run on behalf of a transferring leader
+// (§4.3).
+type mockState struct {
+	asker     wire.NodeID
+	snapshot  opid.OpID
+	votes     map[wire.NodeID]bool
+	rejected  bool
+	reason    string
+	deadline  time.Time
+	intersect map[wire.Region]bool
+}
+
+// transferStage sequences a graceful TransferLeadership.
+type transferStage int
+
+const (
+	transferMock    transferStage = iota // waiting for the mock election result
+	transferCatchup                      // quiesced, waiting for the target to match the tail
+	transferFired                        // StartElection sent
+)
+
+// transferState tracks the leader side of a graceful transfer.
+type transferState struct {
+	target   wire.NodeID
+	stage    transferStage
+	deadline time.Time
+	resp     chan error
+}
+
+// NewNode creates a node. Call Start to boot it.
+func NewNode(cfg Config, log LogStore, cb Callbacks, tr Transport, clk clock.Clock) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if clk == nil {
+		clk = clock.Real()
+	}
+	if cb == nil {
+		cb = NopCallbacks{}
+	}
+	store, err := newStateStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	hs, err := store.load()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:      cfg,
+		clk:      clk,
+		tr:       tr,
+		log:      log,
+		cb:       cb,
+		cache:    newEntryCache(cfg.CacheCapacity, cfg.CompressCache),
+		store:    store,
+		rng:      rand.New(rand.NewSource(int64(len(cfg.ID)) + int64(hashID(cfg.ID)))),
+		role:     RoleFollower,
+		term:     hs.Term,
+		votedFor: hs.VotedFor,
+		peers:    make(map[wire.NodeID]*peerState),
+		api:      make(chan func(), 256),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	return n, nil
+}
+
+func hashID(id wire.NodeID) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return h
+}
+
+// Start boots the node with the given bootstrap membership. If the log
+// already contains config entries (recovered state), the newest one wins
+// over the bootstrap config. Start also rebuilds the membership history
+// and tail state from the log.
+func (n *Node) Start(bootstrap wire.Config) error {
+	n.members = bootstrap.Clone()
+	n.confHistory = []confVersion{{index: 0, cfg: n.members.Clone()}}
+	n.lastOpID = n.log.LastOpID()
+	n.firstIndex = n.log.FirstIndex()
+	// The current term can never trail the log tail's term. This matters
+	// when adopting a log produced outside Raft (the enable-raft rollout
+	// imports semi-sync binlogs whose entries carry promotion eras).
+	if n.lastOpID.Term > n.term {
+		n.term = n.lastOpID.Term
+		n.votedFor = ""
+		n.persistHardState()
+	}
+
+	// Recover membership from config entries already in the log and warm
+	// the entry cache. Stores that support sequential scans (the binlog)
+	// are scanned file-by-file; others are read entry-by-entry.
+	var scanErr error
+	visit := func(e *wire.LogEntry) bool {
+		if e.Kind == wire.EntryType(entryConfigKind) {
+			cfg, err := wire.DecodeConfig(e.Payload)
+			if err != nil {
+				scanErr = fmt.Errorf("raft: corrupt config entry %d: %w", e.OpID.Index, err)
+				return false
+			}
+			n.members = cfg
+			n.confHistory = append(n.confHistory, confVersion{index: e.OpID.Index, cfg: cfg.Clone()})
+		}
+		n.cache.add(e)
+		return true
+	}
+	if scanner, ok := n.log.(interface {
+		ScanFrom(from uint64, fn func(*wire.LogEntry) bool) error
+	}); ok && n.firstIndex != 0 {
+		if err := scanner.ScanFrom(n.firstIndex, visit); err != nil {
+			return fmt.Errorf("raft: start scan: %w", err)
+		}
+	} else {
+		for idx := n.firstIndex; idx != 0 && idx <= n.lastOpID.Index; idx++ {
+			e, err := n.log.Entry(idx)
+			if err != nil {
+				return fmt.Errorf("raft: start scan: %w", err)
+			}
+			if !visit(e) {
+				break
+			}
+		}
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	n.resetElectionDeadline()
+	go n.run()
+	return nil
+}
+
+// Stop terminates the node's event loop.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+		return
+	default:
+	}
+	close(n.stop)
+	<-n.done
+}
+
+// entry kind constants mirrored from the binlog package (raft must not
+// import binlog; the plugin owns the mapping, and these values are part
+// of the on-disk format so they are stable).
+const (
+	entryNormalKind = 1
+	entryNoOpKind   = 2
+	entryConfigKind = 3
+	entryRotateKind = 4
+)
+
+// run is the event loop.
+func (n *Node) run() {
+	defer close(n.done)
+	tickEvery := n.cfg.HeartbeatInterval / 2
+	if tickEvery <= 0 {
+		tickEvery = time.Millisecond
+	}
+	ticker := n.clk.NewTicker(tickEvery)
+	defer ticker.Stop()
+	var lastHeartbeat time.Time
+	for {
+		select {
+		case <-n.stop:
+			n.failWaiters(ErrStopped)
+			return
+		case fn := <-n.api:
+			fn()
+			// Drain queued API calls so concurrent proposals coalesce
+			// into a single AppendEntries broadcast below.
+			for drained := false; !drained; {
+				select {
+				case fn := <-n.api:
+					fn()
+				default:
+					drained = true
+				}
+			}
+		case env := <-n.tr.Recv():
+			n.handleMessage(env)
+		case <-ticker.C():
+			now := n.clk.Now()
+			switch n.role {
+			case RoleLeader:
+				if now.Sub(lastHeartbeat) >= n.cfg.HeartbeatInterval {
+					lastHeartbeat = now
+					n.broadcastAppend()
+				}
+				n.maybeAutoStepDown(now)
+			default:
+				if n.isVoter(n.cfg.ID) && now.After(n.electionDeadline) {
+					n.startCampaign(n.preOrReal())
+				}
+			}
+			n.tickProxies(now)
+			n.tickMock(now)
+			n.tickTransfer(now)
+		}
+		// Flush one coalesced broadcast for all proposals accepted in
+		// this loop pass.
+		if n.needsBroadcast {
+			n.needsBroadcast = false
+			if n.role == RoleLeader {
+				n.broadcastAppend()
+			}
+		}
+	}
+}
+
+func (n *Node) preOrReal() wire.VoteKind {
+	if n.cfg.DisablePreVote {
+		return wire.VoteReal
+	}
+	return wire.VotePre
+}
+
+// post runs fn on the event loop and waits for completion. Once enqueued,
+// post only returns after fn has run or after the loop has fully exited
+// (in which case fn will never run): callers may therefore safely read
+// variables fn writes whenever post returns nil, and a non-nil error
+// guarantees fn is not running concurrently.
+func (n *Node) post(fn func()) error {
+	done := make(chan struct{})
+	select {
+	case n.api <- func() { fn(); close(done) }:
+	case <-n.stop:
+		return ErrStopped
+	}
+	select {
+	case <-done:
+		return nil
+	case <-n.done:
+		// The loop has exited; fn either completed just before exit or
+		// will never run.
+		select {
+		case <-done:
+			return nil
+		default:
+			return ErrStopped
+		}
+	}
+}
+
+// resetElectionDeadline randomizes the next election trigger: the paper's
+// production tuning is ElectionTimeoutTicks (3) missed heartbeats plus up
+// to two intervals of jitter to avoid split votes.
+func (n *Node) resetElectionDeadline() {
+	base := time.Duration(n.cfg.ElectionTimeoutTicks) * n.cfg.HeartbeatInterval
+	jitter := time.Duration(n.rng.Float64() * 2 * float64(n.cfg.HeartbeatInterval))
+	n.electionDeadline = n.clk.Now().Add(base + jitter + n.cfg.ElectionTimeoutBias)
+}
+
+func (n *Node) isVoter(id wire.NodeID) bool {
+	m, ok := n.members.Find(id)
+	return ok && m.Voter
+}
+
+func (n *Node) regionOf(id wire.NodeID) wire.Region {
+	if m, ok := n.members.Find(id); ok {
+		return m.Region
+	}
+	return ""
+}
+
+func (n *Node) strategy() quorum.Strategy {
+	if n.override != nil {
+		return n.override
+	}
+	return n.cfg.Strategy
+}
+
+// persistHardState saves term and vote; failures are fatal to safety, so
+// the node keeps running but will refuse to vote again this term anyway —
+// the error is surfaced for logging by callers that care.
+func (n *Node) persistHardState() {
+	_ = n.store.save(hardState{Term: n.term, VotedFor: n.votedFor})
+}
+
+// termAt returns the term of the log entry at index (0 for index 0),
+// consulting the cache first and the log store second.
+func (n *Node) termAt(index uint64) (uint64, bool) {
+	if index == 0 {
+		return 0, true
+	}
+	if t, ok := n.cache.termAt(index); ok {
+		return t, true
+	}
+	if index > n.lastOpID.Index {
+		return 0, false
+	}
+	e, err := n.log.Entry(index)
+	if err != nil {
+		return 0, false
+	}
+	return e.OpID.Term, true
+}
+
+// entryAt reads the entry at index from cache or the log store.
+func (n *Node) entryAt(index uint64) (*wire.LogEntry, bool) {
+	if e, ok := n.cache.get(index); ok {
+		return e, true
+	}
+	e, err := n.log.Entry(index)
+	if err != nil {
+		return nil, false
+	}
+	return e, true
+}
+
+// handleMessage dispatches an incoming envelope.
+func (n *Node) handleMessage(env transport.Envelope) {
+	switch msg := env.Msg.(type) {
+	case *wire.AppendEntriesReq:
+		n.handleAppendReq(env.From, msg)
+	case *wire.AppendEntriesResp:
+		n.handleAppendResp(msg)
+	case *wire.RequestVoteReq:
+		n.handleVoteReq(msg)
+	case *wire.RequestVoteResp:
+		n.handleVoteResp(msg)
+	case *wire.StartElection:
+		n.handleStartElection(msg)
+	case *wire.MockElectionResult:
+		n.handleMockResult(msg)
+	}
+}
+
+// becomeFollower transitions to follower at the given term. A leader
+// being demoted triggers the MySQL demotion orchestration (§3.3).
+func (n *Node) becomeFollower(term uint64, leader wire.NodeID) {
+	wasLeader := n.role == RoleLeader
+	n.role = RoleFollower
+	if term > n.term {
+		n.term = term
+		n.votedFor = ""
+		n.persistHardState()
+	}
+	n.leader = leader
+	n.campaign = nil
+	if n.transfer != nil {
+		n.finishTransfer(ErrTransferFailed)
+	}
+	n.resetElectionDeadline()
+	if wasLeader {
+		n.failWaiters(ErrLeadershipLost)
+		n.peers = make(map[wire.NodeID]*peerState)
+		term := n.term
+		go n.cb.OnDemote(term)
+	}
+}
+
+// becomeLeader transitions to leader: initialize peer bookkeeping, append
+// the leadership-assertion No-Op (§3.3 promotion step 1), replicate, and
+// kick off the promotion orchestration.
+func (n *Node) becomeLeader() {
+	n.role = RoleLeader
+	n.leader = n.cfg.ID
+	n.lastLeaderRegion = n.cfg.Region
+	n.lastLeaderTerm = n.term
+	n.campaign = nil
+	n.peers = make(map[wire.NodeID]*peerState)
+	now := n.clk.Now()
+	for _, m := range n.members.Members {
+		if m.ID == n.cfg.ID {
+			continue
+		}
+		n.peers[m.ID] = &peerState{next: n.lastOpID.Index + 1, lastAck: now}
+	}
+	noop := &wire.LogEntry{
+		OpID: opid.OpID{Term: n.term, Index: n.lastOpID.Index + 1},
+		Kind: entryNoOpKind,
+	}
+	if err := n.appendLocal(noop); err != nil {
+		// The log rejected our no-op; we cannot function as leader.
+		n.becomeFollower(n.term, "")
+		return
+	}
+	n.noOpIndex = noop.OpID.Index
+	n.advanceLeaderCommit()
+	n.broadcastAppend()
+	info := PromoteInfo{Term: n.term, NoOpIndex: n.noOpIndex}
+	go n.cb.OnPromote(info)
+}
+
+// appendLocal writes an entry to the local log (via the plugin, §3.2) and
+// updates tail/cache/membership bookkeeping.
+func (n *Node) appendLocal(e *wire.LogEntry) error {
+	if err := n.log.Append(e); err != nil {
+		return err
+	}
+	n.lastOpID = e.OpID
+	if n.firstIndex == 0 {
+		n.firstIndex = e.OpID.Index
+	}
+	n.cache.add(e)
+	if e.Kind == entryConfigKind {
+		cfg, err := wire.DecodeConfig(e.Payload)
+		if err == nil {
+			n.applyConfig(e.OpID.Index, cfg)
+		}
+	}
+	return nil
+}
+
+// applyConfig activates a membership (effective as soon as written,
+// §2.2) and records it for truncation rollback.
+func (n *Node) applyConfig(index uint64, cfg wire.Config) {
+	n.members = cfg.Clone()
+	n.confHistory = append(n.confHistory, confVersion{index: index, cfg: cfg.Clone()})
+	if n.role == RoleLeader {
+		now := n.clk.Now()
+		for _, m := range cfg.Members {
+			if m.ID == n.cfg.ID {
+				continue
+			}
+			if _, ok := n.peers[m.ID]; !ok {
+				n.peers[m.ID] = &peerState{next: n.lastOpID.Index + 1, lastAck: now}
+			}
+		}
+		for id := range n.peers {
+			if _, ok := cfg.Find(id); !ok {
+				delete(n.peers, id)
+			}
+		}
+	}
+	cb := cfg.Clone()
+	go n.cb.OnMembershipChange(cb)
+}
+
+// truncateTo removes log entries after index, rolling back membership if
+// config entries were cut, and informs the plugin so GTIDs can be removed
+// from all metadata (§3.3 demotion step 4).
+func (n *Node) truncateTo(index uint64) error {
+	if _, err := n.log.TruncateAfter(index); err != nil {
+		return err
+	}
+	n.cache.truncateAfter(index)
+	for len(n.confHistory) > 1 && n.confHistory[len(n.confHistory)-1].index > index {
+		n.confHistory = n.confHistory[:len(n.confHistory)-1]
+	}
+	n.members = n.confHistory[len(n.confHistory)-1].cfg.Clone()
+	n.lastOpID = n.log.LastOpID()
+	if n.lastOpID.IsZero() {
+		n.firstIndex = 0
+	}
+	return nil
+}
+
+// failWaiters aborts every blocked commit wait with err.
+func (n *Node) failWaiters(err error) {
+	for _, w := range n.waiters {
+		w.ch <- err
+	}
+	n.waiters = nil
+}
+
+// notifyWaiters completes commit waits up to the new commit index.
+func (n *Node) notifyWaiters() {
+	if len(n.waiters) == 0 {
+		return
+	}
+	kept := n.waiters[:0]
+	for _, w := range n.waiters {
+		if w.index <= n.commitIndex {
+			w.ch <- nil
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	n.waiters = kept
+}
+
+// setCommitIndex advances the commit marker and fans out notifications.
+func (n *Node) setCommitIndex(index uint64) {
+	if index <= n.commitIndex {
+		return
+	}
+	n.commitIndex = index
+	n.notifyWaiters()
+	go n.cb.OnCommitAdvance(index)
+}
+
+// --- public API (all methods post onto the event loop) ---
+
+// Propose appends a client transaction to the replicated log. It returns
+// the assigned OpID; the caller then blocks in WaitCommitted (stage 2 of
+// the commit pipeline, §3.4). Only the leader accepts proposals.
+func (n *Node) Propose(payload []byte, g gtid.GTID, hasGTID bool) (opid.OpID, error) {
+	return n.propose(payload, g, hasGTID, entryNormalKind)
+}
+
+// ProposeRotate replicates a log-rotation marker (FLUSH BINARY LOGS,
+// §A.1).
+func (n *Node) ProposeRotate() (opid.OpID, error) {
+	return n.propose(nil, gtid.GTID{}, false, entryRotateKind)
+}
+
+func (n *Node) propose(payload []byte, g gtid.GTID, hasGTID bool, kind int) (opid.OpID, error) {
+	var op opid.OpID
+	var perr error
+	err := n.post(func() {
+		if n.role != RoleLeader {
+			perr = ErrNotLeader
+			return
+		}
+		if n.transfer != nil && n.transfer.stage >= transferCatchup {
+			perr = ErrQuiesced
+			return
+		}
+		e := &wire.LogEntry{
+			OpID:    opid.OpID{Term: n.term, Index: n.lastOpID.Index + 1},
+			Kind:    wire.EntryType(kind),
+			HasGTID: hasGTID,
+			GTID:    g,
+			Payload: payload,
+		}
+		if perr = n.appendLocal(e); perr != nil {
+			return
+		}
+		op = e.OpID
+		n.advanceLeaderCommit()
+		n.needsBroadcast = true
+	})
+	if err != nil {
+		return opid.Zero, err
+	}
+	return op, perr
+}
+
+// WaitCommitted blocks until the given index is consensus committed, the
+// node loses leadership/stops, or the context is done.
+func (n *Node) WaitCommitted(ctx context.Context, index uint64) error {
+	ch := make(chan error, 1)
+	err := n.post(func() {
+		if index <= n.commitIndex {
+			ch <- nil
+			return
+		}
+		// Only a leader can drive an uncommitted index to commit. A
+		// waiter registered after losing leadership (the proposal raced
+		// with a demotion) would hang forever: the demotion's waiter
+		// flush already ran.
+		if n.role != RoleLeader {
+			ch <- ErrLeadershipLost
+			return
+		}
+		n.waiters = append(n.waiters, commitWaiter{index: index, ch: ch})
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CommitIndex returns the current consensus commit marker.
+func (n *Node) CommitIndex() uint64 {
+	var idx uint64
+	n.post(func() { idx = n.commitIndex })
+	return idx
+}
+
+// Status snapshots the node state.
+func (n *Node) Status() Status {
+	var st Status
+	n.post(func() {
+		st = Status{
+			ID:           n.cfg.ID,
+			Role:         n.role,
+			Term:         n.term,
+			Leader:       n.leader,
+			LastOpID:     n.lastOpID,
+			CommitIndex:  n.commitIndex,
+			Config:       n.members.Clone(),
+			Transferring: n.transfer != nil,
+		}
+		if n.role == RoleLeader {
+			st.Match = make(map[wire.NodeID]uint64, len(n.peers)+1)
+			st.Match[n.cfg.ID] = n.lastOpID.Index
+			for id, ps := range n.peers {
+				st.Match[id] = ps.match
+			}
+			st.RegionWatermarks = quorum.RegionWatermarks(n.members, st.Match)
+		}
+	})
+	return st
+}
+
+// CampaignNow forces an immediate real election, skipping pre-vote. The
+// Quorum Fixer uses it (with ForceQuorum) to promote a chosen entity
+// (§5.3), and tests use it to avoid waiting out election timeouts.
+func (n *Node) CampaignNow() {
+	n.post(func() {
+		if n.role != RoleLeader {
+			n.startCampaign(wire.VoteReal)
+		}
+	})
+}
+
+// ForceQuorum overrides the quorum strategy (nil restores the configured
+// one). This is the Quorum Fixer's "forcibly change the quorum
+// expectations" primitive (§5.3); it is deliberately unsafe and exists
+// for operator-driven remediation only.
+func (n *Node) ForceQuorum(s quorum.Strategy) {
+	n.post(func() { n.override = s })
+}
+
+// AddMember proposes adding a member; RemoveMember proposes removal. Only
+// one membership change may be in flight at a time (§2.2).
+func (n *Node) AddMember(m wire.Member) (opid.OpID, error) {
+	return n.changeMembership(func(cfg wire.Config) (wire.Config, error) {
+		if _, ok := cfg.Find(m.ID); ok {
+			return cfg, fmt.Errorf("raft: member %s already present", m.ID)
+		}
+		cfg.Members = append(cfg.Members, m)
+		return cfg, nil
+	})
+}
+
+// RemoveMember proposes removing a member.
+func (n *Node) RemoveMember(id wire.NodeID) (opid.OpID, error) {
+	return n.changeMembership(func(cfg wire.Config) (wire.Config, error) {
+		out := cfg.Clone()
+		out.Members = out.Members[:0]
+		found := false
+		for _, m := range cfg.Members {
+			if m.ID == id {
+				found = true
+				continue
+			}
+			out.Members = append(out.Members, m)
+		}
+		if !found {
+			return cfg, ErrUnknownMember
+		}
+		return out, nil
+	})
+}
+
+func (n *Node) changeMembership(mutate func(wire.Config) (wire.Config, error)) (opid.OpID, error) {
+	var op opid.OpID
+	var perr error
+	err := n.post(func() {
+		if n.role != RoleLeader {
+			perr = ErrNotLeader
+			return
+		}
+		if n.confHistory[len(n.confHistory)-1].index > n.commitIndex {
+			perr = ErrConfChangeInFlight
+			return
+		}
+		newCfg, err := mutate(n.members.Clone())
+		if err != nil {
+			perr = err
+			return
+		}
+		e := &wire.LogEntry{
+			OpID:    opid.OpID{Term: n.term, Index: n.lastOpID.Index + 1},
+			Kind:    entryConfigKind,
+			Payload: wire.EncodeConfig(newCfg),
+		}
+		if perr = n.appendLocal(e); perr != nil {
+			return
+		}
+		op = e.OpID
+		n.advanceLeaderCommit()
+		n.needsBroadcast = true
+	})
+	if err != nil {
+		return opid.Zero, err
+	}
+	return op, perr
+}
+
+// TransferLeadership gracefully hands leadership to target: run a mock
+// election (§4.3), quiesce writes, wait for the target to fully catch up,
+// then trigger an election on it (§2.2). It blocks until the transfer
+// fires or fails; the caller observes the actual role change through the
+// promotion callbacks / Status.
+func (n *Node) TransferLeadership(target wire.NodeID) error {
+	resp := make(chan error, 1)
+	err := n.post(func() {
+		if n.role != RoleLeader {
+			resp <- ErrNotLeader
+			return
+		}
+		if n.transfer != nil {
+			resp <- fmt.Errorf("%w: transfer already in flight", ErrTransferFailed)
+			return
+		}
+		m, ok := n.members.Find(target)
+		if !ok || !m.Voter {
+			resp <- ErrUnknownMember
+			return
+		}
+		n.transfer = &transferState{
+			target:   target,
+			stage:    transferMock,
+			deadline: n.clk.Now().Add(n.cfg.TransferTimeout),
+			resp:     resp,
+		}
+		if n.cfg.DisableMockElection {
+			// Stock kuduraft: no pre-check; quiesce and wait for the
+			// target to catch up.
+			n.transfer.stage = transferCatchup
+			n.sendAppend(target)
+			n.checkTransferProgress()
+			return
+		}
+		n.tr.Send(target, &wire.StartElection{
+			Term:     n.term,
+			From:     n.cfg.ID,
+			Mock:     true,
+			Snapshot: n.lastOpID,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-resp:
+		return err
+	case <-n.stop:
+		return ErrStopped
+	}
+}
+
+// finishTransfer resolves the in-flight transfer with err (nil=fired).
+func (n *Node) finishTransfer(err error) {
+	if n.transfer == nil {
+		return
+	}
+	t := n.transfer
+	n.transfer = nil
+	select {
+	case t.resp <- err:
+	default:
+	}
+}
+
+// tickTransfer drives the transfer deadline. A fired transfer whose
+// target never took over expires silently and the leader resumes writes;
+// earlier stages time out with an error to the caller.
+func (n *Node) tickTransfer(now time.Time) {
+	if n.transfer == nil || n.role != RoleLeader {
+		return
+	}
+	if !now.After(n.transfer.deadline) {
+		return
+	}
+	if n.transfer.stage == transferFired {
+		n.transfer = nil
+		return
+	}
+	n.finishTransfer(fmt.Errorf("%w: timed out in stage %d", ErrTransferFailed, n.transfer.stage))
+}
+
+// maybeAutoStepDown relinquishes leadership when the data-commit quorum
+// has been unreachable for AutoStepDownAfter (optional extension; see
+// Config.AutoStepDownAfter).
+func (n *Node) maybeAutoStepDown(now time.Time) {
+	if n.cfg.AutoStepDownAfter <= 0 {
+		return
+	}
+	acks := map[wire.NodeID]bool{n.cfg.ID: true}
+	for id, ps := range n.peers {
+		if now.Sub(ps.lastAck) <= n.cfg.AutoStepDownAfter {
+			acks[id] = true
+		}
+	}
+	if n.strategy().DataCommitSatisfied(n.members, n.cfg.Region, acks) {
+		return
+	}
+	// The quorum is gone: step down so clients fail fast and a healthier
+	// member (or a healed partition) can take over.
+	n.becomeFollower(n.term, "")
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() wire.NodeID { return n.cfg.ID }
+
+// Region returns the node's region.
+func (n *Node) Region() wire.Region { return n.cfg.Region }

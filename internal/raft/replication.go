@@ -1,0 +1,394 @@
+package raft
+
+import (
+	"time"
+
+	"myraft/internal/opid"
+	"myraft/internal/quorum"
+	"myraft/internal/wire"
+)
+
+// broadcastAppend sends AppendEntries to every peer, batching from each
+// peer's next index. It doubles as the heartbeat when a peer is caught up.
+func (n *Node) broadcastAppend() {
+	for id := range n.peers {
+		n.sendAppend(id)
+	}
+}
+
+// sendAppend builds and transmits one AppendEntries to peer, applying the
+// proxy routing policy (§4.2). The leader keeps all bookkeeping; proxied
+// messages just carry PROXY_OP entries instead of payloads.
+func (n *Node) sendAppend(peer wire.NodeID) {
+	ps := n.peers[peer]
+	if ps == nil {
+		return
+	}
+	next := ps.next
+	if next == 0 {
+		next = 1
+	}
+	prevIndex := next - 1
+	prevTerm, ok := n.termAt(prevIndex)
+	if !ok {
+		// The peer needs entries older than our log retains; back off to
+		// what we do have. (No snapshots in this deployment: purge
+		// heuristics keep the log long enough, §A.1.)
+		next = n.firstIndex
+		if next == 0 {
+			next = 1
+		}
+		prevIndex = next - 1
+		prevTerm, _ = n.termAt(prevIndex)
+	}
+
+	var entries []wire.LogEntry
+	for idx := next; idx <= n.lastOpID.Index && len(entries) < n.cfg.BatchSize; idx++ {
+		e, ok := n.entryAt(idx)
+		if !ok {
+			break
+		}
+		entries = append(entries, *e)
+	}
+
+	req := &wire.AppendEntriesReq{
+		Term:        n.term,
+		LeaderID:    n.cfg.ID,
+		PrevOpID:    opid.OpID{Term: prevTerm, Index: prevIndex},
+		Entries:     entries,
+		CommitIndex: n.commitIndex,
+		ReturnPath:  []wire.NodeID{n.cfg.ID},
+	}
+
+	route := n.routeFor(peer)
+	if len(route) > 1 {
+		// Proxied: strip payloads into PROXY_OPs and address the first
+		// hop. Route carries the remaining hops ending at the peer.
+		for i := range req.Entries {
+			req.Entries[i].IsProxy = true
+		}
+		req.Route = route[1:]
+		n.tr.Send(route[0], req)
+	} else {
+		req.Route = nil
+		n.tr.Send(peer, req)
+	}
+
+	// Optimistic pipelining: assume delivery and advance next; a
+	// rejection or the next heartbeat repairs the window.
+	if len(entries) > 0 {
+		ps.next = entries[len(entries)-1].OpID.Index + 1
+	}
+}
+
+// routeFor applies the routing policy plus the route-around health check
+// (§4.2.3): if the first hop has been silent too long, bypass it and send
+// directly.
+func (n *Node) routeFor(peer wire.NodeID) []wire.NodeID {
+	if n.cfg.Route == nil {
+		return []wire.NodeID{peer}
+	}
+	route := n.cfg.Route(n.members, n.cfg.ID, peer)
+	if len(route) == 0 {
+		return []wire.NodeID{peer}
+	}
+	if len(route) > 1 {
+		hop := route[0]
+		if ps := n.peers[hop]; ps != nil {
+			if n.clk.Now().Sub(ps.lastAck) > n.cfg.RouteAroundAfter {
+				return []wire.NodeID{peer}
+			}
+		}
+	}
+	return route
+}
+
+// handleAppendReq processes an AppendEntries request: as a proxy hop it
+// forwards (reconstituting payloads at the final hop), as the destination
+// it runs the standard Raft consistency check and append.
+func (n *Node) handleAppendReq(from wire.NodeID, req *wire.AppendEntriesReq) {
+	if len(req.Route) > 0 {
+		n.proxyForward(req)
+		return
+	}
+
+	resp := &wire.AppendEntriesResp{
+		Term:  n.term,
+		From:  n.cfg.ID,
+		Route: respRoute(req),
+	}
+	if req.Term < n.term {
+		resp.Success = false
+		n.sendResp(resp)
+		return
+	}
+	if req.Term > n.term || n.role != RoleFollower {
+		n.becomeFollower(req.Term, req.LeaderID)
+	}
+	n.leader = req.LeaderID
+	n.lastLeaderContact = n.clk.Now()
+	n.resetElectionDeadline()
+	if r := n.regionOf(req.LeaderID); r != "" {
+		n.lastLeaderRegion = r
+		n.lastLeaderTerm = req.Term
+	}
+	resp.Term = n.term
+
+	// Consistency check on the previous entry.
+	if req.PrevOpID.Index > n.lastOpID.Index {
+		resp.Success = false
+		resp.LastIndex = n.lastOpID.Index
+		n.sendResp(resp)
+		return
+	}
+	if prevTerm, ok := n.termAt(req.PrevOpID.Index); !ok || prevTerm != req.PrevOpID.Term {
+		resp.Success = false
+		if req.PrevOpID.Index > 0 {
+			resp.LastIndex = req.PrevOpID.Index - 1
+		}
+		n.sendResp(resp)
+		return
+	}
+
+	// Append new entries, truncating on conflict.
+	match := req.PrevOpID.Index
+	for i := range req.Entries {
+		e := &req.Entries[i]
+		if e.IsProxy {
+			// A degraded proxy message should have dropped its entries;
+			// never append payload-less ops.
+			break
+		}
+		if e.OpID.Index <= n.lastOpID.Index {
+			existing, ok := n.termAt(e.OpID.Index)
+			if ok && existing == e.OpID.Term {
+				match = e.OpID.Index
+				continue // already have it
+			}
+			// Conflict: drop our divergent tail (§A.2 case 2). The
+			// LogStore informs MySQL so truncated GTIDs leave metadata.
+			if err := n.truncateTo(e.OpID.Index - 1); err != nil {
+				resp.Success = false
+				n.sendResp(resp)
+				return
+			}
+		}
+		if err := n.appendLocal(e); err != nil {
+			resp.Success = false
+			resp.LastIndex = n.lastOpID.Index
+			n.sendResp(resp)
+			return
+		}
+		match = e.OpID.Index
+	}
+
+	// Adopt the leader's commit marker (§3.4: piggybacked commit), capped
+	// at the highest index this round actually verified: an unverified
+	// local tail could still diverge from the leader's log.
+	commit := req.CommitIndex
+	if commit > match {
+		commit = match
+	}
+	n.setCommitIndex(commit)
+
+	// Serve any parked proxy reconstitution waiting for these entries.
+	n.tickProxies(n.clk.Now())
+
+	resp.Success = true
+	resp.MatchIndex = match
+	resp.LastIndex = n.lastOpID.Index
+	n.sendResp(resp)
+}
+
+// respRoute computes the hop list a response must travel: the reverse of
+// the request's accumulated return path, excluding the responder.
+func respRoute(req *wire.AppendEntriesReq) []wire.NodeID {
+	if len(req.ReturnPath) <= 1 {
+		// Direct request: respond straight to the leader.
+		if len(req.ReturnPath) == 1 {
+			return []wire.NodeID{req.ReturnPath[0]}
+		}
+		return []wire.NodeID{req.LeaderID}
+	}
+	out := make([]wire.NodeID, 0, len(req.ReturnPath))
+	for i := len(req.ReturnPath) - 1; i >= 0; i-- {
+		out = append(out, req.ReturnPath[i])
+	}
+	return out
+}
+
+// sendResp routes an AppendEntriesResp along its hop list.
+func (n *Node) sendResp(resp *wire.AppendEntriesResp) {
+	if len(resp.Route) == 0 {
+		return
+	}
+	next := resp.Route[0]
+	resp.Route = resp.Route[1:]
+	n.tr.Send(next, resp)
+}
+
+// proxyForward relays a proxied AppendEntries one hop (§4.2.1). At the
+// final hop it reconstitutes PROXY_OP payloads from the local log, waiting
+// up to ProxyWait for entries still in flight, and degrading to a
+// heartbeat if they never arrive.
+func (n *Node) proxyForward(req *wire.AppendEntriesReq) {
+	req.ReturnPath = append(req.ReturnPath, n.cfg.ID)
+	nextHop := req.Route[0]
+	if len(req.Route) > 1 {
+		// Intermediate hop: pass it along untouched.
+		req.Route = req.Route[1:]
+		n.tr.Send(nextHop, req)
+		return
+	}
+	req.Route = nil
+	if n.reconstitute(req) {
+		n.tr.Send(nextHop, req)
+		return
+	}
+	n.pendingProxy = append(n.pendingProxy, pendingProxy{
+		req:      req,
+		nextHop:  nextHop,
+		deadline: n.clk.Now().Add(n.cfg.ProxyWait),
+	})
+}
+
+// reconstitute replaces PROXY_OP entries with payloads from the local
+// log. It reports false if any entry is not yet available locally.
+func (n *Node) reconstitute(req *wire.AppendEntriesReq) bool {
+	for i := range req.Entries {
+		e := &req.Entries[i]
+		if !e.IsProxy {
+			continue
+		}
+		local, ok := n.entryAt(e.OpID.Index)
+		if !ok || local.OpID != e.OpID {
+			return false
+		}
+		full := *local
+		full.IsProxy = false
+		req.Entries[i] = full
+	}
+	return true
+}
+
+// tickProxies retries parked proxy reconstitution; past the deadline the
+// message degrades to a heartbeat (entries dropped, commit marker kept).
+func (n *Node) tickProxies(now time.Time) {
+	if len(n.pendingProxy) == 0 {
+		return
+	}
+	kept := n.pendingProxy[:0]
+	for _, p := range n.pendingProxy {
+		if n.reconstitute(p.req) {
+			n.tr.Send(p.nextHop, p.req)
+			continue
+		}
+		if now.After(p.deadline) {
+			// Degrade: drop the entries but keep prev/commit metadata so
+			// the downstream follower still sees a heartbeat (§4.2.1).
+			p.req.Entries = nil
+			n.tr.Send(p.nextHop, p.req)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	n.pendingProxy = kept
+}
+
+// handleAppendResp processes an acknowledgement, relaying it upstream if
+// it is still being proxied back to the leader.
+func (n *Node) handleAppendResp(resp *wire.AppendEntriesResp) {
+	if len(resp.Route) > 0 {
+		n.sendResp(resp)
+		return
+	}
+	if resp.Term > n.term {
+		n.becomeFollower(resp.Term, "")
+		return
+	}
+	if n.role != RoleLeader || resp.Term < n.term {
+		return
+	}
+	ps := n.peers[resp.From]
+	if ps == nil {
+		return
+	}
+	ps.lastAck = n.clk.Now()
+	if resp.Success {
+		if resp.MatchIndex > ps.match {
+			ps.match = resp.MatchIndex
+		}
+		if ps.match+1 > ps.next {
+			ps.next = ps.match + 1
+		}
+		n.advanceLeaderCommit()
+		n.checkTransferProgress()
+		if ps.next <= n.lastOpID.Index {
+			n.sendAppend(resp.From) // keep the pipe full
+		}
+		return
+	}
+	// Rejected: back up using the follower's hint and resend.
+	next := resp.LastIndex + 1
+	if next > ps.next {
+		next = ps.next // never move forward on a rejection
+	}
+	if next == 0 {
+		next = 1
+	}
+	ps.next = next
+	n.sendAppend(resp.From)
+}
+
+// advanceLeaderCommit recomputes the commit marker from match indexes
+// under the active quorum strategy. Entries from prior terms are only
+// committed once an entry of the current term is (standard Raft safety,
+// preserved by FlexiRaft).
+func (n *Node) advanceLeaderCommit() {
+	match := make(map[wire.NodeID]uint64, len(n.peers)+1)
+	match[n.cfg.ID] = n.lastOpID.Index
+	for id, ps := range n.peers {
+		if n.isVoter(id) {
+			match[id] = ps.match
+		}
+	}
+	c := quorum.CommittedIndex(n.strategy(), n.members, n.cfg.Region, match)
+	if c <= n.commitIndex {
+		return
+	}
+	if t, ok := n.termAt(c); !ok || t != n.term {
+		return
+	}
+	n.setCommitIndex(c)
+}
+
+// checkTransferProgress fires the election trigger once the transfer
+// target has fully caught up (§4.3: the only criterion kuduraft checks;
+// the mock election already ran before quiescing).
+func (n *Node) checkTransferProgress() {
+	t := n.transfer
+	if t == nil || t.stage != transferCatchup {
+		return
+	}
+	ps := n.peers[t.target]
+	if ps == nil {
+		n.finishTransfer(ErrUnknownMember)
+		return
+	}
+	if ps.match < n.lastOpID.Index {
+		return
+	}
+	t.stage = transferFired
+	// Stay quiesced until the target's election demotes us (or a grace
+	// period passes), so no client write is accepted only to be truncated
+	// by the new leader moments later.
+	t.deadline = n.clk.Now().Add(time.Duration(n.cfg.ElectionTimeoutTicks+2) * n.cfg.HeartbeatInterval)
+	n.tr.Send(t.target, &wire.StartElection{
+		Term: n.term,
+		From: n.cfg.ID,
+	})
+	select {
+	case t.resp <- nil:
+	default:
+	}
+}

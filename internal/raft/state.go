@@ -1,0 +1,72 @@
+package raft
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"myraft/internal/wire"
+)
+
+// hardState is the durable Raft state: the current term and the vote cast
+// in it. Raft safety requires both to survive restarts.
+type hardState struct {
+	Term     uint64      `json:"term"`
+	VotedFor wire.NodeID `json:"voted_for"`
+}
+
+// stateStore persists hardState. A nil stateStore (no StateDir) keeps the
+// state in memory only, which is acceptable for simulations that never
+// restart a process within a term.
+type stateStore struct {
+	path string
+}
+
+func newStateStore(dir string) (*stateStore, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("raft: state dir: %w", err)
+	}
+	return &stateStore{path: filepath.Join(dir, "raft_state.json")}, nil
+}
+
+// load returns the stored state, or a zero state when none exists.
+func (s *stateStore) load() (hardState, error) {
+	var hs hardState
+	if s == nil {
+		return hs, nil
+	}
+	data, err := os.ReadFile(s.path)
+	if os.IsNotExist(err) {
+		return hs, nil
+	}
+	if err != nil {
+		return hs, fmt.Errorf("raft: load state: %w", err)
+	}
+	if err := json.Unmarshal(data, &hs); err != nil {
+		return hs, fmt.Errorf("raft: parse state: %w", err)
+	}
+	return hs, nil
+}
+
+// save persists the state with an atomic rename.
+func (s *stateStore) save(hs hardState) error {
+	if s == nil {
+		return nil
+	}
+	data, err := json.Marshal(hs)
+	if err != nil {
+		return fmt.Errorf("raft: encode state: %w", err)
+	}
+	tmp := s.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("raft: write state: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("raft: install state: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package raft
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"myraft/internal/wire"
+)
+
+func TestStateStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := newStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.save(hardState{Term: 42, VotedFor: "mysql-1"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Term != 42 || got.VotedFor != "mysql-1" {
+		t.Fatalf("loaded = %+v", got)
+	}
+}
+
+func TestStateStoreEmptyLoad(t *testing.T) {
+	s, err := newStateStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Term != 0 || got.VotedFor != "" {
+		t.Fatalf("fresh load = %+v", got)
+	}
+}
+
+func TestNilStateStoreIsInMemory(t *testing.T) {
+	s, err := newStateStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil {
+		t.Fatal("empty dir should give nil store")
+	}
+	if err := s.save(hardState{Term: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.load(); err != nil || got.Term != 0 {
+		t.Fatalf("nil store load = %+v %v", got, err)
+	}
+}
+
+func TestStateStoreCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := newStateStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "raft_state.json"), []byte("{garbage"), 0o644)
+	if _, err := s.load(); err == nil {
+		t.Fatal("corrupt state loaded")
+	}
+}
+
+// TestTermSurvivesRestart exercises the safety-critical persistence: a
+// restarted node must not regress its term or double-vote in it.
+func TestTermSurvivesRestart(t *testing.T) {
+	c := newCluster(t, flatConfig(3), func(id wire.NodeID, region wire.Region) Config {
+		cfg := defaultNodeCfg(id, region)
+		cfg.StateDir = filepath.Join(t.TempDir(), string(id))
+		return cfg
+	})
+	n := c.elect("n0")
+	term := n.Status().Term
+
+	// Restart n2 with the same state dir; it must come back at >= term
+	// after contact (and with its vote intact from disk).
+	stateDir := c.nodes["n2"].cfg.StateDir
+	c.nodes["n2"].Stop()
+	ep := c.net.Register("n2", "r1")
+	log := c.logs["n2"]
+	n2, err := NewNode(Config{
+		ID: "n2", Region: "r1",
+		HeartbeatInterval: testHeartbeat,
+		StateDir:          stateDir,
+	}, log, nil, ep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Start(flatConfig(3)); err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Stop()
+	if got := n2.Status().Term; got < term {
+		t.Fatalf("restarted term %d below pre-restart term %d", got, term)
+	}
+}

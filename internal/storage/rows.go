@@ -1,0 +1,97 @@
+// Package storage implements the simulated MySQL storage engine used by
+// this reproduction (standing in for InnoDB/MyRocks). It provides ACID
+// key-value transactions with two-phase commit hooks: a transaction is
+// first Prepared (a prepare marker and its row changes go to the engine
+// write-ahead log, row locks are held), and only after the replication
+// layer reaches consensus is it Committed to the engine (§3.4 of the
+// paper). Crash recovery rolls back transactions that were prepared but
+// never committed, matching the recovery cases of §A.2.
+//
+// The package also defines the row-based-replication payload format
+// (RowChange) shared between the primary, the binlog, and the applier.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RowChange is a single row modification in row-based-replication style:
+// the before-image and after-image of a row. Insert has a nil Before,
+// delete has a nil After, update has both.
+type RowChange struct {
+	Key    string
+	Before []byte // nil for inserts
+	After  []byte // nil for deletes
+}
+
+// IsDelete reports whether the change removes the row.
+func (c RowChange) IsDelete() bool { return c.After == nil }
+
+// appendBytes writes a nil-aware length-prefixed byte slice.
+func appendBytes(buf []byte, b []byte) []byte {
+	if b == nil {
+		return binary.BigEndian.AppendUint32(buf, 0xffffffff)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func readBytes(data []byte) ([]byte, []byte, error) {
+	if len(data) < 4 {
+		return nil, nil, fmt.Errorf("storage: short length prefix")
+	}
+	n := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	if n == 0xffffffff {
+		return nil, data, nil
+	}
+	if uint32(len(data)) < n {
+		return nil, nil, fmt.Errorf("storage: short bytes: want %d have %d", n, len(data))
+	}
+	return append([]byte{}, data[:n]...), data[n:], nil
+}
+
+// EncodeChanges serializes a row-change list into the transaction payload
+// carried by binlog row events.
+func EncodeChanges(changes []RowChange) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(changes)))
+	for _, c := range changes {
+		buf = appendBytes(buf, []byte(c.Key))
+		buf = appendBytes(buf, c.Before)
+		buf = appendBytes(buf, c.After)
+	}
+	return buf
+}
+
+// DecodeChanges parses a payload produced by EncodeChanges.
+func DecodeChanges(data []byte) ([]RowChange, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("storage: short change list")
+	}
+	n := binary.BigEndian.Uint32(data)
+	data = data[4:]
+	const maxChanges = 1 << 20
+	if n > maxChanges {
+		return nil, fmt.Errorf("storage: change count %d too large", n)
+	}
+	changes := make([]RowChange, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var key, before, after []byte
+		var err error
+		if key, data, err = readBytes(data); err != nil {
+			return nil, err
+		}
+		if before, data, err = readBytes(data); err != nil {
+			return nil, err
+		}
+		if after, data, err = readBytes(data); err != nil {
+			return nil, err
+		}
+		changes = append(changes, RowChange{Key: string(key), Before: before, After: after})
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("storage: %d trailing bytes after change list", len(data))
+	}
+	return changes, nil
+}

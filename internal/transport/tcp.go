@@ -1,0 +1,280 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"myraft/internal/wire"
+)
+
+// TCPNode is a real-network transport: it implements the same contract as
+// Endpoint (Send/Recv) over TCP sockets with length-prefixed wire frames,
+// so a raft.Node can run across processes and machines rather than inside
+// the simulator. The simulated Network remains the tool for experiments
+// (fault injection, byte metering); TCPNode is the deployment path.
+//
+// Frames are [4-byte big-endian total length][2-byte sender length]
+// [sender][wire-encoded message]. Outbound connections are dialed lazily
+// per peer and re-dialed after failures; sends never block the caller
+// beyond a buffered per-peer queue (excess messages are dropped, like a
+// full socket buffer — Raft retries).
+type TCPNode struct {
+	id wire.NodeID
+	ln net.Listener
+
+	mu      sync.Mutex
+	peers   map[wire.NodeID]string
+	outs    map[wire.NodeID]*tcpPeer
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	inbox chan Envelope
+	wg    sync.WaitGroup
+}
+
+// tcpPeer is the outbound side of one peer connection.
+type tcpPeer struct {
+	addr  string
+	queue chan []byte
+}
+
+// tcpQueueDepth bounds the per-peer outbound queue.
+const tcpQueueDepth = 4096
+
+// maxFrame bounds a single frame (a full-batch AppendEntries with 64
+// payloads fits comfortably).
+const maxFrame = 64 << 20
+
+// NewTCP starts a TCP transport listening on listenAddr (use
+// "127.0.0.1:0" to pick a free port; Addr reports the bound address).
+func NewTCP(id wire.NodeID, listenAddr string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	t := &TCPNode{
+		id:      id,
+		ln:      ln,
+		peers:   make(map[wire.NodeID]string),
+		outs:    make(map[wire.NodeID]*tcpPeer),
+		inbound: make(map[net.Conn]struct{}),
+		inbox:   make(chan Envelope, 8192),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// ID returns the node's identity.
+func (t *TCPNode) ID() wire.NodeID { return t.id }
+
+// Addr returns the bound listen address.
+func (t *TCPNode) Addr() string { return t.ln.Addr().String() }
+
+// SetPeer registers (or updates) a peer's dial address.
+func (t *TCPNode) SetPeer(id wire.NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+	if p, ok := t.outs[id]; ok {
+		p.addr = addr
+	}
+}
+
+// Recv returns the delivery channel.
+func (t *TCPNode) Recv() <-chan Envelope { return t.inbox }
+
+// Send transmits msg to the peer. Unknown peers and transmit failures
+// drop silently (network semantics); encoding failures are returned.
+func (t *TCPNode) Send(to wire.NodeID, msg wire.Message) error {
+	data, err := wire.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+	frame := encodeFrame(t.id, data)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	if to == t.id {
+		t.mu.Unlock()
+		// Loopback without touching the network.
+		if m, err := wire.Unmarshal(data); err == nil {
+			t.deliver(Envelope{From: t.id, To: t.id, Msg: m, Size: len(data)})
+		}
+		return nil
+	}
+	p := t.outs[to]
+	if p == nil {
+		addr, ok := t.peers[to]
+		if !ok {
+			t.mu.Unlock()
+			return nil // unknown peer: drop, like an unroutable address
+		}
+		p = &tcpPeer{addr: addr, queue: make(chan []byte, tcpQueueDepth)}
+		t.outs[to] = p
+		t.wg.Add(1)
+		go t.sendLoop(p)
+	}
+	t.mu.Unlock()
+
+	select {
+	case p.queue <- frame:
+	default: // saturated: drop, Raft retries
+	}
+	return nil
+}
+
+// sendLoop drains one peer's queue, (re)dialing as needed.
+func (t *TCPNode) sendLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for frame := range p.queue {
+		for attempt := 0; attempt < 2; attempt++ {
+			if conn == nil {
+				t.mu.Lock()
+				addr := p.addr
+				closed := t.closed
+				t.mu.Unlock()
+				if closed {
+					return
+				}
+				c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+				if err != nil {
+					break // drop this frame; retry dial on the next one
+				}
+				conn = c
+			}
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, err := conn.Write(frame); err != nil {
+				conn.Close()
+				conn = nil
+				continue // one redial attempt for this frame
+			}
+			break
+		}
+	}
+}
+
+// acceptLoop receives inbound connections.
+func (t *TCPNode) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection.
+func (t *TCPNode) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		from, data, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		msg, err := wire.Unmarshal(data)
+		if err != nil {
+			continue // corrupt frame: skip
+		}
+		t.deliver(Envelope{From: from, To: t.id, Msg: msg, Size: len(data)})
+	}
+}
+
+func (t *TCPNode) deliver(env Envelope) {
+	select {
+	case t.inbox <- env:
+	default: // inbox saturated: drop
+	}
+}
+
+// Close shuts the transport down.
+func (t *TCPNode) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	outs := t.outs
+	t.outs = make(map[wire.NodeID]*tcpPeer)
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	for _, c := range inbound {
+		c.Close() // unblocks readLoops
+	}
+	for _, p := range outs {
+		close(p.queue)
+	}
+	t.wg.Wait()
+	return err
+}
+
+// encodeFrame builds [total len][sender len][sender][payload].
+func encodeFrame(from wire.NodeID, payload []byte) []byte {
+	sender := []byte(from)
+	total := 2 + len(sender) + len(payload)
+	buf := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(buf, uint32(total))
+	binary.BigEndian.PutUint16(buf[4:], uint16(len(sender)))
+	copy(buf[6:], sender)
+	copy(buf[6+len(sender):], payload)
+	return buf
+}
+
+// readFrame decodes one frame from r.
+func readFrame(r io.Reader) (wire.NodeID, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", nil, err
+	}
+	total := binary.BigEndian.Uint32(hdr[:])
+	if total < 2 || total > maxFrame {
+		return "", nil, errors.New("transport: bad frame length")
+	}
+	buf := make([]byte, total)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", nil, err
+	}
+	senderLen := int(binary.BigEndian.Uint16(buf))
+	if 2+senderLen > len(buf) {
+		return "", nil, errors.New("transport: bad sender length")
+	}
+	from := wire.NodeID(buf[2 : 2+senderLen])
+	return from, buf[2+senderLen:], nil
+}

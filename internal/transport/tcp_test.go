@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"myraft/internal/wire"
+)
+
+func newTCPPair(t *testing.T) (*TCPNode, *TCPNode) {
+	t.Helper()
+	a, err := NewTCP("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := NewTCP("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	a.SetPeer("b", b.Addr())
+	b.SetPeer("a", a.Addr())
+	return a, b
+}
+
+func recvTCP(t *testing.T, n *TCPNode, within time.Duration) Envelope {
+	t.Helper()
+	select {
+	case env := <-n.Recv():
+		return env
+	case <-time.After(within):
+		t.Fatalf("no message within %v", within)
+		return Envelope{}
+	}
+}
+
+func TestTCPSendReceive(t *testing.T) {
+	a, b := newTCPPair(t)
+	if err := a.Send("b", vote(7, "a")); err != nil {
+		t.Fatal(err)
+	}
+	env := recvTCP(t, b, 5*time.Second)
+	if env.From != "a" || env.To != "b" {
+		t.Fatalf("env = %+v", env)
+	}
+	if got := env.Msg.(*wire.RequestVoteResp).Term; got != 7 {
+		t.Fatalf("term = %d", got)
+	}
+	// And back.
+	if err := b.Send("a", vote(8, "b")); err != nil {
+		t.Fatal(err)
+	}
+	env = recvTCP(t, a, 5*time.Second)
+	if got := env.Msg.(*wire.RequestVoteResp).Term; got != 8 {
+		t.Fatalf("term = %d", got)
+	}
+}
+
+func TestTCPOrderingPerPeer(t *testing.T) {
+	a, b := newTCPPair(t)
+	for i := uint64(1); i <= 100; i++ {
+		a.Send("b", vote(i, "a"))
+	}
+	for i := uint64(1); i <= 100; i++ {
+		env := recvTCP(t, b, 5*time.Second)
+		if got := env.Msg.(*wire.RequestVoteResp).Term; got != i {
+			t.Fatalf("out of order: %d want %d", got, i)
+		}
+	}
+}
+
+func TestTCPLoopback(t *testing.T) {
+	a, _ := newTCPPair(t)
+	a.Send("a", vote(1, "a"))
+	env := recvTCP(t, a, 5*time.Second)
+	if env.From != "a" || env.To != "a" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestTCPUnknownPeerDropsSilently(t *testing.T) {
+	a, _ := newTCPPair(t)
+	if err := a.Send("ghost", vote(1, "a")); err != nil {
+		t.Fatalf("send to unknown peer errored: %v", err)
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	a, b := newTCPPair(t)
+	a.Send("b", vote(1, "a"))
+	recvTCP(t, b, 5*time.Second)
+
+	// Restart b on a new port.
+	oldAddr := b.Addr()
+	b.Close()
+	b2, err := NewTCP("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b2.Close() })
+	if b2.Addr() == oldAddr {
+		t.Log("reused address; still fine")
+	}
+	a.SetPeer("b", b2.Addr())
+	// The stale connection fails; retransmissions land on the new one.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		a.Send("b", vote(2, "a"))
+		select {
+		case env := <-b2.Recv():
+			if env.Msg.(*wire.RequestVoteResp).Term == 2 {
+				return
+			}
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	t.Fatal("never reconnected to restarted peer")
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	a, b := newTCPPair(t)
+	big := &wire.AppendEntriesReq{
+		Term:     1,
+		LeaderID: "a",
+		Entries:  []wire.LogEntry{{Payload: make([]byte, 1<<20)}},
+	}
+	if err := a.Send("b", big); err != nil {
+		t.Fatal(err)
+	}
+	env := recvTCP(t, b, 10*time.Second)
+	if got := len(env.Msg.(*wire.AppendEntriesReq).Entries[0].Payload); got != 1<<20 {
+		t.Fatalf("payload = %d", got)
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	a, err := NewTCP("a", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", vote(1, "a")); err != nil {
+		t.Fatalf("send after close errored: %v", err)
+	}
+}

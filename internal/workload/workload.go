@@ -1,0 +1,284 @@
+// Package workload implements the load generators and the client-side
+// downtime prober behind the paper's evaluation (§6): a closed-loop
+// production-like workload (clients some network distance from the
+// primary, moderate rate — Figures 5a/5b), a sysbench-OLTP-write-like
+// workload (co-located clients, maximum rate — Figures 5c/5d), and the
+// probe loop that measures client-observed write unavailability windows
+// (Table 2).
+//
+// Workloads run against the Driver interface, so the same generator
+// drives both the MyRaft cluster and the semi-sync baseline — the A/B
+// methodology of §6.1.
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"myraft/internal/metrics"
+)
+
+// Driver abstracts a replicaset client. cluster.Client and
+// semisync.Client both adapt to it (see Adapt helpers below).
+type Driver interface {
+	// TryWrite performs one write attempt, returning the client-observed
+	// latency. Errors indicate write unavailability at that moment.
+	TryWrite(ctx context.Context, key string, value []byte) (time.Duration, error)
+}
+
+// DriverFunc adapts a function to Driver.
+type DriverFunc func(ctx context.Context, key string, value []byte) (time.Duration, error)
+
+// TryWrite implements Driver.
+func (f DriverFunc) TryWrite(ctx context.Context, key string, value []byte) (time.Duration, error) {
+	return f(ctx, key, value)
+}
+
+// Config parameterizes a workload run.
+type Config struct {
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// RatePerClient is the target writes/second per client; 0 means
+	// unthrottled (sysbench style).
+	RatePerClient float64
+	// Duration bounds the run.
+	Duration time.Duration
+	// KeySpace is the number of distinct keys (default 10000).
+	KeySpace int
+	// ValueSize is the payload size per write (default 500 bytes, the
+	// paper's average log entry size, §4.2.2).
+	ValueSize int
+	// RetryOnError keeps a client retrying the same key after a failed
+	// attempt (true for latency runs so failovers don't abort the run).
+	RetryOnError bool
+	// Seed seeds key selection (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.KeySpace == 0 {
+		c.KeySpace = 10000
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 500
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Production returns the §6.1 production-like profile: moderate
+// per-client rate, used with a client RTT of ~10ms.
+func Production(clients int, duration time.Duration) Config {
+	return Config{
+		Clients:       clients,
+		RatePerClient: 20,
+		Duration:      duration,
+		RetryOnError:  true,
+	}
+}
+
+// Sysbench returns the §6.1 sysbench-OLTP-write-like profile: co-located
+// unthrottled clients.
+func Sysbench(clients int, duration time.Duration) Config {
+	return Config{
+		Clients:      clients,
+		Duration:     duration,
+		RetryOnError: true,
+	}
+}
+
+// Result summarizes a workload run.
+type Result struct {
+	// Latency is the distribution of successful write latencies.
+	Latency *metrics.Histogram
+	// Commits records successful commit timestamps (throughput series).
+	Commits *metrics.Series
+	// Errors counts failed attempts.
+	Errors int64
+	// Wall is the actual run duration.
+	Wall time.Duration
+}
+
+// Throughput returns the average successful writes/second.
+func (r *Result) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Latency.Count()) / r.Wall.Seconds()
+}
+
+// Run drives the workload until cfg.Duration elapses or ctx is done.
+func Run(ctx context.Context, d Driver, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	res := &Result{
+		Latency: metrics.NewHistogram(),
+		Commits: metrics.NewSeries(start),
+	}
+	runCtx := ctx
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+	var errs metrics.Counter
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			runClient(runCtx, d, cfg, id, res, &errs)
+		}(i)
+	}
+	wg.Wait()
+	res.Errors = errs.Value()
+	res.Wall = time.Since(start)
+	return res
+}
+
+// runClient is one closed-loop client.
+func runClient(ctx context.Context, d Driver, cfg Config, id int, res *Result, errs *metrics.Counter) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+	value := make([]byte, cfg.ValueSize)
+	rng.Read(value)
+	var interval time.Duration
+	if cfg.RatePerClient > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.RatePerClient)
+	}
+	for seq := 0; ctx.Err() == nil; seq++ {
+		key := fmt.Sprintf("c%d-k%d", id, rng.Intn(cfg.KeySpace))
+		lat, err := d.TryWrite(ctx, key, value)
+		switch {
+		case err == nil:
+			res.Latency.Observe(lat)
+			res.Commits.Record(time.Now())
+		case ctx.Err() != nil:
+			return
+		default:
+			errs.Inc()
+			if !cfg.RetryOnError {
+				return
+			}
+			// Brief backoff before the client retries (reconnect cost).
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
+		if interval > 0 {
+			// Pace to the target rate (minus time already spent).
+			wait := interval - lat
+			if wait > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+		}
+	}
+}
+
+// Window is one client-observed write-unavailability window.
+type Window struct {
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Prober measures write downtime: a dedicated client attempts a probe
+// write on a fixed cadence; a window opens at the first failed probe and
+// closes at the next success. This is the "client-side downtime"
+// measurement of §5.1/§6.2.
+type Prober struct {
+	d        Driver
+	interval time.Duration
+
+	mu      sync.Mutex
+	windows []Window
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewProber creates a prober with the given probe cadence.
+func NewProber(d Driver, interval time.Duration) *Prober {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	return &Prober{d: d, interval: interval, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Start launches the probe loop.
+func (p *Prober) Start() {
+	go func() {
+		defer close(p.done)
+		var failedAt time.Time
+		defer func() {
+			if !failedAt.IsZero() {
+				p.mu.Lock()
+				p.windows = append(p.windows, Window{Start: failedAt, Duration: time.Since(failedAt)})
+				p.mu.Unlock()
+			}
+		}()
+		seq := 0
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-time.After(p.interval):
+			}
+			seq++
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			_, err := p.d.TryWrite(ctx, "probe", []byte(fmt.Sprintf("%d", seq)))
+			cancel()
+			if err != nil {
+				if failedAt.IsZero() {
+					failedAt = time.Now()
+				}
+				continue
+			}
+			if !failedAt.IsZero() {
+				p.mu.Lock()
+				p.windows = append(p.windows, Window{Start: failedAt, Duration: time.Since(failedAt)})
+				p.mu.Unlock()
+				failedAt = time.Time{}
+			}
+		}
+	}()
+}
+
+// Stop terminates the probe loop and returns the observed windows. A
+// window still open at stop time (writes failing through the end of the
+// run) is flushed with its duration so far.
+func (p *Prober) Stop() []Window {
+	close(p.stop)
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Window(nil), p.windows...)
+}
+
+// Windows returns the windows observed so far.
+func (p *Prober) Windows() []Window {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Window(nil), p.windows...)
+}
+
+// Downtimes extracts the durations of a window list into a histogram.
+func Downtimes(ws []Window) *metrics.Histogram {
+	h := metrics.NewHistogram()
+	for _, w := range ws {
+		h.Observe(w.Duration)
+	}
+	return h
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeDriver commits instantly, with a switchable failure mode.
+type fakeDriver struct {
+	latency time.Duration
+	failing atomic.Bool
+	writes  atomic.Int64
+}
+
+func (f *fakeDriver) TryWrite(ctx context.Context, key string, value []byte) (time.Duration, error) {
+	if f.failing.Load() {
+		return 0, errors.New("unavailable")
+	}
+	if f.latency > 0 {
+		time.Sleep(f.latency)
+	}
+	f.writes.Add(1)
+	return f.latency + time.Microsecond, nil
+}
+
+func TestRunCollectsLatencies(t *testing.T) {
+	d := &fakeDriver{latency: time.Millisecond}
+	res := Run(context.Background(), d, Config{
+		Clients:  4,
+		Duration: 100 * time.Millisecond,
+	})
+	if res.Latency.Count() == 0 {
+		t.Fatal("no samples collected")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Latency.Mean() < time.Millisecond {
+		t.Fatalf("mean = %v, below driver latency", res.Latency.Mean())
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not computed")
+	}
+}
+
+func TestRunRateLimiting(t *testing.T) {
+	d := &fakeDriver{}
+	res := Run(context.Background(), d, Config{
+		Clients:       2,
+		RatePerClient: 50, // 2 clients * 50/s * 0.2s = ~20 writes
+		Duration:      200 * time.Millisecond,
+	})
+	n := res.Latency.Count()
+	if n < 10 || n > 40 {
+		t.Fatalf("rate limiting off: %d writes (want ~20)", n)
+	}
+}
+
+func TestRunUnthrottledIsFaster(t *testing.T) {
+	d := &fakeDriver{}
+	throttled := Run(context.Background(), d, Config{Clients: 2, RatePerClient: 100, Duration: 100 * time.Millisecond})
+	unthrottled := Run(context.Background(), d, Config{Clients: 2, Duration: 100 * time.Millisecond})
+	if unthrottled.Latency.Count() <= throttled.Latency.Count()*2 {
+		t.Fatalf("unthrottled (%d) not much faster than throttled (%d)",
+			unthrottled.Latency.Count(), throttled.Latency.Count())
+	}
+}
+
+func TestRunCountsErrorsAndRetries(t *testing.T) {
+	d := &fakeDriver{}
+	d.failing.Store(true)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		d.failing.Store(false)
+	}()
+	res := Run(context.Background(), d, Config{
+		Clients:      2,
+		Duration:     150 * time.Millisecond,
+		RetryOnError: true,
+	})
+	if res.Errors == 0 {
+		t.Fatal("no errors recorded during outage")
+	}
+	if res.Latency.Count() == 0 {
+		t.Fatal("no successes after recovery")
+	}
+}
+
+func TestRunStopsOnErrorWithoutRetry(t *testing.T) {
+	d := &fakeDriver{}
+	d.failing.Store(true)
+	res := Run(context.Background(), d, Config{
+		Clients:      2,
+		Duration:     time.Second,
+		RetryOnError: false,
+	})
+	if res.Wall > 500*time.Millisecond {
+		t.Fatalf("clients did not stop on error: wall = %v", res.Wall)
+	}
+	if res.Errors != 2 {
+		t.Fatalf("errors = %d, want 2 (one per client)", res.Errors)
+	}
+}
+
+func TestProberMeasuresOutageWindow(t *testing.T) {
+	d := &fakeDriver{}
+	p := NewProber(d, time.Millisecond)
+	p.Start()
+	time.Sleep(20 * time.Millisecond)
+	d.failing.Store(true)
+	time.Sleep(60 * time.Millisecond)
+	d.failing.Store(false)
+	time.Sleep(20 * time.Millisecond)
+	windows := p.Stop()
+	if len(windows) != 1 {
+		t.Fatalf("windows = %v, want 1", windows)
+	}
+	w := windows[0]
+	if w.Duration < 40*time.Millisecond || w.Duration > 200*time.Millisecond {
+		t.Fatalf("window duration = %v, want ~60ms", w.Duration)
+	}
+	h := Downtimes(windows)
+	if h.Count() != 1 || h.Mean() != w.Duration {
+		t.Fatalf("Downtimes digest wrong: %v", h)
+	}
+}
+
+func TestProberNoOutageNoWindows(t *testing.T) {
+	d := &fakeDriver{}
+	p := NewProber(d, time.Millisecond)
+	p.Start()
+	time.Sleep(30 * time.Millisecond)
+	if ws := p.Stop(); len(ws) != 0 {
+		t.Fatalf("phantom windows: %v", ws)
+	}
+}
+
+func TestProberMultipleWindows(t *testing.T) {
+	d := &fakeDriver{}
+	p := NewProber(d, time.Millisecond)
+	p.Start()
+	for i := 0; i < 3; i++ {
+		time.Sleep(15 * time.Millisecond)
+		d.failing.Store(true)
+		time.Sleep(25 * time.Millisecond)
+		d.failing.Store(false)
+	}
+	time.Sleep(15 * time.Millisecond)
+	windows := p.Stop()
+	if len(windows) != 3 {
+		t.Fatalf("windows = %d, want 3", len(windows))
+	}
+}
+
+func TestDriverFuncAdapter(t *testing.T) {
+	var called atomic.Bool
+	d := DriverFunc(func(ctx context.Context, key string, value []byte) (time.Duration, error) {
+		called.Store(true)
+		return time.Microsecond, nil
+	})
+	if _, err := d.TryWrite(context.Background(), "k", nil); err != nil || !called.Load() {
+		t.Fatal("adapter broken")
+	}
+}
+
+func TestProfilesHaveSaneDefaults(t *testing.T) {
+	p := Production(16, time.Second)
+	if p.RatePerClient == 0 || !p.RetryOnError {
+		t.Fatalf("production profile: %+v", p)
+	}
+	s := Sysbench(16, time.Second)
+	if s.RatePerClient != 0 {
+		t.Fatalf("sysbench profile should be unthrottled: %+v", s)
+	}
+}
+
+func TestRunHonorsParentContext(t *testing.T) {
+	d := &fakeDriver{}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var res *Result
+	go func() {
+		defer wg.Done()
+		res = Run(ctx, d, Config{Clients: 2, Duration: 10 * time.Second})
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	if res.Wall > 2*time.Second {
+		t.Fatalf("run ignored context cancel: %v", res.Wall)
+	}
+}
