@@ -1,0 +1,21 @@
+.PHONY: check test build vet race bench
+
+# Full gate: vet + build + tests + race detector on the concurrency-heavy
+# packages. This is what CI runs.
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -p 1 ./internal/raft ./internal/readpath ./internal/cluster
+
+bench:
+	go test -bench=. -benchtime=1x -run '^$$' .

@@ -21,6 +21,7 @@
 //	BenchmarkTable2SemiSyncPromotion       — Table 2 row "Semi-Sync Promotion"
 //	BenchmarkProxyingBandwidth             — §4.2.2 cross-region bandwidth
 //	BenchmarkFlexiRaftQuorumModes          — §4.1 quorum-mode ablation
+//	BenchmarkReadPathLevels                — read-path consistency levels
 //	BenchmarkMockElectionAblation          — §4.3 mock-election ablation
 //	BenchmarkEnableRaftWindow              — §5.2 rollout window
 package repro_bench
@@ -212,6 +213,26 @@ func BenchmarkFlexiRaftQuorumModes(b *testing.B) {
 			}[r.Mode]
 			b.ReportMetric(float64(r.Latency.Mean())/float64(time.Microsecond), name+"_avg_us")
 		}
+	}
+}
+
+// BenchmarkReadPathLevels measures the three read consistency levels of
+// internal/readpath on the paper topology: linearizable ReadIndex reads
+// and lease reads on the leader, session (read-your-writes) reads on a
+// follower-region replica. The lease column should come in far below
+// ReadIndex — it skips the quorum round entirely.
+func BenchmarkReadPathLevels(b *testing.B) {
+	p := benchParams()
+	p.Scale = 1 // real WAN latencies so the quorum-round cost is visible
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ReadPathLevels(context.Background(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportLatency(b, "linearizable", res.Metrics.Linearizable)
+		reportLatency(b, "lease", res.Metrics.Lease)
+		reportLatency(b, "session", res.Metrics.Session)
+		b.ReportMetric(res.LeaseSpeedup(), "lease_speedup_x")
 	}
 }
 

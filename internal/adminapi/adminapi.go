@@ -18,6 +18,7 @@ import (
 	"myraft/internal/opid"
 	"myraft/internal/quorumfixer"
 	"myraft/internal/raft"
+	"myraft/internal/readpath"
 	"myraft/internal/wire"
 )
 
@@ -32,6 +33,11 @@ type MemberStatus struct {
 	Leader      string      `json:"leader,omitempty"`
 	CommitIndex uint64      `json:"commit_index,omitempty"`
 	LastOpID    string      `json:"last_opid,omitempty"`
+	// LeaseHeld / LeaseExpiry report the leader's read lease (leaders
+	// only): whether lease reads are currently served locally and until
+	// when, clock skew already discounted.
+	LeaseHeld   bool        `json:"lease_held,omitempty"`
+	LeaseExpiry string      `json:"lease_expiry,omitempty"`
 	ReadOnly    *bool       `json:"read_only,omitempty"`
 	GTIDs       string      `json:"gtid_executed,omitempty"`
 	BinlogFiles []FileEntry `json:"binlog_files,omitempty"`
@@ -110,6 +116,12 @@ func (s *Server) Status() ClusterStatus {
 			ms.Leader = string(ns.Leader)
 			ms.CommitIndex = ns.CommitIndex
 			ms.LastOpID = ns.LastOpID.String()
+			if ns.Role == raft.RoleLeader {
+				ms.LeaseHeld = ns.LeaseHeld
+				if !ns.LeaseExpiry.IsZero() {
+					ms.LeaseExpiry = ns.LeaseExpiry.Format(time.RFC3339Nano)
+				}
+			}
 		}
 		if srv := m.Server(); srv != nil {
 			ro := srv.IsReadOnly()
@@ -252,15 +264,60 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"opid": res.OpID.String(), "latency": res.Latency.String()})
 }
 
+// handleRead serves /read?key=K[&level=L]. level selects the consistency
+// level of internal/readpath: "linearizable" (ReadIndex), "lease"
+// (leader-local under the read lease), or "session" (read-your-writes at
+// the member named by &at=ID, gated on &token=term.index). The default,
+// "local", is the legacy primary-local read with no guarantee.
 func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
 	defer cancel()
-	v, ok, err := s.c.NewClient(0).Read(ctx, r.FormValue("key"))
+	key := r.FormValue("key")
+
+	var res readpath.Result
+	var err error
+	switch level := r.FormValue("level"); level {
+	case "", "local":
+		v, ok, rerr := s.c.NewClient(0).Read(ctx, key)
+		if rerr != nil {
+			writeErr(w, http.StatusServiceUnavailable, rerr)
+			return
+		}
+		writeJSON(w, map[string]any{"found": ok, "value": string(v), "level": "local"})
+		return
+	case "linearizable":
+		res, err = s.c.ReadLinearizable(ctx, key)
+	case "lease":
+		res, err = s.c.ReadLease(ctx, key)
+	case "session":
+		at := wire.NodeID(r.FormValue("at"))
+		if at == "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("session reads require at=<member>"))
+			return
+		}
+		var tok readpath.Token
+		if t := r.FormValue("token"); t != "" {
+			if tok, err = readpath.ParseToken(t); err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		res, err = s.c.ReadAtSession(ctx, at, tok, key)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown read level %q", level))
+		return
+	}
 	if err != nil {
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	writeJSON(w, map[string]any{"found": ok, "value": string(v)})
+	writeJSON(w, map[string]any{
+		"found":     res.Found,
+		"value":     string(res.Value),
+		"level":     res.Level.String(),
+		"index":     res.Index,
+		"fell_back": res.FellBack,
+	})
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {

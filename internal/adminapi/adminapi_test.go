@@ -93,6 +93,68 @@ func TestWriteAndRead(t *testing.T) {
 	}
 }
 
+func TestLeveledReadEndpoint(t *testing.T) {
+	_, client := testStack(t)
+	op, err := client.Write("user:1", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lin, err := client.ReadAt("user:1", "linearizable", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lin.Found || lin.Value != "alice" || lin.Level != "linearizable" {
+		t.Fatalf("linearizable read = %+v", lin)
+	}
+	le, err := client.ReadAt("user:1", "lease", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !le.Found || le.Value != "alice" || le.Level != "lease" {
+		t.Fatalf("lease read = %+v", le)
+	}
+	se, err := client.ReadAt("user:1", "session", "mysql-1", op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !se.Found || se.Value != "alice" || se.Level != "session" {
+		t.Fatalf("session read = %+v", se)
+	}
+
+	if _, err := client.ReadAt("user:1", "session", "", ""); err == nil {
+		t.Fatal("session read without at= accepted")
+	}
+	if _, err := client.ReadAt("user:1", "session", "mysql-1", "garbage"); err == nil {
+		t.Fatal("malformed token accepted")
+	}
+	if _, err := client.ReadAt("user:1", "psychic", "", ""); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+
+	// The leader's lease shows up in /status once held.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := client.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var held bool
+		for _, m := range st.Members {
+			if m.Role == "leader" && m.LeaseHeld && m.LeaseExpiry != "" {
+				held = true
+			}
+		}
+		if held {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reported a held lease in /status")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func TestWriteRequiresKey(t *testing.T) {
 	_, client := testStack(t)
 	if _, err := client.Write("", "x"); err == nil {

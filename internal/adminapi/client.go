@@ -123,6 +123,31 @@ func (c *Client) Read(key string) (string, bool, error) {
 	return out.Value, out.Found, err
 }
 
+// ReadResult is the payload of a leveled read.
+type ReadResult struct {
+	Found    bool   `json:"found"`
+	Value    string `json:"value"`
+	Level    string `json:"level"`
+	Index    uint64 `json:"index"`
+	FellBack bool   `json:"fell_back"`
+}
+
+// ReadAt reads a key at an explicit consistency level: "linearizable",
+// "lease", "session", or "local". Session reads name the serving member
+// via at and gate on a "term.index" session token (empty = no floor).
+func (c *Client) ReadAt(key, level, at, token string) (ReadResult, error) {
+	params := url.Values{"key": {key}, "level": {level}}
+	if at != "" {
+		params.Set("at", at)
+	}
+	if token != "" {
+		params.Set("token", token)
+	}
+	var out ReadResult
+	err := c.do(http.MethodGet, "/read", params, &out)
+	return out, err
+}
+
 // FlushBinlogs rotates the primary's binlog through Raft.
 func (c *Client) FlushBinlogs() error {
 	return c.do(http.MethodPost, "/flush-binlogs", nil, nil)

@@ -3,9 +3,12 @@ package cluster
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 
 	"myraft/internal/opid"
+	"myraft/internal/readpath"
+	"myraft/internal/wire"
 )
 
 // Client is a simulated database client: it resolves the primary through
@@ -20,6 +23,11 @@ type Client struct {
 	RTT time.Duration
 	// RetryInterval paces re-resolution when no primary is available.
 	RetryInterval time.Duration
+
+	// tokMu guards the session token accumulated from this client's
+	// writes (the GTID-set a MySQL session would carry).
+	tokMu   sync.Mutex
+	session readpath.Token
 }
 
 // NewClient creates a client for the replicaset with the given simulated
@@ -54,6 +62,7 @@ func (cl *Client) Write(ctx context.Context, key string, value []byte) (WriteRes
 				time.Sleep(cl.RTT / 2)
 			}
 			if err == nil {
+				cl.observeWrite(op)
 				return WriteResult{OpID: op, Latency: time.Since(start), Retries: retries}, nil
 			}
 			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -87,10 +96,30 @@ func (cl *Client) TryWrite(ctx context.Context, key string, value []byte) (Write
 	if err != nil {
 		return WriteResult{}, err
 	}
+	cl.observeWrite(op)
 	return WriteResult{OpID: op, Latency: time.Since(start)}, nil
 }
 
-// Read resolves the primary and reads key from it (read-your-writes).
+// observeWrite folds a committed write into the session token.
+func (cl *Client) observeWrite(op opid.OpID) {
+	cl.tokMu.Lock()
+	cl.session.Observe(op)
+	cl.tokMu.Unlock()
+}
+
+// SessionToken returns the client's current session token: the OpID of
+// its newest committed write, carried into session reads.
+func (cl *Client) SessionToken() readpath.Token {
+	cl.tokMu.Lock()
+	defer cl.tokMu.Unlock()
+	return cl.session
+}
+
+// Read resolves the published primary and reads key from its local
+// engine. This is a LOCAL read: it usually observes the client's own
+// writes (the primary applied them), but a deposed-but-still-published
+// primary can serve stale data. Use ReadLinearizable / ReadLease /
+// ReadSession when the consistency level matters.
 func (cl *Client) Read(ctx context.Context, key string) ([]byte, bool, error) {
 	for {
 		srv, _, ok := cl.c.primaryServer()
@@ -104,4 +133,41 @@ func (cl *Client) Read(ctx context.Context, key string) ([]byte, bool, error) {
 		case <-time.After(cl.RetryInterval):
 		}
 	}
+}
+
+// ReadLinearizable serves a linearizable read from the leader (ReadIndex
+// protocol), simulating the client round trip like Write does.
+func (cl *Client) ReadLinearizable(ctx context.Context, key string) (readpath.Result, error) {
+	return cl.timedRead(func() (readpath.Result, error) {
+		return cl.c.ReadLinearizable(ctx, key)
+	})
+}
+
+// ReadLease serves a lease read from the leader, falling back to
+// ReadIndex when the lease is unsafe.
+func (cl *Client) ReadLease(ctx context.Context, key string) (readpath.Result, error) {
+	return cl.timedRead(func() (readpath.Result, error) {
+		return cl.c.ReadLease(ctx, key)
+	})
+}
+
+// ReadSession serves a read-your-writes read from the named member
+// (typically a follower replica near the client), gated on this client's
+// session token.
+func (cl *Client) ReadSession(ctx context.Context, id wire.NodeID, key string) (readpath.Result, error) {
+	return cl.timedRead(func() (readpath.Result, error) {
+		return cl.c.ReadAtSession(ctx, id, cl.SessionToken(), key)
+	})
+}
+
+// timedRead wraps a read with the simulated client RTT.
+func (cl *Client) timedRead(fn func() (readpath.Result, error)) (readpath.Result, error) {
+	if cl.RTT > 0 {
+		time.Sleep(cl.RTT / 2)
+	}
+	res, err := fn()
+	if cl.RTT > 0 {
+		time.Sleep(cl.RTT / 2)
+	}
+	return res, err
 }

@@ -20,6 +20,7 @@ import (
 	"myraft/internal/mysql"
 	"myraft/internal/plugin"
 	"myraft/internal/raft"
+	"myraft/internal/readpath"
 	"myraft/internal/transport"
 	"myraft/internal/wire"
 )
@@ -62,6 +63,10 @@ type Options struct {
 	Registry *discovery.Registry
 	// Clock defaults to the real clock.
 	Clock clock.Clock
+	// ReadSampleCap bounds the per-level read latency histograms to this
+	// many retained samples (reservoir sampling) for open-ended read-heavy
+	// runs; 0 keeps every sample (exact percentiles).
+	ReadSampleCap int
 }
 
 // Member is one running replicaset member.
@@ -106,6 +111,9 @@ type Cluster struct {
 	// against concurrent Crash/Restart and reader access.
 	mu      sync.RWMutex
 	members map[wire.NodeID]*Member
+
+	// readMetrics is the shared read-path observability sink (readpath.go).
+	readMetrics *readpath.Metrics
 }
 
 // New builds and starts every member of the replicaset. No leader exists
@@ -131,6 +139,11 @@ func New(opts Options, specs []MemberSpec) (*Cluster, error) {
 		registry: opts.Registry,
 		clk:      opts.Clock,
 		members:  make(map[wire.NodeID]*Member),
+	}
+	if opts.ReadSampleCap > 0 {
+		c.readMetrics = readpath.NewMetricsCapped(opts.ReadSampleCap)
+	} else {
+		c.readMetrics = readpath.NewMetrics()
 	}
 	if c.net == nil {
 		c.net = transport.New(opts.NetConfig, opts.Clock)
@@ -311,7 +324,9 @@ func (c *Cluster) AnyPrimary(ctx context.Context) (*Member, error) {
 }
 
 // Leader returns the member currently reporting itself Raft leader, or
-// nil.
+// nil. When several members claim leadership (a deposed leader that has
+// not yet heard of its successor's term), the claimant with the highest
+// term wins — the lower-term claim is definitively stale.
 func (c *Cluster) Leader() *Member {
 	c.mu.RLock()
 	candidates := make([]*Member, 0, len(c.members))
@@ -324,12 +339,15 @@ func (c *Cluster) Leader() *Member {
 		nodes = append(nodes, m.node)
 	}
 	c.mu.RUnlock()
+	var best *Member
+	var bestTerm uint64
 	for i, n := range nodes {
-		if n.Status().Role == raft.RoleLeader {
-			return candidates[i]
+		if st := n.Status(); st.Role == raft.RoleLeader && (best == nil || st.Term > bestTerm) {
+			best = candidates[i]
+			bestTerm = st.Term
 		}
 	}
-	return nil
+	return best
 }
 
 // primaryServer resolves the published primary's server under the lock.
@@ -571,11 +589,4 @@ func PaperTopology(nFollowers, nLearners int) []MemberSpec {
 		})
 	}
 	return specs
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -148,6 +148,36 @@ func TestQuorumModesShape(t *testing.T) {
 	}
 }
 
+func TestReadPathLevelsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive shape test; race detector distorts latency")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	// Scale 1: the lease-vs-ReadIndex contrast IS the quorum round trip,
+	// so the WAN must run at real latency for the gap to show.
+	p := fastParams()
+	p.Scale = 1
+	res, err := ReadPathLevels(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("read path:\n%s", res)
+	m := res.Metrics
+	if m.Linearizable.Count() < res.Reads || m.Lease.Count() < res.Reads || m.Session.Count() < res.Reads {
+		t.Fatalf("missing observations: %d/%d/%d, want >= %d each",
+			m.Linearizable.Count(), m.Lease.Count(), m.Session.Count(), res.Reads)
+	}
+	// The lease read's whole point: no quorum round on the read path.
+	if m.Lease.Mean() >= m.Linearizable.Mean() {
+		t.Fatalf("lease reads (%v) not faster than ReadIndex (%v)",
+			m.Lease.Mean(), m.Linearizable.Mean())
+	}
+}
+
 func TestMockElectionAblationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long test")

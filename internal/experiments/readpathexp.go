@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/readpath"
+)
+
+// ReadPathResult holds the measured latency distributions of the three
+// read consistency levels (§ read path): ReadIndex on the leader, lease
+// reads on the leader, and session reads on a follower replica.
+type ReadPathResult struct {
+	Metrics *readpath.Metrics
+	// Reads is the number of reads issued per level.
+	Reads  int
+	Params Params
+}
+
+// LeaseSpeedup returns mean(linearizable)/mean(lease): how much cheaper a
+// lease read is than a full ReadIndex quorum round on the same leader.
+func (r *ReadPathResult) LeaseSpeedup() float64 {
+	lease := r.Metrics.Lease.Mean()
+	if lease == 0 {
+		return 0
+	}
+	return float64(r.Metrics.Linearizable.Mean()) / float64(lease)
+}
+
+// String renders the per-level comparison.
+func (r *ReadPathResult) String() string {
+	return fmt.Sprintf("%s\nlease speedup over readindex: %.1fx (n=%d per level)",
+		r.Metrics, r.LeaseSpeedup(), r.Reads)
+}
+
+// ReadPathLevels measures the three read levels on the paper topology: it
+// boots a MyRaft replicaset, seeds a key, then times p.Clients worth of
+// reads at each level — linearizable and lease reads routed to the
+// leader, session reads served by the follower-region replica mysql-1
+// gated on the writer's session token. Lease reads should come in well
+// under ReadIndex (no quorum round), and session reads stay off the
+// leader entirely.
+func ReadPathLevels(ctx context.Context, p Params) (*ReadPathResult, error) {
+	p = p.withDefaults()
+	c, err := cluster.New(cluster.Options{
+		Name:          "rs-readpath",
+		Dir:           p.Dir,
+		Raft:          p.raftConfig(),
+		NetConfig:     p.netConfig(),
+		ReadSampleCap: 8192,
+	}, cluster.PaperTopology(p.FollowerRegions, p.Learners))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: readpath stack: %w", err)
+	}
+	defer c.Close()
+	bctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(bctx, "mysql-0"); err != nil {
+		return nil, err
+	}
+
+	client := c.NewClient(0)
+	if _, err := client.Write(ctx, "account", []byte("balance")); err != nil {
+		return nil, err
+	}
+
+	// Let the leader earn its lease so the lease column measures the
+	// steady state, not the post-election fallback.
+	for {
+		if l := c.Leader(); l != nil && l.Node().Status().LeaseHeld {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("experiments: waiting for leader lease: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	reads := 50 * p.Clients
+	for i := 0; i < reads; i++ {
+		if _, err := client.ReadLinearizable(ctx, "account"); err != nil {
+			return nil, fmt.Errorf("experiments: linearizable read %d: %w", i, err)
+		}
+		if _, err := client.ReadLease(ctx, "account"); err != nil {
+			return nil, fmt.Errorf("experiments: lease read %d: %w", i, err)
+		}
+		if _, err := client.ReadSession(ctx, "mysql-1", "account"); err != nil {
+			return nil, fmt.Errorf("experiments: session read %d: %w", i, err)
+		}
+	}
+
+	return &ReadPathResult{Metrics: c.ReadMetrics(), Reads: reads, Params: p}, nil
+}

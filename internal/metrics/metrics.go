@@ -16,28 +16,76 @@ import (
 )
 
 // Histogram records duration samples and reports percentile summaries.
-// It keeps every sample; the workloads in this repository record at most a
-// few million samples per run, which is well within memory budget and
-// keeps percentiles exact rather than approximated.
+// By default it keeps every sample — the workloads in this repository
+// record at most a few million samples per run, which is well within
+// memory budget and keeps percentiles exact rather than approximated.
+// NewHistogramCapped opts into bounded memory for open-ended runs
+// (read-heavy benchmarks): past the cap, reservoir sampling (Vitter's
+// Algorithm R) keeps a uniform sample of everything observed and the
+// percentile reports become approximations over that reservoir.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
+	cap     int    // 0 = unbounded (exact percentiles)
+	seen    int64  // total Observe calls, including evicted samples
+	rng     uint64 // xorshift state for reservoir replacement
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram keeping every sample.
 func NewHistogram() *Histogram { return &Histogram{} }
+
+// NewHistogramCapped returns a histogram holding at most capacity samples
+// via reservoir sampling. Count still reports everything observed;
+// percentiles are approximate once the cap is exceeded. A capacity <= 0
+// falls back to unbounded.
+func NewHistogramCapped(capacity int) *Histogram {
+	if capacity <= 0 {
+		return NewHistogram()
+	}
+	// Deterministic non-zero seed: runs are reproducible and two
+	// histograms with the same observation stream hold the same reservoir.
+	return &Histogram{cap: capacity, rng: 0x9E3779B97F4A7C15}
+}
+
+// rand64 is a xorshift64 step; callers must hold mu.
+func (h *Histogram) rand64() uint64 {
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	return h.rng
+}
 
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	h.seen++
+	switch {
+	case h.cap == 0 || len(h.samples) < h.cap:
+		h.samples = append(h.samples, d)
+		h.sorted = false
+	default:
+		// Algorithm R: replace a random slot with probability cap/seen,
+		// keeping the reservoir a uniform sample of all seen values.
+		if j := h.rand64() % uint64(h.seen); j < uint64(h.cap) {
+			h.samples[j] = d
+			h.sorted = false
+		}
+	}
 	h.mu.Unlock()
 }
 
-// Count returns the number of recorded samples.
+// Count returns the number of observed samples, including any evicted
+// from a capped histogram's reservoir.
 func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int(h.seen)
+}
+
+// Retained returns how many samples are held in memory (== Count for
+// unbounded histograms; at most the cap for capped ones).
+func (h *Histogram) Retained() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.samples)

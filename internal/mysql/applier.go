@@ -129,19 +129,62 @@ func (a *applier) catchUpTo(ctx context.Context, index uint64) error {
 
 // appliedThroughIndexLocked also treats non-data entries at the tail as
 // applied: the No-Op itself is never applied to the engine, so catching
-// up "to the No-Op" means every data entry before it is in.
+// up "to the No-Op" means every data entry before it is in. Progress is
+// the applier cursor or the engine's last commit, whichever is ahead —
+// on a primary the applier is stopped and pipeline stage 3 commits
+// directly to the engine.
 func (a *applier) appliedThroughIndexLocked(index uint64) bool {
-	if a.applied >= index {
+	progress := a.applied
+	if ec := a.s.engine.LastCommitted().Index; ec > progress {
+		progress = ec
+	}
+	if progress >= index {
 		return true
 	}
-	// Everything between applied and index must be non-data entries.
-	for i := a.applied + 1; i <= index; i++ {
+	// Everything between progress and index must be non-data entries.
+	for i := progress + 1; i <= index; i++ {
 		e, err := a.s.log.Entry(i)
 		if err != nil || e.Type == binlog.EntryNormal {
 			return false
 		}
 	}
 	return true
+}
+
+// waitApplied blocks until every data entry at or below index is visible
+// in the engine, whichever path applies it: the applier thread on a
+// replica, or pipeline stage 3 on the primary. This is the
+// WAIT_FOR_EXECUTED_GTID_SET analog the read path builds on
+// (internal/readpath): ReadIndex waits for the confirmed index here, and
+// SessionRead waits for the client's session token.
+func (a *applier) waitApplied(ctx context.Context, index uint64) error {
+	for {
+		a.mu.Lock()
+		done := a.appliedThroughIndexLocked(index)
+		var ch chan struct{}
+		if !done {
+			ch = make(chan struct{})
+			a.waiters = append(a.waiters, ch)
+		}
+		a.mu.Unlock()
+		if done {
+			return nil
+		}
+		select {
+		case <-ch:
+			// progress was made; loop and re-check
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// progress wakes applied-index waiters after out-of-band apply progress
+// (pipeline stage 3 engine commits on the primary).
+func (a *applier) progress() {
+	a.mu.Lock()
+	a.signalWaiters()
+	a.mu.Unlock()
 }
 
 // signalWaiters wakes catch-up waiters after progress.

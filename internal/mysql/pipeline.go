@@ -201,6 +201,9 @@ func (p *pipeline) engineCommit(pt *pendingTxn) bool {
 		return false
 	}
 	pt.done <- nil
+	// The primary's applier is stopped; reads waiting in WaitForApplied
+	// learn about engine progress from here.
+	p.s.applier.progress()
 	return true
 }
 

@@ -160,8 +160,23 @@ func (s *Server) IsReadOnly() bool { return s.readOnly.Load() }
 // setReadOnly flips the client write gate.
 func (s *Server) setReadOnly(ro bool) { s.readOnly.Store(ro) }
 
-// Read returns the committed value of key.
+// Read returns the local engine's committed value of key. This is a
+// LOCAL read with no freshness or leadership guarantee: a deposed
+// primary or lagging replica serves whatever its engine holds. Callers
+// needing linearizable, lease-bounded, or read-your-writes semantics
+// must go through internal/readpath (cluster.ReadLinearizable /
+// ReadLease / ReadAtSession), which gates this call on the consensus
+// read protocols and WaitForApplied.
 func (s *Server) Read(key string) ([]byte, bool) { return s.engine.Get(key) }
+
+// WaitForApplied blocks until every data entry at or below index is
+// visible to local reads, on either persona: the applier thread applies
+// them on a replica, pipeline stage 3 commits them on the primary. It is
+// the MySQL WAIT_FOR_EXECUTED_GTID_SET analog used by the read path
+// (internal/readpath) to gate ReadIndex and session-token reads.
+func (s *Server) WaitForApplied(ctx context.Context, index uint64) error {
+	return s.applier.waitApplied(ctx, index)
+}
 
 // GTIDExecuted returns the executed-GTID set of the replication log
 // (SHOW MASTER STATUS).

@@ -22,6 +22,7 @@ type peerState struct {
 	next    uint64 // next entry index to send
 	match   uint64 // highest index known replicated
 	lastAck time.Time
+	ackSeq  uint64 // newest heartbeat round this peer has echoed (lease.go)
 }
 
 // commitWaiter is a pipeline thread blocked in the "wait for Raft
@@ -86,6 +87,15 @@ type Node struct {
 	electionDeadline time.Time
 	noOpIndex        uint64 // index of this leadership's No-Op entry
 	needsBroadcast   bool   // coalesces broadcasts across queued proposals
+
+	// Read-path state (lease.go): heartbeat-round leadership confirmation
+	// for ReadIndex and the leader lease for LeaseRead.
+	hbSeq          uint64    // last round opened (monotonic across terms)
+	confirmedSeq   uint64    // newest quorum-confirmed round
+	hbRounds       []hbRound // in-flight rounds, oldest first
+	readWaiters    []readWaiter
+	readRoundArmed bool // a pending flush broadcast will serve new readers
+	lease          leaseTracker
 
 	api  chan func()
 	stop chan struct{}
@@ -165,6 +175,7 @@ func NewNode(cfg Config, log LogStore, cb Callbacks, tr Transport, clk clock.Clo
 		api:      make(chan func(), 256),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		lease:    leaseTracker{duration: cfg.LeaseDuration, maxSkew: cfg.MaxClockSkew},
 	}
 	return n, nil
 }
@@ -272,6 +283,7 @@ func (n *Node) run() {
 		select {
 		case <-n.stop:
 			n.failWaiters(ErrStopped)
+			n.failReadWaiters(ErrStopped)
 			return
 		case fn := <-n.api:
 			fn()
@@ -452,6 +464,8 @@ func (n *Node) becomeFollower(term uint64, leader wire.NodeID) {
 	n.resetElectionDeadline()
 	if wasLeader {
 		n.failWaiters(ErrLeadershipLost)
+		n.failReadWaiters(ErrLeadershipLost)
+		n.resetReadState()
 		n.peers = make(map[wire.NodeID]*peerState)
 		term := n.term
 		go n.cb.OnDemote(term)
@@ -485,6 +499,9 @@ func (n *Node) becomeLeader() {
 		return
 	}
 	n.noOpIndex = noop.OpID.Index
+	// LeaseGuard deferral: any lease from a previous leadership is void;
+	// this term's lease starts only with its first quorum-confirmed round.
+	n.resetReadState()
 	n.advanceLeaderCommit()
 	n.broadcastAppend()
 	info := PromoteInfo{Term: n.term, NoOpIndex: n.noOpIndex}
@@ -586,6 +603,7 @@ func (n *Node) setCommitIndex(index uint64) {
 	}
 	n.commitIndex = index
 	n.notifyWaiters()
+	n.completeReadWaiters()
 	go n.cb.OnCommitAdvance(index)
 }
 
@@ -694,6 +712,8 @@ func (n *Node) Status() Status {
 				st.Match[id] = ps.match
 			}
 			st.RegionWatermarks = quorum.RegionWatermarks(n.members, st.Match)
+			st.LeaseHeld = n.lease.valid(n.clk.Now())
+			st.LeaseExpiry = n.lease.expiry()
 		}
 	})
 	return st

@@ -65,6 +65,9 @@ var (
 	ErrUnknownMember = errors.New("raft: unknown member")
 	// ErrTransferFailed reports an unsuccessful leadership transfer.
 	ErrTransferFailed = errors.New("raft: leadership transfer failed")
+	// ErrLeaseExpired rejects a LeaseRead when the leader lease is not
+	// currently valid; callers fall back to ReadIndex.
+	ErrLeaseExpired = errors.New("raft: leader lease expired")
 )
 
 // Transport sends messages to peers and surfaces received envelopes.
@@ -250,6 +253,18 @@ type Config struct {
 	// heartbeat intervals.
 	TransferTimeout time.Duration
 
+	// LeaseDuration is how long a quorum-confirmed heartbeat round vouches
+	// for leadership on the LeaseRead path. Safety requires it not exceed
+	// the minimum election timeout (a new leader must not be electable
+	// while an old lease can still serve); the default is exactly
+	// ElectionTimeoutTicks heartbeat intervals, the un-jittered minimum.
+	LeaseDuration time.Duration
+	// MaxClockSkew is the assumed worst-case clock drift between members;
+	// it is subtracted from every lease expiry. Default: LeaseDuration/10.
+	// Setting it at or above LeaseDuration disables lease reads entirely
+	// (every LeaseRead falls back to ReadIndex).
+	MaxClockSkew time.Duration
+
 	// StateDir, when non-empty, persists the Raft hard state (term and
 	// vote) across restarts.
 	StateDir string
@@ -283,6 +298,12 @@ func (c Config) withDefaults() Config {
 	if c.TransferTimeout == 0 {
 		c.TransferTimeout = 20 * c.HeartbeatInterval
 	}
+	if c.LeaseDuration == 0 {
+		c.LeaseDuration = time.Duration(c.ElectionTimeoutTicks) * c.HeartbeatInterval
+	}
+	if c.MaxClockSkew == 0 {
+		c.MaxClockSkew = c.LeaseDuration / 10
+	}
 	return c
 }
 
@@ -299,6 +320,8 @@ func (c Config) Scale(f float64) Config {
 	c.ProxyWait = scale(c.ProxyWait)
 	c.RouteAroundAfter = scale(c.RouteAroundAfter)
 	c.TransferTimeout = scale(c.TransferTimeout)
+	c.LeaseDuration = scale(c.LeaseDuration)
+	c.MaxClockSkew = scale(c.MaxClockSkew)
 	return c
 }
 
@@ -318,4 +341,9 @@ type Status struct {
 	RegionWatermarks map[wire.Region]uint64
 	// Transferring reports an in-flight graceful transfer.
 	Transferring bool
+	// LeaseHeld reports a currently valid leader lease (leader only).
+	LeaseHeld bool
+	// LeaseExpiry is when the lease lapses (leader only; zero when the
+	// lease has never been granted this term).
+	LeaseExpiry time.Time
 }

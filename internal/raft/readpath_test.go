@@ -1,0 +1,276 @@
+package raft
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"myraft/internal/clock"
+	"myraft/internal/gtid"
+)
+
+// --- leaseTracker unit tests (fake clock; the clock-skew satellite) ---
+
+func TestLeaseTrackerLifecycle(t *testing.T) {
+	fake := clock.NewFake()
+	lt := leaseTracker{duration: 100 * time.Millisecond, maxSkew: 20 * time.Millisecond}
+
+	if lt.valid(fake.Now()) {
+		t.Fatal("lease valid before any quorum round")
+	}
+	if !lt.expiry().IsZero() {
+		t.Fatalf("expiry before grant = %v, want zero", lt.expiry())
+	}
+
+	start := fake.Now()
+	lt.renew(start)
+	if !lt.valid(fake.Now()) {
+		t.Fatal("lease not valid immediately after renew")
+	}
+	if want := start.Add(80 * time.Millisecond); !lt.expiry().Equal(want) {
+		t.Fatalf("expiry = %v, want %v (duration minus skew)", lt.expiry(), want)
+	}
+
+	// Valid strictly before duration-maxSkew, invalid after: the skew
+	// guard shortens the usable window by the worst-case drift.
+	fake.Advance(79 * time.Millisecond)
+	if !lt.valid(fake.Now()) {
+		t.Fatal("lease expired before duration-maxSkew elapsed")
+	}
+	fake.Advance(2 * time.Millisecond)
+	if lt.valid(fake.Now()) {
+		t.Fatal("lease still valid past duration-maxSkew")
+	}
+
+	// A renewal restores validity; an out-of-order older confirmation
+	// must never shorten an existing lease.
+	newer := fake.Now()
+	lt.renew(newer)
+	if !lt.valid(fake.Now()) {
+		t.Fatal("renewed lease not valid")
+	}
+	lt.renew(start) // stale round confirmation arriving late
+	if want := newer.Add(80 * time.Millisecond); !lt.expiry().Equal(want) {
+		t.Fatalf("stale renew moved expiry to %v, want %v", lt.expiry(), want)
+	}
+
+	lt.reset()
+	if lt.valid(fake.Now()) {
+		t.Fatal("lease valid after reset")
+	}
+}
+
+func TestLeaseTrackerExtremeSkewDisablesLease(t *testing.T) {
+	fake := clock.NewFake()
+	// Worst-case drift at/above the lease duration: the lease must never
+	// become valid, no matter how fresh the quorum round.
+	lt := leaseTracker{duration: 50 * time.Millisecond, maxSkew: 50 * time.Millisecond}
+	lt.renew(fake.Now())
+	if lt.valid(fake.Now()) {
+		t.Fatal("lease valid with maxSkew == duration")
+	}
+	lt = leaseTracker{duration: 50 * time.Millisecond, maxSkew: 80 * time.Millisecond}
+	lt.renew(fake.Now())
+	if lt.valid(fake.Now()) {
+		t.Fatal("lease valid with maxSkew > duration")
+	}
+}
+
+// --- Node ReadIndex / LeaseRead integration ---
+
+func TestReadIndexOnLeader(t *testing.T) {
+	c := newCluster(t, flatConfig(3), nil)
+	n0 := c.elect("n0")
+
+	op, err := n0.Propose([]byte("w1"), gtid.GTID{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := n0.WaitCommitted(ctx, op.Index); err != nil {
+		t.Fatal(err)
+	}
+
+	idx, err := n0.ReadIndex(ctx)
+	if err != nil {
+		t.Fatalf("ReadIndex on leader: %v", err)
+	}
+	if idx < op.Index {
+		t.Fatalf("ReadIndex = %d, below committed write %d", idx, op.Index)
+	}
+
+	// A follower must refuse: ReadIndex is a leader protocol.
+	if _, err := c.nodes["n1"].ReadIndex(ctx); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("follower ReadIndex err = %v, want ErrNotLeader", err)
+	}
+}
+
+func TestReadIndexSingleVoter(t *testing.T) {
+	// A single-voter quorum is the leader itself; ReadIndex must resolve
+	// without any network round.
+	c := newCluster(t, flatConfig(1), nil)
+	n0 := c.elect("n0")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	idx, err := n0.ReadIndex(ctx)
+	if err != nil {
+		t.Fatalf("single-voter ReadIndex: %v", err)
+	}
+	if idx == 0 {
+		t.Fatal("ReadIndex = 0; leadership No-Op should have committed")
+	}
+}
+
+func TestLeaseReadOnLeader(t *testing.T) {
+	c := newCluster(t, flatConfig(3), nil)
+	n0 := c.elect("n0")
+
+	// The lease is earned by the first quorum-confirmed heartbeat round of
+	// the term; wait for it rather than racing the heartbeats.
+	c.waitCondition("lease held", func() bool { return n0.Status().LeaseHeld })
+
+	idx, err := n0.LeaseRead()
+	if err != nil {
+		t.Fatalf("LeaseRead on leader with lease: %v", err)
+	}
+	if noop := n0.Status(); idx < noop.CommitIndex-1 {
+		t.Fatalf("LeaseRead index %d too far behind commit %d", idx, noop.CommitIndex)
+	}
+
+	if _, err := c.nodes["n2"].LeaseRead(); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("follower LeaseRead err = %v, want ErrNotLeader", err)
+	}
+}
+
+// TestStaleLeaderReadsRejected is the ISSUE's stale-lease safety scenario:
+// partition the leader, elect a new one, and verify the deposed leader's
+// LeaseRead is rejected once its lease lapses while ReadIndex on the new
+// leader observes the post-partition write. The old leader's own ReadIndex
+// must hang (no quorum) rather than return stale data.
+func TestStaleLeaderReadsRejected(t *testing.T) {
+	c := newCluster(t, flatConfig(3), nil)
+	old := c.elect("n0")
+	op, err := old.Propose([]byte("before"), gtid.GTID{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := old.WaitCommitted(ctx, op.Index); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut n0 off from both peers; it keeps believing it is the leader
+	// (no AutoStepDown, matching the paper's consistency-over-availability
+	// stance) but can no longer confirm any heartbeat round.
+	c.net.Partition("n0", "n1")
+	c.net.Partition("n0", "n2")
+
+	next := c.elect("n1")
+	op2, err := next.Propose([]byte("after"), gtid.GTID{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := next.WaitCommitted(ctx, op2.Index); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deposed leader's lease drains within LeaseDuration and every
+	// LeaseRead after that is rejected.
+	c.waitCondition("old leader lease rejected", func() bool {
+		_, err := old.LeaseRead()
+		return errors.Is(err, ErrLeaseExpired) || errors.Is(err, ErrNotLeader)
+	})
+
+	// ReadIndex on the new leader returns at least the new write.
+	idx, err := next.ReadIndex(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < op2.Index {
+		t.Fatalf("new leader ReadIndex = %d, want >= %d", idx, op2.Index)
+	}
+
+	// ReadIndex on the partitioned old leader cannot confirm leadership:
+	// it must block until the context gives up, never serve.
+	shortCtx, cancelShort := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancelShort()
+	if _, err := old.ReadIndex(shortCtx); err == nil {
+		t.Fatal("partitioned stale leader ReadIndex succeeded")
+	}
+
+	// After healing, the old leader steps down and fails pending reads
+	// rather than serving at a stale term.
+	c.net.HealAll()
+	c.waitCondition("old leader demoted", func() bool {
+		return old.Status().Role != RoleLeader
+	})
+	if _, err := old.LeaseRead(); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("healed old leader LeaseRead err = %v, want ErrNotLeader", err)
+	}
+}
+
+// TestLeaseNotInheritedAcrossTerms: a newly elected leader must not serve
+// lease reads on the strength of the previous term's lease (LeaseGuard
+// deferral) — its lease starts only after a quorum round of its own term.
+func TestLeaseNotInheritedAcrossTerms(t *testing.T) {
+	c := newCluster(t, flatConfig(3), nil)
+	c.elect("n0")
+	c.waitCondition("n0 lease", func() bool { return c.nodes["n0"].Status().LeaseHeld })
+
+	// Transfer to n1. At the instant n1 wins it has had no quorum round of
+	// its own term; LeaseRead must fall back (expired) until it earns one.
+	// The window is narrow under test heartbeats, so assert the reachable
+	// stable states: either not-yet-held (ErrLeaseExpired) or already
+	// earned legitimately — but never a lease expiring LATER than one
+	// full LeaseDuration from now, which would indicate inheritance plus
+	// extension from the old term.
+	n1 := c.elect("n1")
+	st := n1.Status()
+	if st.LeaseHeld {
+		maxExpiry := time.Now().Add(time.Duration(3) * testHeartbeat)
+		if st.LeaseExpiry.After(maxExpiry.Add(testHeartbeat)) {
+			t.Fatalf("new leader lease expiry %v implausibly far out", st.LeaseExpiry)
+		}
+	}
+	c.waitCondition("n1 earns own lease", func() bool { return n1.Status().LeaseHeld })
+	if _, err := n1.LeaseRead(); err != nil {
+		t.Fatalf("LeaseRead after own quorum round: %v", err)
+	}
+}
+
+// TestReadIndexFailsOnDemotion: a pending ReadIndex waiter on a node that
+// loses leadership resolves with ErrLeadershipLost, not a stale index.
+func TestReadIndexFailsOnDemotion(t *testing.T) {
+	c := newCluster(t, flatConfig(3), nil)
+	old := c.elect("n0")
+	c.net.Partition("n0", "n1")
+	c.net.Partition("n0", "n2")
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := old.ReadIndex(context.Background())
+		done <- err
+	}()
+	// Let the waiter register, then depose n0 by healing: the new leader's
+	// heartbeats carry a higher term. The sleep lets n1/n2 election timers
+	// expire, so either may already be campaigning — accept whichever wins.
+	time.Sleep(5 * testHeartbeat)
+	c.nodes["n1"].CampaignNow()
+	c.waitCondition("replacement leader", func() bool {
+		return c.nodes["n1"].Status().Role == RoleLeader ||
+			c.nodes["n2"].Status().Role == RoleLeader
+	})
+	c.net.HealAll()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrLeadershipLost) && !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("deposed ReadIndex err = %v, want leadership loss", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ReadIndex still blocked after demotion")
+	}
+}

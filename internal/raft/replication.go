@@ -9,11 +9,16 @@ import (
 )
 
 // broadcastAppend sends AppendEntries to every peer, batching from each
-// peer's next index. It doubles as the heartbeat when a peer is caught up.
+// peer's next index. It doubles as the heartbeat when a peer is caught up,
+// and every broadcast opens a leadership-confirmation round (lease.go).
 func (n *Node) broadcastAppend() {
+	n.beginReadRound()
+	n.readRoundArmed = false
 	for id := range n.peers {
 		n.sendAppend(id)
 	}
+	// A single-voter quorum is satisfied by the leader alone; settle now.
+	n.advanceReadRounds()
 }
 
 // sendAppend builds and transmits one AppendEntries to peer, applying the
@@ -57,7 +62,10 @@ func (n *Node) sendAppend(peer wire.NodeID) {
 		PrevOpID:    opid.OpID{Term: prevTerm, Index: prevIndex},
 		Entries:     entries,
 		CommitIndex: n.commitIndex,
-		ReturnPath:  []wire.NodeID{n.cfg.ID},
+		// Individual resends reuse the current round: its start predates
+		// this send, so acking it remains a conservative leadership proof.
+		ReadSeq:    n.hbSeq,
+		ReturnPath: []wire.NodeID{n.cfg.ID},
 	}
 
 	route := n.routeFor(peer)
@@ -113,9 +121,12 @@ func (n *Node) handleAppendReq(from wire.NodeID, req *wire.AppendEntriesReq) {
 	}
 
 	resp := &wire.AppendEntriesResp{
-		Term:  n.term,
-		From:  n.cfg.ID,
-		Route: respRoute(req),
+		Term: n.term,
+		From: n.cfg.ID,
+		// Echo the round number on every path: even a failed consistency
+		// check acknowledges the sender's leadership at this term.
+		ReadSeq: req.ReadSeq,
+		Route:   respRoute(req),
 	}
 	if req.Term < n.term {
 		resp.Success = false
@@ -314,6 +325,12 @@ func (n *Node) handleAppendResp(resp *wire.AppendEntriesResp) {
 		return
 	}
 	ps.lastAck = n.clk.Now()
+	// Any same-term response — success or log-mismatch rejection — proves
+	// the peer still accepted our leadership when it echoed this round.
+	if resp.ReadSeq > ps.ackSeq {
+		ps.ackSeq = resp.ReadSeq
+		n.advanceReadRounds()
+	}
 	if resp.Success {
 		if resp.MatchIndex > ps.match {
 			ps.match = resp.MatchIndex

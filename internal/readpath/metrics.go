@@ -1,0 +1,62 @@
+package readpath
+
+import (
+	"fmt"
+
+	"myraft/internal/metrics"
+)
+
+// Metrics aggregates read-path observability: one latency histogram per
+// consistency level, plus the counters the operators of a lease-based
+// read path watch — how often the lease fell back to ReadIndex, and how
+// many reads were rejected outright rather than served possibly stale.
+type Metrics struct {
+	Linearizable *metrics.Histogram
+	Lease        *metrics.Histogram
+	Session      *metrics.Histogram
+
+	// LeaseFallbacks counts lease reads that degraded to a ReadIndex
+	// round (lease not yet earned, expired, or disabled).
+	LeaseFallbacks metrics.Counter
+	// StaleRejections counts reads refused entirely: the member could not
+	// prove the result fresh (lost leadership, no quorum, applier stuck)
+	// and erred rather than serving stale data.
+	StaleRejections metrics.Counter
+}
+
+// NewMetrics returns a sink with unbounded (exact-percentile) histograms.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Linearizable: metrics.NewHistogram(),
+		Lease:        metrics.NewHistogram(),
+		Session:      metrics.NewHistogram(),
+	}
+}
+
+// NewMetricsCapped returns a sink whose histograms hold at most capacity
+// samples each (reservoir sampling), for open-ended read-heavy runs.
+func NewMetricsCapped(capacity int) *Metrics {
+	return &Metrics{
+		Linearizable: metrics.NewHistogramCapped(capacity),
+		Lease:        metrics.NewHistogramCapped(capacity),
+		Session:      metrics.NewHistogramCapped(capacity),
+	}
+}
+
+func (m *Metrics) hist(l Level) *metrics.Histogram {
+	switch l {
+	case LevelLease:
+		return m.Lease
+	case LevelSession:
+		return m.Session
+	default:
+		return m.Linearizable
+	}
+}
+
+// String renders a per-level summary plus the counters.
+func (m *Metrics) String() string {
+	return fmt.Sprintf("linearizable: %s\nlease:        %s\nsession:      %s\nlease fallbacks=%d stale rejections=%d",
+		m.Linearizable, m.Lease, m.Session,
+		m.LeaseFallbacks.Value(), m.StaleRejections.Value())
+}

@@ -132,8 +132,13 @@ type AppendEntriesReq struct {
 	PrevOpID    opid.OpID
 	Entries     []LogEntry
 	CommitIndex uint64 // leader commit marker, piggybacked (§3.4)
-	Route       []NodeID
-	ReturnPath  []NodeID
+	// ReadSeq is the leader's heartbeat-round sequence number. Followers
+	// echo it so the leader can prove it was still the leader at the time
+	// a round started: the quorum-acked round confirms leadership for
+	// ReadIndex reads and renews the leader lease (internal/readpath).
+	ReadSeq    uint64
+	Route      []NodeID
+	ReturnPath []NodeID
 }
 
 func (*AppendEntriesReq) Type() MsgType { return MsgAppendEntriesReq }
@@ -146,7 +151,11 @@ type AppendEntriesResp struct {
 	Success    bool
 	MatchIndex uint64 // highest log index known replicated on From
 	LastIndex  uint64 // From's last log index (rejection hint)
-	Route      []NodeID
+	// ReadSeq echoes the request's heartbeat-round sequence. Even a
+	// Success=false response (log mismatch) counts as a leadership ack:
+	// the follower processed the request at the leader's term.
+	ReadSeq uint64
+	Route   []NodeID
 }
 
 func (*AppendEntriesResp) Type() MsgType { return MsgAppendEntriesResp }
@@ -419,6 +428,7 @@ func Marshal(m Message) ([]byte, error) {
 		e.str(string(msg.LeaderID))
 		e.opid(msg.PrevOpID)
 		e.u64(msg.CommitIndex)
+		e.u64(msg.ReadSeq)
 		e.nodeList(msg.Route)
 		e.nodeList(msg.ReturnPath)
 		e.buf = binary.BigEndian.AppendUint32(e.buf, uint32(len(msg.Entries)))
@@ -431,6 +441,7 @@ func Marshal(m Message) ([]byte, error) {
 		e.bool(msg.Success)
 		e.u64(msg.MatchIndex)
 		e.u64(msg.LastIndex)
+		e.u64(msg.ReadSeq)
 		e.nodeList(msg.Route)
 	case *RequestVoteReq:
 		e.u64(msg.Term)
@@ -476,6 +487,7 @@ func Unmarshal(data []byte) (Message, error) {
 		msg.LeaderID = NodeID(d.str())
 		msg.PrevOpID = d.opid()
 		msg.CommitIndex = d.u64()
+		msg.ReadSeq = d.u64()
 		msg.Route = d.nodeList()
 		msg.ReturnPath = d.nodeList()
 		if d.err == nil {
@@ -500,6 +512,7 @@ func Unmarshal(data []byte) (Message, error) {
 		msg.Success = d.bool()
 		msg.MatchIndex = d.u64()
 		msg.LastIndex = d.u64()
+		msg.ReadSeq = d.u64()
 		msg.Route = d.nodeList()
 		m = msg
 	case MsgRequestVoteReq:

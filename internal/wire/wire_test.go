@@ -39,6 +39,7 @@ func TestAppendEntriesReqRoundTrip(t *testing.T) {
 			{OpID: opid.OpID{Term: 7, Index: 43}, Kind: 2},
 		},
 		CommitIndex: 41,
+		ReadSeq:     17,
 		Route:       []NodeID{"lt-1", "mysql-2"},
 		ReturnPath:  []NodeID{"mysql-1"},
 	}
@@ -90,7 +91,7 @@ func TestProxyEntryDropsPayload(t *testing.T) {
 }
 
 func TestAppendEntriesRespRoundTrip(t *testing.T) {
-	m := &AppendEntriesResp{Term: 3, From: "f1", Success: true, MatchIndex: 10, LastIndex: 12, Route: []NodeID{"p", "l"}}
+	m := &AppendEntriesResp{Term: 3, From: "f1", Success: true, MatchIndex: 10, LastIndex: 12, ReadSeq: 17, Route: []NodeID{"p", "l"}}
 	got := roundTrip(t, m).(*AppendEntriesResp)
 	if !reflect.DeepEqual(m, got) {
 		t.Fatalf("mismatch: %+v vs %+v", m, got)

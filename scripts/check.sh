@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Repo-wide check: vet, build, full test suite, then the race detector
+# over the concurrency-heavy packages (consensus, read path, cluster).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (raft, readpath, cluster)"
+# -p 1: the timing-sensitive cluster integration tests get the machine to
+# themselves; running race-instrumented packages concurrently slows the
+# schedulers enough to trip failover timeouts.
+go test -race -p 1 ./internal/raft ./internal/readpath ./internal/cluster
+
+echo "== OK"
