@@ -270,3 +270,26 @@ func BenchmarkEnableRaftWindow(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDurabilityPipeline measures the async durability pipeline
+// ablation (DESIGN.md): grouped off-loop fsyncs versus the
+// SyncEveryAppend policy on the same sysbench-style workload, with a
+// modeled 5ms device fsync (a battery-backed array under load). The grouped pipeline must amortize fsyncs
+// across concurrent commits (>= 2x throughput at 16 clients).
+func BenchmarkDurabilityPipeline(b *testing.B) {
+	p := benchParams()
+	p.Clients = 16
+	p.FsyncLatency = 5 * time.Millisecond
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DurabilityPipeline(context.Background(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Grouped.Throughput(), "grouped_tput_per_s")
+		b.ReportMetric(res.SyncEvery.Throughput(), "sync_every_tput_per_s")
+		b.ReportMetric(res.Speedup(), "grouped_speedup_x")
+		b.ReportMetric(float64(res.GroupedStats.FsyncBatch.P99), "fsync_batch_p99")
+		reportLatency(b, "grouped", res.Grouped.Latency)
+		reportLatency(b, "sync_every", res.SyncEvery.Latency)
+	}
+}

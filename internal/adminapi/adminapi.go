@@ -41,6 +41,28 @@ type MemberStatus struct {
 	ReadOnly    *bool       `json:"read_only,omitempty"`
 	GTIDs       string      `json:"gtid_executed,omitempty"`
 	BinlogFiles []FileEntry `json:"binlog_files,omitempty"`
+	// Durability reports the async log writer's pipeline state: how far
+	// fsync has progressed, how it is batching, and how far acks lag
+	// appends (§3.4 group commit observability).
+	Durability *DurabilityStatus `json:"durability,omitempty"`
+}
+
+// DurabilityStatus is the /status view of one member's async log writer.
+type DurabilityStatus struct {
+	DurableIndex  uint64 `json:"durable_index"`
+	AppendedIndex uint64 `json:"appended_index"`
+	UnsyncedBytes int64  `json:"unsynced_bytes"`
+	Fsyncs        int64  `json:"fsyncs"`
+	// Fsync batch size distribution (entries per fsync).
+	FsyncBatchP50 int64 `json:"fsync_batch_p50,omitempty"`
+	FsyncBatchP99 int64 `json:"fsync_batch_p99,omitempty"`
+	FsyncBatchMax int64 `json:"fsync_batch_max,omitempty"`
+	// Append→durable latency distribution.
+	AppendDurableP50 string `json:"append_durable_p50,omitempty"`
+	AppendDurableP99 string `json:"append_durable_p99,omitempty"`
+	// Total time the raft event loop spent blocked on the writer
+	// (backpressure and barrier waits).
+	LoopBlocked string `json:"loop_blocked,omitempty"`
 }
 
 // FileEntry mirrors SHOW BINARY LOGS output.
@@ -122,6 +144,26 @@ func (s *Server) Status() ClusterStatus {
 					ms.LeaseExpiry = ns.LeaseExpiry.Format(time.RFC3339Nano)
 				}
 			}
+			ds := node.DurabilityStats()
+			d := &DurabilityStatus{
+				DurableIndex:  ds.DurableIndex,
+				AppendedIndex: ds.AppendedIndex,
+				UnsyncedBytes: ds.UnsyncedBytes,
+				Fsyncs:        ds.Fsyncs,
+			}
+			if ds.FsyncBatch.Count > 0 {
+				d.FsyncBatchP50 = ds.FsyncBatch.Median
+				d.FsyncBatchP99 = ds.FsyncBatch.P99
+				d.FsyncBatchMax = ds.FsyncBatch.Max
+			}
+			if ds.AppendDurable.Count > 0 {
+				d.AppendDurableP50 = ds.AppendDurable.Median.String()
+				d.AppendDurableP99 = ds.AppendDurable.P99.String()
+			}
+			if ds.LoopBlocked > 0 {
+				d.LoopBlocked = ds.LoopBlocked.String()
+			}
+			ms.Durability = d
 		}
 		if srv := m.Server(); srv != nil {
 			ro := srv.IsReadOnly()

@@ -277,3 +277,37 @@ func TestFixQuorumEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStatusReportsDurability(t *testing.T) {
+	_, client := testStack(t)
+	if _, err := client.Write("user:1", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range st.Members {
+		if m.Role != "leader" {
+			continue
+		}
+		d := m.Durability
+		if d == nil {
+			t.Fatalf("leader status missing durability: %+v", m)
+		}
+		// The write committed, which requires the leader's own vote, which
+		// is gated on local durability — so the fsync pipeline must have
+		// run and covered the appended tail.
+		if d.Fsyncs == 0 {
+			t.Fatalf("no fsyncs recorded: %+v", d)
+		}
+		if d.DurableIndex == 0 || d.DurableIndex > d.AppendedIndex {
+			t.Fatalf("inconsistent durability cursors: %+v", d)
+		}
+		if d.FsyncBatchMax == 0 {
+			t.Fatalf("fsync batch histogram empty: %+v", d)
+		}
+		return
+	}
+	t.Fatal("no leader in status")
+}

@@ -93,6 +93,9 @@ type Log struct {
 	gtids      *gtid.Set // GTIDs of every entry ever appended (incl. purged)
 	offsets    map[uint64]entryLoc
 	seq        int // sequence number of the next file to create
+
+	dirty    bool  // writes since the last successful fsync
+	unsynced int64 // bytes appended since the last successful fsync
 }
 
 // ErrNotFound is returned when a requested entry index is not on disk
@@ -358,6 +361,8 @@ func (l *Log) createFileLocked() error {
 	l.active = lf
 	l.f = f
 	l.w = bufio.NewWriter(f)
+	// The fresh header has not been fsynced; the next Sync must hit disk.
+	l.dirty = true
 	return l.writeIndexFileLocked()
 }
 
@@ -382,6 +387,8 @@ func (l *Log) Append(e *Entry) error {
 	if _, err := l.w.Write(buf); err != nil {
 		return fmt.Errorf("binlog: append: %w", err)
 	}
+	l.dirty = true
+	l.unsynced += int64(len(buf))
 	l.offsets[e.OpID.Index] = entryLoc{file: l.active, offset: l.active.size, length: int64(len(buf))}
 	if l.active.firstIndex == 0 {
 		l.active.firstIndex = e.OpID.Index
@@ -420,12 +427,19 @@ func (l *Log) syncLocked() error {
 	if l.f == nil {
 		return fmt.Errorf("binlog: log closed")
 	}
+	if !l.dirty {
+		// Nothing written since the last fsync: group commit coalesces
+		// redundant Sync calls into a no-op instead of a disk flush.
+		return nil
+	}
 	if err := l.flushLocked(); err != nil {
 		return err
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("binlog: sync: %w", err)
 	}
+	l.dirty = false
+	l.unsynced = 0
 	return nil
 }
 
@@ -659,6 +673,7 @@ func (l *Log) TruncateAfter(index uint64) ([]*Entry, error) {
 	l.active = tail
 	l.f = f
 	l.w = bufio.NewWriter(f)
+	l.dirty = true // truncation metadata must reach disk on the next Sync
 	l.lastOpID = newLast
 	if index == 0 {
 		l.firstIndex = 0
@@ -757,6 +772,15 @@ func (l *Log) Files() []FileInfo {
 		out[i] = FileInfo{Name: f.name, FirstIndex: f.firstIndex, LastIndex: f.lastIndex, Size: f.size}
 	}
 	return out
+}
+
+// UnsyncedBytes returns how many appended bytes have not yet been
+// covered by a successful Sync. The async durability pipeline uses this
+// for backpressure accounting and tests use it to verify coalescing.
+func (l *Log) UnsyncedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.unsynced
 }
 
 // LastOpID returns the OpID of the tail entry, or opid.Zero when empty.

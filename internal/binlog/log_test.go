@@ -671,3 +671,37 @@ func TestOpenRobustToCorruptionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSyncCoalescesWhenClean(t *testing.T) {
+	l := openTestLog(t, Options{})
+	if l.UnsyncedBytes() != 0 {
+		t.Fatalf("fresh log unsynced = %d", l.UnsyncedBytes())
+	}
+	// The fresh header counts as dirty until the first sync.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(normalEntry(1, 1, "payload")); err != nil {
+		t.Fatal(err)
+	}
+	if l.UnsyncedBytes() == 0 {
+		t.Fatal("append did not raise unsynced bytes")
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.UnsyncedBytes() != 0 {
+		t.Fatalf("unsynced = %d after sync", l.UnsyncedBytes())
+	}
+	// A redundant Sync with nothing new written must be a no-op (this is
+	// what lets the raft writer and the commit pipeline both request
+	// durability without doubling fsyncs). Close the fd out from under
+	// the log: a real fsync would now fail, a coalesced no-op succeeds.
+	l.mu.Lock()
+	f := l.f
+	l.mu.Unlock()
+	f.Close()
+	if err := l.Sync(); err != nil {
+		t.Fatalf("clean sync was not coalesced: %v", err)
+	}
+}

@@ -67,6 +67,10 @@ type Options struct {
 	// many retained samples (reservoir sampling) for open-ended read-heavy
 	// runs; 0 keeps every sample (exact percentiles).
 	ReadSampleCap int
+	// WrapLogStore, when set, wraps each member's log store before it is
+	// handed to raft.NewNode. Experiments use it to model storage-device
+	// latency (logstore.Delayed) and tests to instrument fsync behaviour.
+	WrapLogStore func(raft.LogStore) raft.LogStore
 }
 
 // Member is one running replicaset member.
@@ -220,6 +224,9 @@ func (c *Cluster) startMember(m *Member) error {
 		return fmt.Errorf("cluster: unknown member kind %d", m.Spec.Kind)
 	}
 
+	if c.opts.WrapLogStore != nil {
+		store = c.opts.WrapLogStore(store)
+	}
 	node, err := raft.NewNode(rcfg, store, cb, ep, c.clk)
 	if err != nil {
 		return err

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/logstore"
+	"myraft/internal/raft"
+	"myraft/internal/workload"
+)
+
+// DurabilityResult is the async-durability-pipeline ablation: the same
+// sysbench-style workload run with grouped off-loop fsyncs (the MyRaft
+// pipeline) and with the SyncEveryAppend ablation (one inline-ordered
+// fsync per log append), both over a log store with modeled device
+// latency. The paper's group commit discussion (§3.4) predicts grouped
+// durability holds throughput roughly independent of fsync cost while
+// per-append syncing serializes on it.
+type DurabilityResult struct {
+	Grouped   *workload.Result
+	SyncEvery *workload.Result
+	// GroupedStats / SyncEveryStats are the primary's durability pipeline
+	// counters at the end of each run (fsync counts, batch sizes, lag).
+	GroupedStats   raft.DurabilityStats
+	SyncEveryStats raft.DurabilityStats
+	Params         Params
+}
+
+// Speedup returns grouped throughput relative to sync-every-append.
+func (r *DurabilityResult) Speedup() float64 {
+	if r.SyncEvery.Throughput() == 0 {
+		return 0
+	}
+	return r.Grouped.Throughput() / r.SyncEvery.Throughput()
+}
+
+// String renders the ablation report.
+func (r *DurabilityResult) String() string {
+	return fmt.Sprintf(
+		"grouped   : %s  throughput=%.0f/s  fsyncs=%d  batch p50/p99=%d/%d\nsync-every: %s  throughput=%.0f/s  fsyncs=%d\nspeedup=%.1fx (fsync latency %v)",
+		r.Grouped.Latency, r.Grouped.Throughput(),
+		r.GroupedStats.Fsyncs, r.GroupedStats.FsyncBatch.Median, r.GroupedStats.FsyncBatch.P99,
+		r.SyncEvery.Latency, r.SyncEvery.Throughput(), r.SyncEveryStats.Fsyncs,
+		r.Speedup(), r.Params.FsyncLatency)
+}
+
+// durabilityStack boots a MyRaft cluster whose log stores carry the
+// modeled fsync latency, with the given sync policy.
+func durabilityStack(ctx context.Context, p Params, syncEvery bool) (*cluster.Cluster, error) {
+	rcfg := p.raftConfig()
+	rcfg.SyncEveryAppend = syncEvery
+	c, err := cluster.New(cluster.Options{
+		Name:      "rs-durability",
+		Dir:       "",
+		Raft:      rcfg,
+		NetConfig: p.netConfig(),
+		WrapLogStore: func(s raft.LogStore) raft.LogStore {
+			return logstore.Delayed{Inner: s, SyncDelay: p.FsyncLatency}
+		},
+	}, cluster.PaperTopology(p.FollowerRegions, p.Learners))
+	if err != nil {
+		return nil, err
+	}
+	bctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(bctx, "mysql-0"); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// DurabilityPipeline runs the grouped-vs-sync-every ablation. Clients are
+// co-located with the primary (no RTT) so commit throughput is bounded by
+// the durability path, not the network.
+func DurabilityPipeline(ctx context.Context, p Params) (*DurabilityResult, error) {
+	p = p.withDefaults()
+	if p.FsyncLatency == 0 {
+		p.FsyncLatency = time.Millisecond
+	}
+	cfg := workload.Sysbench(p.Clients, p.Duration)
+
+	run := func(syncEvery bool) (*workload.Result, raft.DurabilityStats, error) {
+		c, err := durabilityStack(ctx, p, syncEvery)
+		if err != nil {
+			return nil, raft.DurabilityStats{}, fmt.Errorf("experiments: durability stack: %w", err)
+		}
+		defer c.Close()
+		res := workload.Run(ctx, clusterDriver(c, 0), cfg)
+		var st raft.DurabilityStats
+		if leader := c.Leader(); leader != nil && leader.Node() != nil {
+			st = leader.Node().DurabilityStats()
+		}
+		return res, st, nil
+	}
+
+	grouped, gstats, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	every, estats, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &DurabilityResult{
+		Grouped:        grouped,
+		SyncEvery:      every,
+		GroupedStats:   gstats,
+		SyncEveryStats: estats,
+		Params:         p,
+	}, nil
+}

@@ -226,3 +226,33 @@ func TestRolloutShape(t *testing.T) {
 		t.Fatalf("window too large: %v paper units", paper)
 	}
 }
+
+func TestDurabilityPipelineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	if raceEnabled {
+		t.Skip("timing-sensitive shape test; race detector distorts latency")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	p := fastParams()
+	p.Duration = 500 * time.Millisecond
+	res, err := DurabilityPipeline(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grouped.Latency.Count() == 0 || res.SyncEvery.Latency.Count() == 0 {
+		t.Fatal("empty results")
+	}
+	// With a 1ms modeled fsync, per-append syncing caps commits near
+	// 1000/s while grouped fsyncs amortize; the gap must be clear even
+	// under test-machine noise.
+	if sp := res.Speedup(); sp < 1.2 {
+		t.Fatalf("grouped speedup %.2fx; pipeline not amortizing fsyncs\n%s", sp, res)
+	}
+	if res.GroupedStats.Fsyncs == 0 || res.GroupedStats.FsyncBatch.Max < 2 {
+		t.Fatalf("grouped run shows no fsync batching: %+v", res.GroupedStats)
+	}
+	t.Logf("durability: %s", res)
+}

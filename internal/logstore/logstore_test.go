@@ -2,6 +2,7 @@ package logstore
 
 import (
 	"testing"
+	"time"
 
 	"myraft/internal/binlog"
 	"myraft/internal/gtid"
@@ -87,5 +88,43 @@ func TestScanFromConvertsEntries(t *testing.T) {
 	}
 	if len(indexes) != 3 || indexes[0] != 3 || indexes[2] != 5 {
 		t.Fatalf("indexes = %v", indexes)
+	}
+}
+
+func TestDelayedForwardsAndDelays(t *testing.T) {
+	s := openStore(t)
+	d := Delayed{Inner: s, SyncDelay: 20 * time.Millisecond}
+	for i := uint64(1); i <= 3; i++ {
+		if err := d.Append(entry(1, i, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.LastOpID().Index != 3 || d.FirstIndex() != 1 {
+		t.Fatalf("bounds: %d..%v", d.FirstIndex(), d.LastOpID())
+	}
+	start := time.Now()
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 20*time.Millisecond {
+		t.Fatalf("sync returned in %v, before the modeled device latency", took)
+	}
+	e, err := d.Entry(2)
+	if err != nil || e.OpID.Index != 2 {
+		t.Fatalf("Entry(2) = %v %v", e, err)
+	}
+	// ScanFrom must reach the inner store's sequential scan.
+	var got []uint64
+	if err := d.ScanFrom(2, func(e *wire.LogEntry) bool {
+		got = append(got, e.OpID.Index)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("scan = %v", got)
+	}
+	if removed, err := d.TruncateAfter(1); err != nil || len(removed) != 2 {
+		t.Fatalf("truncate: %d removed, %v", len(removed), err)
 	}
 }

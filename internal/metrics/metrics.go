@@ -217,6 +217,61 @@ func (h *Histogram) String() string {
 
 func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
+// IntHistogram records integer-valued samples (fsync batch sizes, byte
+// counts) on top of Histogram's storage, sharing its exact-percentile and
+// reservoir-sampling behaviour.
+type IntHistogram struct {
+	h *Histogram
+}
+
+// NewIntHistogram returns an empty integer histogram keeping every sample.
+func NewIntHistogram() *IntHistogram { return &IntHistogram{h: NewHistogram()} }
+
+// NewIntHistogramCapped returns an integer histogram holding at most
+// capacity samples via reservoir sampling.
+func NewIntHistogramCapped(capacity int) *IntHistogram {
+	return &IntHistogram{h: NewHistogramCapped(capacity)}
+}
+
+// Observe records one sample.
+func (h *IntHistogram) Observe(v int64) { h.h.Observe(time.Duration(v)) }
+
+// Count returns the number of observed samples, including any evicted
+// from a capped histogram's reservoir.
+func (h *IntHistogram) Count() int { return h.h.Count() }
+
+// IntSummary is a point-in-time percentile digest of an IntHistogram.
+type IntSummary struct {
+	Count  int
+	Min    int64
+	Median int64
+	P95    int64
+	P99    int64
+	Max    int64
+	Mean   int64
+}
+
+// Summarize returns the percentile digest of the observed values.
+func (h *IntHistogram) Summarize() IntSummary {
+	s := h.h.Summarize()
+	return IntSummary{
+		Count:  s.Count,
+		Min:    int64(s.Min),
+		Median: int64(s.Median),
+		P95:    int64(s.P95),
+		P99:    int64(s.P99),
+		Max:    int64(s.Max),
+		Mean:   int64(s.Mean),
+	}
+}
+
+// String renders a one-line summary.
+func (h *IntHistogram) String() string {
+	s := h.Summarize()
+	return fmt.Sprintf("n=%d avg=%d p50=%d p95=%d p99=%d max=%d",
+		s.Count, s.Mean, s.Median, s.P95, s.P99, s.Max)
+}
+
 // Counter is a monotonically increasing concurrent counter.
 type Counter struct {
 	mu sync.Mutex

@@ -239,3 +239,33 @@ func TestHistogramString(t *testing.T) {
 		t.Fatalf("String() = %q", h.String())
 	}
 }
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram()
+	if s := h.Summarize(); s.Count != 0 || s.Max != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	s := h.Summarize()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 || s.Median != 50 || s.P99 != 99 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.String() == "" {
+		t.Fatal("empty string form")
+	}
+	capped := NewIntHistogramCapped(10)
+	for i := int64(1); i <= 1000; i++ {
+		capped.Observe(i)
+	}
+	if capped.Count() != 1000 {
+		t.Fatalf("capped count = %d", capped.Count())
+	}
+	if s := capped.Summarize(); s.Max < 1 || s.Max > 1000 {
+		t.Fatalf("capped summary out of range: %+v", s)
+	}
+}

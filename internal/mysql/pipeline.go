@@ -140,8 +140,13 @@ func (p *pipeline) processGroup(repl Replicator, group []*pendingTxn) {
 	if len(flushed) == 0 {
 		return
 	}
-	// One durability point per group.
-	if err := p.s.log.Sync(); err != nil {
+	// One durability point per group: instead of fsyncing inline (which
+	// would serialize this worker behind the disk), wait for the
+	// consensus layer's log writer to report the group's last entry
+	// durable. The writer groups fsyncs across everything queued behind
+	// it, so under load one flush covers several pipeline groups.
+	last := flushed[len(flushed)-1]
+	if err := repl.WaitDurable(context.Background(), last.op.Index); err != nil {
 		for _, pt := range flushed {
 			p.abort(pt, err)
 		}
@@ -152,7 +157,6 @@ func (p *pipeline) processGroup(repl Replicator, group []*pendingTxn) {
 	// consensus layer resolves this wait on commit, demotion, or
 	// shutdown; there is deliberately no client-side timeout here (see
 	// the type comment).
-	last := flushed[len(flushed)-1]
 	if err := repl.WaitCommitted(context.Background(), last.op.Index); err != nil {
 		// Consensus failed for the tail; transactions at or below the
 		// actual commit marker may still be in — re-check individually

@@ -109,6 +109,13 @@ func (f *fakeReplicator) fail(err error) {
 	}
 }
 
+// WaitDurable syncs the binlog inline: the fake has no async writer, so
+// "durable" is simply "fsynced now", which preserves the pipeline's
+// one-durability-point-per-group behaviour for these tests.
+func (f *fakeReplicator) WaitDurable(ctx context.Context, index uint64) error {
+	return f.s.Log().Sync()
+}
+
 func (f *fakeReplicator) CommitIndex() uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -145,6 +145,16 @@ func (c *entryCache) get(index uint64) (*wire.LogEntry, bool) {
 	return &e, true
 }
 
+// meta returns a payload-free copy of the cached entry's header at
+// index, if present. Unlike get it never touches the stored payload, so
+// proxied sends skip both the copy and any decompression.
+func (c *entryCache) meta(index uint64) (wire.LogEntry, bool) {
+	if ce, ok := c.entries[index]; ok {
+		return ce.meta, true
+	}
+	return wire.LogEntry{}, false
+}
+
 // termAt returns the term of the cached entry at index, if present.
 func (c *entryCache) termAt(index uint64) (uint64, bool) {
 	if ce, ok := c.entries[index]; ok {

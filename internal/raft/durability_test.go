@@ -1,0 +1,408 @@
+package raft
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"myraft/internal/gtid"
+	"myraft/internal/opid"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+// gatedLog wraps a memLog with a controllable Sync: while the gate is
+// closed, Sync blocks, which simulates a storage device stuck mid-fsync.
+// It also counts Sync calls so tests can verify fsync coalescing.
+type gatedLog struct {
+	memLog
+	syncs    atomic.Int64
+	started  chan struct{} // receives one token per Sync entered
+	gate     chan struct{} // Sync waits here until the gate is opened
+	released atomic.Bool
+}
+
+func newGatedLog() *gatedLog {
+	return &gatedLog{
+		started: make(chan struct{}, 1024),
+		gate:    make(chan struct{}),
+	}
+}
+
+func (l *gatedLog) Sync() error {
+	l.syncs.Add(1)
+	select {
+	case l.started <- struct{}{}:
+	default:
+	}
+	if !l.released.Load() {
+		<-l.gate
+	}
+	return nil
+}
+
+// open releases every current and future Sync. Idempotent.
+func (l *gatedLog) open() {
+	if l.released.CompareAndSwap(false, true) {
+		close(l.gate)
+	}
+}
+
+// startGatedNode builds a single-voter node over a gatedLog, elects it,
+// and guarantees the gate is opened at cleanup so Stop can drain.
+func startGatedNode(t *testing.T) (*Node, *gatedLog) {
+	t.Helper()
+	cfg := wire.Config{Members: []wire.Member{{ID: "n0", Region: "r1", Voter: true}}}
+	net := transport.New(transport.Config{IntraRegion: 200 * time.Microsecond}, nil)
+	log := newGatedLog()
+	n, err := NewNode(defaultNodeCfg("n0", "r1"), log, &recordingCallbacks{}, net.Register("n0", "r1"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(cfg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		log.open()
+		n.Stop()
+		net.Close()
+	})
+	n.CampaignNow()
+	deadline := time.Now().Add(10 * time.Second)
+	for n.Status().Role != RoleLeader {
+		if time.Now().After(deadline) {
+			t.Fatal("never became leader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return n, log
+}
+
+// TestLogWriterCoalescesFsyncs drives the writer directly: entries that
+// arrive while a sync is in flight must share the next sync rather than
+// getting one each.
+func TestLogWriterCoalescesFsyncs(t *testing.T) {
+	log := newGatedLog()
+	lw := newLogWriter(log, Config{}, newDurMetrics())
+	lw.init(0)
+	go lw.run()
+	defer func() {
+		log.open()
+		lw.stop()
+	}()
+
+	entry := func(i uint64) *wire.LogEntry {
+		return &wire.LogEntry{OpID: opid.OpID{Term: 1, Index: i}, Payload: []byte("p")}
+	}
+	if err := lw.enqueue(entry(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-log.started // writer is now blocked inside Sync for entry 1
+	for i := uint64(2); i <= 10; i++ {
+		if err := lw.enqueue(entry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.open()
+	if err := lw.drainAppends(); err != nil {
+		t.Fatal(err)
+	}
+	st := lw.stats()
+	if st.DurableIndex != 10 || st.AppendedIndex != 10 {
+		t.Fatalf("cursors = %d/%d, want 10/10", st.DurableIndex, st.AppendedIndex)
+	}
+	if st.UnsyncedBytes != 0 {
+		t.Fatalf("unsynced bytes = %d after drain", st.UnsyncedBytes)
+	}
+	// Entry 1 got its own (gated) sync; entries 2-10 must share one.
+	if got := log.syncs.Load(); got != 2 {
+		t.Fatalf("syncs = %d, want 2 (one gated + one group)", got)
+	}
+	if st.FsyncBatch.Max != 9 {
+		t.Fatalf("max fsync batch = %d, want 9", st.FsyncBatch.Max)
+	}
+}
+
+// TestLogWriterSyncEveryAppend verifies the ablation knob: one fsync per
+// entry, no grouping.
+func TestLogWriterSyncEveryAppend(t *testing.T) {
+	log := newGatedLog()
+	log.open()
+	lw := newLogWriter(log, Config{SyncEveryAppend: true}, newDurMetrics())
+	lw.init(0)
+	go lw.run()
+	defer lw.stop()
+
+	for i := uint64(1); i <= 5; i++ {
+		if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lw.drainAppends(); err != nil {
+		t.Fatal(err)
+	}
+	if got := log.syncs.Load(); got != 5 {
+		t.Fatalf("syncs = %d, want 5", got)
+	}
+	st := lw.stats()
+	if st.Fsyncs != 5 || st.FsyncBatch.Max != 1 {
+		t.Fatalf("stats = %+v, want 5 single-entry fsyncs", st)
+	}
+}
+
+// TestLogWriterBackpressure verifies MaxUnsyncedBytes: once the bound is
+// hit, enqueue blocks until a sync completes, and the stall is recorded
+// as loop-blocked time.
+func TestLogWriterBackpressure(t *testing.T) {
+	log := newGatedLog()
+	lw := newLogWriter(log, Config{MaxUnsyncedBytes: 1}, newDurMetrics())
+	lw.init(0)
+	go lw.run()
+	defer func() {
+		log.open()
+		lw.stop()
+	}()
+
+	if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	<-log.started // entry 1's sync is gated; unsynced debt stays above the bound
+
+	second := make(chan error, 1)
+	go func() {
+		second <- lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 2}})
+	}()
+	select {
+	case err := <-second:
+		t.Fatalf("enqueue past the bound returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	log.open()
+	if err := <-second; err != nil {
+		t.Fatal(err)
+	}
+	if err := lw.drainAppends(); err != nil {
+		t.Fatal(err)
+	}
+	if st := lw.stats(); st.LoopBlocked == 0 {
+		t.Fatal("backpressure stall not recorded as loop-blocked time")
+	}
+}
+
+// TestLogWriterStickyError verifies that an append failure poisons the
+// writer: later enqueues and drains report the original error.
+func TestLogWriterStickyError(t *testing.T) {
+	log := &failLog{err: fmt.Errorf("disk on fire")}
+	lw := newLogWriter(log, Config{}, newDurMetrics())
+	lw.init(0)
+	go lw.run()
+	defer lw.stop()
+
+	if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := lw.state(); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writer never surfaced the append error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 2}}); err == nil {
+		t.Fatal("enqueue after failure succeeded")
+	}
+	if err := lw.drainAppends(); err == nil {
+		t.Fatal("drain after failure reported success")
+	}
+}
+
+// failLog rejects every append.
+type failLog struct {
+	memLog
+	err error
+}
+
+func (l *failLog) Append(*wire.LogEntry) error { return l.err }
+
+// TestCommitGatedOnLocalDurability proves the single-voter case: even
+// with no peers to wait for, an entry must not commit before the local
+// group fsync covers it — the leader's own vote is its durable cursor.
+func TestCommitGatedOnLocalDurability(t *testing.T) {
+	n, log := startGatedNode(t)
+
+	op, err := n.Propose([]byte("x"), gtid.GTID{Source: "s", ID: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The proposal (and the leadership no-op before it) are queued behind
+	// the gated sync: nothing may commit.
+	time.Sleep(50 * time.Millisecond)
+	if ci := n.CommitIndex(); ci != 0 {
+		t.Fatalf("commit advanced to %d with fsync gated", ci)
+	}
+	if di := n.DurableIndex(); di != 0 {
+		t.Fatalf("durable index %d with fsync gated", di)
+	}
+
+	log.open()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := n.WaitCommitted(ctx, op.Index); err != nil {
+		t.Fatal(err)
+	}
+	if di := n.DurableIndex(); di < op.Index {
+		t.Fatalf("durable index %d below committed %d", di, op.Index)
+	}
+}
+
+// TestWaitDurableFollowsFsync verifies WaitDurable's three outcomes:
+// completion when the fsync lands, context cancellation while gated, and
+// immediate success for already-durable indexes.
+func TestWaitDurableFollowsFsync(t *testing.T) {
+	n, log := startGatedNode(t)
+
+	op, err := n.Propose([]byte("x"), gtid.GTID{Source: "s", ID: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	err = n.WaitDurable(ctx, op.Index)
+	cancel()
+	if err == nil {
+		t.Fatal("WaitDurable returned with fsync gated")
+	}
+
+	log.open()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := n.WaitDurable(ctx2, op.Index); err != nil {
+		t.Fatal(err)
+	}
+	// Now durable: a fresh wait completes immediately.
+	ctx3, cancel3 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel3()
+	if err := n.WaitDurable(ctx3, op.Index); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventLoopLiveDuringSlowSync is the liveness property the off-loop
+// writer exists for: with a sync stuck indefinitely, the event loop must
+// keep serving status queries and accepting proposals.
+func TestEventLoopLiveDuringSlowSync(t *testing.T) {
+	n, log := startGatedNode(t)
+
+	if _, err := n.Propose([]byte("x"), gtid.GTID{Source: "s", ID: 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	<-log.started // a sync is now in flight and blocked
+
+	type result struct {
+		st  Status
+		ops []opid.OpID
+	}
+	done := make(chan result, 1)
+	go func() {
+		var r result
+		// Both of these ride the event loop; with the old synchronous
+		// design the loop would be inside Sync and neither would return.
+		r.st = n.Status()
+		for i := int64(2); i <= 5; i++ {
+			op, err := n.Propose([]byte("y"), gtid.GTID{Source: "s", ID: i}, true)
+			if err != nil {
+				return
+			}
+			r.ops = append(r.ops, op)
+		}
+		done <- r
+	}()
+	var r result
+	select {
+	case r = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("event loop blocked behind a slow fsync")
+	}
+	if r.st.Role != RoleLeader || len(r.ops) != 4 {
+		t.Fatalf("loop served stale state during slow sync: %+v", r)
+	}
+
+	log.open()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := n.WaitCommitted(ctx, r.ops[len(r.ops)-1].Index); err != nil {
+		t.Fatal(err)
+	}
+	// Everything proposed behind the gated sync must have shared fsyncs:
+	// far fewer syncs than entries.
+	if st := n.DurabilityStats(); st.Fsyncs >= 5 {
+		t.Fatalf("fsyncs = %d for 5 appends; grouping broken", st.Fsyncs)
+	}
+}
+
+// TestFollowerAcksOnlyDurable proves the two-voter case: the leader's
+// commit needs the follower's vote, and that vote must wait for the
+// follower's fsync — delivered by an unsolicited durability ack.
+func TestFollowerAcksOnlyDurable(t *testing.T) {
+	cfg := wire.Config{Members: []wire.Member{
+		{ID: "n0", Region: "r1", Voter: true},
+		{ID: "n1", Region: "r1", Voter: true},
+	}}
+	net := transport.New(transport.Config{IntraRegion: 200 * time.Microsecond}, nil)
+	t.Cleanup(net.Close)
+
+	followerLog := newGatedLog()
+	logs := map[wire.NodeID]LogStore{"n0": &memLog{}, "n1": followerLog}
+	nodes := map[wire.NodeID]*Node{}
+	for _, m := range cfg.Members {
+		n, err := NewNode(defaultNodeCfg(m.ID, m.Region), logs[m.ID], &recordingCallbacks{}, net.Register(m.ID, m.Region), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(cfg); err != nil {
+			t.Fatal(err)
+		}
+		nodes[m.ID] = n
+	}
+	t.Cleanup(func() {
+		followerLog.open()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	})
+
+	leader := nodes["n0"]
+	leader.CampaignNow()
+	deadline := time.Now().Add(10 * time.Second)
+	for leader.Status().Role != RoleLeader {
+		if time.Now().After(deadline) {
+			t.Fatal("n0 never became leader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	op, err := leader.Propose([]byte("x"), gtid.GTID{Source: "s", ID: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The leader fsyncs fine (memLog), but with two voters the quorum
+	// needs n1 — whose fsync is gated, so its acks stay at zero.
+	time.Sleep(100 * time.Millisecond)
+	if ci := leader.CommitIndex(); ci >= op.Index {
+		t.Fatalf("commit %d reached without the follower's fsync", ci)
+	}
+
+	followerLog.open()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := leader.WaitCommitted(ctx, op.Index); err != nil {
+		t.Fatal(err)
+	}
+	if di := nodes["n1"].DurableIndex(); di < op.Index {
+		t.Fatalf("follower durable index %d below committed %d", di, op.Index)
+	}
+}

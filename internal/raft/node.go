@@ -23,6 +23,10 @@ type peerState struct {
 	match   uint64 // highest index known replicated
 	lastAck time.Time
 	ackSeq  uint64 // newest heartbeat round this peer has echoed (lease.go)
+	// scratch is the reusable entry buffer for sendAppend: building each
+	// (re)send into a fresh slice allocated per message was measurable on
+	// the hot path.
+	scratch []wire.LogEntry
 }
 
 // commitWaiter is a pipeline thread blocked in the "wait for Raft
@@ -83,6 +87,14 @@ type Node struct {
 
 	waiters      []commitWaiter
 	pendingProxy []pendingProxy
+
+	// Asynchronous durability pipeline (durability.go): the off-loop log
+	// writer, this node's durable cursor (its own gated "match" vote),
+	// blocked WaitDurable calls, and the follower's owed durability ack.
+	writer         *logWriter
+	selfMatch      uint64 // highest locally durable (fsynced) index
+	durableWaiters []commitWaiter
+	pendingAck     *durableAck
 
 	electionDeadline time.Time
 	noOpIndex        uint64 // index of this leadership's No-Op entry
@@ -177,6 +189,7 @@ func NewNode(cfg Config, log LogStore, cb Callbacks, tr Transport, clk clock.Clo
 		done:     make(chan struct{}),
 		lease:    leaseTracker{duration: cfg.LeaseDuration, maxSkew: cfg.MaxClockSkew},
 	}
+	n.writer = newLogWriter(log, cfg, newDurMetrics())
 	return n, nil
 }
 
@@ -244,6 +257,11 @@ func (n *Node) Start(bootstrap wire.Config) error {
 		return scanErr
 	}
 	n.resetElectionDeadline()
+	// Everything recovered from disk is durable; the writer's cursors and
+	// this node's durable "match" vote start at the recovered tail.
+	n.writer.init(n.lastOpID.Index)
+	n.selfMatch = n.lastOpID.Index
+	go n.writer.run()
 	go n.run()
 	return nil
 }
@@ -271,7 +289,12 @@ const (
 
 // run is the event loop.
 func (n *Node) run() {
-	defer close(n.done)
+	defer func() {
+		// Drain the log writer (final group fsync) before reporting the
+		// node fully stopped.
+		n.writer.stop()
+		close(n.done)
+	}()
 	tickEvery := n.cfg.HeartbeatInterval / 2
 	if tickEvery <= 0 {
 		tickEvery = time.Millisecond
@@ -284,7 +307,10 @@ func (n *Node) run() {
 		case <-n.stop:
 			n.failWaiters(ErrStopped)
 			n.failReadWaiters(ErrStopped)
+			n.failDurableWaiters(ErrStopped)
 			return
+		case <-n.writer.notify:
+			n.onDurableAdvance()
 		case fn := <-n.api:
 			fn()
 			// Drain queued API calls so concurrent proposals coalesce
@@ -409,8 +435,8 @@ func (n *Node) termAt(index uint64) (uint64, bool) {
 	if index > n.lastOpID.Index {
 		return 0, false
 	}
-	e, err := n.log.Entry(index)
-	if err != nil {
+	e, ok := n.storeEntry(index)
+	if !ok {
 		return 0, false
 	}
 	return e.OpID.Term, true
@@ -421,7 +447,37 @@ func (n *Node) entryAt(index uint64) (*wire.LogEntry, bool) {
 	if e, ok := n.cache.get(index); ok {
 		return e, true
 	}
+	return n.storeEntry(index)
+}
+
+// metaAt returns the header-only form of the entry at index (Payload
+// nil). The proxy send path uses it: PROXY_OPs carry no payload on the
+// wire, so fetching metadata skips cache decompression and payload
+// copies entirely.
+func (n *Node) metaAt(index uint64) (wire.LogEntry, bool) {
+	if meta, ok := n.cache.meta(index); ok {
+		return meta, true
+	}
+	e, ok := n.storeEntry(index)
+	if !ok {
+		return wire.LogEntry{}, false
+	}
+	meta := *e
+	meta.Payload = nil
+	return meta, true
+}
+
+// storeEntry reads index from the log store, retrying once after a writer
+// drain when the entry is within the in-memory tail: it may still be
+// sitting in the writer's queue and not yet visible to the store.
+func (n *Node) storeEntry(index uint64) (*wire.LogEntry, bool) {
 	e, err := n.log.Entry(index)
+	if err != nil && index <= n.lastOpID.Index {
+		if n.writer.drainAppends() != nil {
+			return nil, false
+		}
+		e, err = n.log.Entry(index)
+	}
 	if err != nil {
 		return nil, false
 	}
@@ -481,6 +537,7 @@ func (n *Node) becomeLeader() {
 	n.lastLeaderRegion = n.cfg.Region
 	n.lastLeaderTerm = n.term
 	n.campaign = nil
+	n.pendingAck = nil // any owed follower durability ack is void now
 	n.peers = make(map[wire.NodeID]*peerState)
 	now := n.clk.Now()
 	for _, m := range n.members.Members {
@@ -508,10 +565,14 @@ func (n *Node) becomeLeader() {
 	go n.cb.OnPromote(info)
 }
 
-// appendLocal writes an entry to the local log (via the plugin, §3.2) and
-// updates tail/cache/membership bookkeeping.
+// appendLocal hands an entry to the off-loop log writer (which appends it
+// via the plugin, §3.2, and covers it with a group fsync) and updates the
+// in-memory tail/cache/membership bookkeeping immediately. The entry is
+// replicatable and electable at once, but is not acked — by a follower's
+// MatchIndex or the leader's own commit vote — until the writer reports
+// it durable (durability.go).
 func (n *Node) appendLocal(e *wire.LogEntry) error {
-	if err := n.log.Append(e); err != nil {
+	if err := n.writer.enqueue(e); err != nil {
 		return err
 	}
 	n.lastOpID = e.OpID
@@ -557,9 +618,20 @@ func (n *Node) applyConfig(index uint64, cfg wire.Config) {
 // config entries were cut, and informs the plugin so GTIDs can be removed
 // from all metadata (§3.3 demotion step 4).
 func (n *Node) truncateTo(index uint64) error {
+	// Queued appends must land before the tail is cut, and the writer's
+	// cursors (plus this node's durable vote) must be clamped so stale
+	// in-flight state never resurrects truncated indexes.
+	if err := n.writer.drainAppends(); err != nil {
+		return err
+	}
 	if _, err := n.log.TruncateAfter(index); err != nil {
 		return err
 	}
+	n.writer.truncate(index)
+	if n.selfMatch > index {
+		n.selfMatch = index
+	}
+	n.failDurableWaitersAbove(index)
 	n.cache.truncateAfter(index)
 	for len(n.confHistory) > 1 && n.confHistory[len(n.confHistory)-1].index > index {
 		n.confHistory = n.confHistory[:len(n.confHistory)-1]
@@ -702,12 +774,13 @@ func (n *Node) Status() Status {
 			Leader:       n.leader,
 			LastOpID:     n.lastOpID,
 			CommitIndex:  n.commitIndex,
+			DurableIndex: n.selfMatch,
 			Config:       n.members.Clone(),
 			Transferring: n.transfer != nil,
 		}
 		if n.role == RoleLeader {
 			st.Match = make(map[wire.NodeID]uint64, len(n.peers)+1)
-			st.Match[n.cfg.ID] = n.lastOpID.Index
+			st.Match[n.cfg.ID] = n.selfMatch
 			for id, ps := range n.peers {
 				st.Match[id] = ps.match
 			}

@@ -196,11 +196,12 @@ func TestPromotionCallbackCarriesNoOpIndex(t *testing.T) {
 	if info.NoOpIndex == 0 || info.Term == 0 {
 		t.Fatalf("promotion info = %+v", info)
 	}
-	// The no-op entry exists in the leader's log at that index.
-	e, err := c.logs["n0"].Entry(info.NoOpIndex)
-	if err != nil || e.Kind != entryNoOpKind {
-		t.Fatalf("no-op entry missing: %v %v", e, err)
-	}
+	// The no-op entry reaches the leader's log at that index (the async
+	// writer appends it off the event loop, so wait rather than peek).
+	c.waitCondition("no-op entry in log", func() bool {
+		e, err := c.logs["n0"].Entry(info.NoOpIndex)
+		return err == nil && e.Kind == entryNoOpKind
+	})
 }
 
 func TestGracefulTransferLeadership(t *testing.T) {
@@ -407,7 +408,12 @@ func TestDivergentFollowerTruncates(t *testing.T) {
 	c.net.Partition("n0", "n1")
 	c.net.Partition("n0", "n2")
 	n0.Propose([]byte("doomed-1"), gtid.GTID{Source: "s", ID: 2}, true)
-	n0.Propose([]byte("doomed-2"), gtid.GTID{Source: "s", ID: 3}, true)
+	doomed, _ := n0.Propose([]byte("doomed-2"), gtid.GTID{Source: "s", ID: 3}, true)
+	// The async log writer appends off the event loop; wait for the
+	// doomed tail to reach the store before measuring it.
+	c.waitCondition("doomed entries appended", func() bool {
+		return c.logs["n0"].LastOpID().Index >= doomed.Index
+	})
 	doomedLen := c.logs["n0"].len()
 
 	// A new leader emerges and commits fresh entries.

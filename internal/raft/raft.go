@@ -93,7 +93,9 @@ type LogStore interface {
 	// TruncateAfter removes entries with index > index, returning them
 	// oldest-first so GTID metadata can be unwound.
 	TruncateAfter(index uint64) ([]*wire.LogEntry, error)
-	// Sync makes appended entries durable.
+	// Sync makes appended entries durable. The node calls Append and Sync
+	// only from its dedicated log-writer goroutine (durability.go), never
+	// from the event loop; one Sync covers every Append since the last.
 	Sync() error
 }
 
@@ -249,6 +251,18 @@ type Config struct {
 	// the commit path, whereas production MyRaft absorbs it.
 	CompressCache bool
 
+	// SyncEveryAppend makes the log writer fsync after every single
+	// append instead of once per drained batch. This is the naive
+	// durability fix — correct, but serialized behind the storage device —
+	// kept as the ablation arm of BenchmarkDurabilityPipeline.
+	SyncEveryAppend bool
+	// MaxUnsyncedBytes bounds the bytes handed to the log writer but not
+	// yet covered by a group fsync; past the bound, new appends block the
+	// event loop until the writer catches up (backpressure, surfaced as
+	// loop-blocked time in DurabilityStats). Default 8 MiB; negative
+	// disables the bound.
+	MaxUnsyncedBytes int64
+
 	// TransferTimeout bounds a graceful leadership transfer. Default 20
 	// heartbeat intervals.
 	TransferTimeout time.Duration
@@ -295,6 +309,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheCapacity == 0 {
 		c.CacheCapacity = 16384
 	}
+	if c.MaxUnsyncedBytes == 0 {
+		c.MaxUnsyncedBytes = 8 << 20
+	}
 	if c.TransferTimeout == 0 {
 		c.TransferTimeout = 20 * c.HeartbeatInterval
 	}
@@ -333,7 +350,11 @@ type Status struct {
 	Leader      wire.NodeID
 	LastOpID    opid.OpID
 	CommitIndex uint64
-	Config      wire.Config
+	// DurableIndex is the highest locally fsynced log index — this node's
+	// own gated vote toward commit (durability.go). It can trail LastOpID
+	// while appends sit in the log writer's queue.
+	DurableIndex uint64
+	Config       wire.Config
 	// Match maps peers to their replicated index (leader only).
 	Match map[wire.NodeID]uint64
 	// RegionWatermarks is the per-region replication watermark

@@ -47,14 +47,32 @@ func (n *Node) sendAppend(peer wire.NodeID) {
 		prevTerm, _ = n.termAt(prevIndex)
 	}
 
-	var entries []wire.LogEntry
+	route := n.routeFor(peer)
+	proxied := len(route) > 1
+
+	// Build the batch into the peer's scratch buffer (the transport
+	// marshals synchronously and never shares memory with the receiver,
+	// so the buffer is free again once Send returns). On proxied routes
+	// the wire format strips payloads anyway, so fetch header metadata
+	// only — no cache decompression, no payload copies.
+	entries := ps.scratch[:0]
 	for idx := next; idx <= n.lastOpID.Index && len(entries) < n.cfg.BatchSize; idx++ {
+		if proxied {
+			meta, ok := n.metaAt(idx)
+			if !ok {
+				break
+			}
+			meta.IsProxy = true
+			entries = append(entries, meta)
+			continue
+		}
 		e, ok := n.entryAt(idx)
 		if !ok {
 			break
 		}
 		entries = append(entries, *e)
 	}
+	ps.scratch = entries
 
 	req := &wire.AppendEntriesReq{
 		Term:        n.term,
@@ -68,13 +86,8 @@ func (n *Node) sendAppend(peer wire.NodeID) {
 		ReturnPath: []wire.NodeID{n.cfg.ID},
 	}
 
-	route := n.routeFor(peer)
-	if len(route) > 1 {
-		// Proxied: strip payloads into PROXY_OPs and address the first
-		// hop. Route carries the remaining hops ending at the peer.
-		for i := range req.Entries {
-			req.Entries[i].IsProxy = true
-		}
+	if proxied {
+		// Route carries the remaining hops ending at the peer.
 		req.Route = route[1:]
 		n.tr.Send(route[0], req)
 	} else {
@@ -206,7 +219,16 @@ func (n *Node) handleAppendReq(from wire.NodeID, req *wire.AppendEntriesReq) {
 	n.tickProxies(n.clk.Now())
 
 	resp.Success = true
-	resp.MatchIndex = match
+	// Ack only what is durable on disk (§3.3: a follower's vote toward
+	// commit must survive its own crash). Entries still in the writer's
+	// fsync queue are acked later by an unsolicited durability ack once
+	// the group fsync covering them completes.
+	ack := match
+	if ack > n.selfMatch {
+		ack = n.selfMatch
+		n.armDurableAck(req.LeaderID, req.ReadSeq, match)
+	}
+	resp.MatchIndex = ack
 	resp.LastIndex = n.lastOpID.Index
 	n.sendResp(resp)
 }
@@ -363,7 +385,10 @@ func (n *Node) handleAppendResp(resp *wire.AppendEntriesResp) {
 // preserved by FlexiRaft).
 func (n *Node) advanceLeaderCommit() {
 	match := make(map[wire.NodeID]uint64, len(n.peers)+1)
-	match[n.cfg.ID] = n.lastOpID.Index
+	// The leader's own vote counts only up to its durable index: an
+	// entry sitting in the async writer's queue could still be lost to a
+	// local crash, so it must not contribute to the commit quorum yet.
+	match[n.cfg.ID] = n.selfMatch
 	for id, ps := range n.peers {
 		if n.isVoter(id) {
 			match[id] = ps.match

@@ -303,6 +303,13 @@ func (r *primaryRepl) WaitCommitted(ctx context.Context, index uint64) error {
 	return nil
 }
 
+// WaitDurable fsyncs inline: the semi-sync baseline has no async log
+// writer, so the commit pipeline's durability point is a synchronous
+// flush — exactly the behaviour MyRaft's pipeline is measured against.
+func (r *primaryRepl) WaitDurable(ctx context.Context, index uint64) error {
+	return r.node.store().Sync()
+}
+
 // CommitIndex returns the highest semi-sync-acked index.
 func (r *primaryRepl) CommitIndex() uint64 {
 	r.mu.Lock()
@@ -427,6 +434,11 @@ func (r *replicaRepl) WaitCommitted(ctx context.Context, index uint64) error {
 		r.cond.Wait()
 	}
 	return nil
+}
+
+// WaitDurable fsyncs inline (see primaryRepl.WaitDurable).
+func (r *replicaRepl) WaitDurable(ctx context.Context, index uint64) error {
+	return r.node.store().Sync()
 }
 
 func (r *replicaRepl) CommitIndex() uint64 {

@@ -14,10 +14,18 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (raft, readpath, cluster)"
+echo "== go test -race (raft, readpath, cluster, mysql, binlog)"
 # -p 1: the timing-sensitive cluster integration tests get the machine to
 # themselves; running race-instrumented packages concurrently slows the
-# schedulers enough to trip failover timeouts.
-go test -race -p 1 ./internal/raft ./internal/readpath ./internal/cluster
+# schedulers enough to trip failover timeouts. mysql and binlog joined the
+# list with the async durability pipeline: the off-loop log writer and the
+# commit pipeline's durable-index waits are exactly the kind of cross-
+# goroutine handoffs the race detector is for.
+go test -race -p 1 ./internal/raft ./internal/readpath ./internal/cluster ./internal/mysql ./internal/binlog
+
+echo "== bench smoke (durability pipeline, 1 iteration)"
+# One iteration keeps CI fast while still exercising the grouped-vs-
+# sync-every ablation end to end under modeled fsync latency.
+go test -run '^$' -bench=BenchmarkDurabilityPipeline -benchtime=1x .
 
 echo "== OK"
