@@ -1,9 +1,12 @@
-.PHONY: check test build vet race bench
+.PHONY: check lint test build vet race chaos bench
 
-# Full gate: vet + build + tests + race detector on the concurrency-heavy
-# packages. This is what CI runs.
+# Full gate: lint + build + tests (incl. the 20-seed chaos campaign) +
+# race detector + bench smoke. This is what CI runs.
 check:
 	./scripts/check.sh
+
+lint:
+	./scripts/check.sh lint
 
 build:
 	go build ./...
@@ -14,8 +17,15 @@ vet:
 test:
 	go test ./...
 
+# Race coverage delegates to check.sh so the package list lives in one
+# place (the Makefile copy used to drift behind it).
 race:
-	go test -race -p 1 ./internal/raft ./internal/readpath ./internal/cluster
+	./scripts/check.sh race
+
+# Fixed-seed chaos smoke; the full randomized campaign runs as part of
+# `make test` / `make check` via `go test ./internal/chaos`.
+chaos:
+	./scripts/check.sh chaos
 
 bench:
 	go test -bench=. -benchtime=1x -run '^$$' .

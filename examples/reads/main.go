@@ -4,15 +4,17 @@
 //   - Linearizable: the leader runs the ReadIndex protocol — capture the
 //     commit index, confirm leadership with a heartbeat-quorum round,
 //     wait for the applier. One quorum round trip per read, never stale.
+//
 //   - Lease: the leader answers locally while it holds a clock-skew-
 //     guarded lease earned from quorum-confirmed heartbeats. No network
 //     on the read path; falls back to ReadIndex whenever the lease is
 //     unsafe.
+//
 //   - Session: any replica serves read-your-writes by waiting until its
 //     applier passes the client's session token (the GTID-set idiom of
 //     WAIT_FOR_EXECUTED_GTID_SET), keeping reads off the leader.
 //
-//	go run ./examples/reads
+//     go run ./examples/reads
 package main
 
 import (

@@ -24,15 +24,15 @@ import (
 
 // MemberStatus is one member's externally visible state.
 type MemberStatus struct {
-	ID          string      `json:"id"`
-	Region      string      `json:"region"`
-	Kind        string      `json:"kind"`
-	Down        bool        `json:"down"`
-	Role        string      `json:"role,omitempty"`
-	Term        uint64      `json:"term,omitempty"`
-	Leader      string      `json:"leader,omitempty"`
-	CommitIndex uint64      `json:"commit_index,omitempty"`
-	LastOpID    string      `json:"last_opid,omitempty"`
+	ID          string `json:"id"`
+	Region      string `json:"region"`
+	Kind        string `json:"kind"`
+	Down        bool   `json:"down"`
+	Role        string `json:"role,omitempty"`
+	Term        uint64 `json:"term,omitempty"`
+	Leader      string `json:"leader,omitempty"`
+	CommitIndex uint64 `json:"commit_index,omitempty"`
+	LastOpID    string `json:"last_opid,omitempty"`
 	// LeaseHeld / LeaseExpiry report the leader's read lease (leaders
 	// only): whether lease reads are currently served locally and until
 	// when, clock skew already discounted.

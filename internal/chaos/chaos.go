@@ -1,0 +1,800 @@
+// Package chaos is a deterministic nemesis harness for MyRaft
+// replicasets: it derives a randomized fault schedule from a single
+// seed, drives a full cluster (MySQL voters, logtailers, the simulated
+// network) through it while a read/write workload runs, and then
+// machine-checks the safety invariants the paper argues for — election
+// safety, log matching, durability of acknowledged writes across
+// crashes, GTID-set monotonicity on the MySQL substrate, and read
+// safety of the linearizable/lease read path.
+//
+// Everything randomized — the schedule, each member's transport fault
+// RNG, the network's jitter — is derived from Config.Seed, so a failing
+// run is reproduced by re-running the same seed. The schedule itself is
+// a pure function of the Config (GenerateSchedule); only message-level
+// outcomes (which packets a drop rule eats) depend on goroutine timing.
+//
+// Faults are injected through composition points the production stack
+// already exposes: transport.Fault wraps each member's endpoint
+// (drop/delay/duplicate/block), logstore.Faulty wraps each log store
+// (fsync stalls and errors), clock.Skewed wraps each member's clock
+// (lease-path skew), and the network applies symmetric and asymmetric
+// partitions. Nothing in the consensus core knows it is being tested.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"myraft/internal/clock"
+	"myraft/internal/cluster"
+	"myraft/internal/gtid"
+	"myraft/internal/logstore"
+	"myraft/internal/raft"
+	"myraft/internal/readpath"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+// Config parameterizes one chaos run. The zero value (plus a Seed) is a
+// sensible smoke-test configuration.
+type Config struct {
+	// Seed derives every random choice of the run.
+	Seed int64
+	// FollowerRegions is the PaperTopology parameter (default 1: two
+	// regions, two MySQL voters, four logtailers).
+	FollowerRegions int
+	// Duration is the fault-injection window (default 1.2s).
+	Duration time.Duration
+	// Writers and Readers size the workload (default 2 each). Each writer
+	// owns one key and writes strictly increasing sequence numbers to it;
+	// readers alternate linearizable and lease reads against those keys.
+	Writers int
+	Readers int
+	// MaxDown caps concurrently-crashed members (default 2, which keeps a
+	// data-commit quorum of the six-voter paper topology alive).
+	MaxDown int
+	// MaxClockSkew is the raft-config skew bound; injected offsets stay
+	// within ±MaxClockSkew/2 (default 4ms).
+	MaxClockSkew time.Duration
+	// ConvergeTimeout bounds the post-heal convergence wait (default 30s).
+	ConvergeTimeout time.Duration
+	// Logf, when set, receives a trace of applied actions and checker
+	// progress (testing.T.Logf fits).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.FollowerRegions == 0 {
+		c.FollowerRegions = 1
+	}
+	if c.Duration == 0 {
+		c.Duration = 1200 * time.Millisecond
+	}
+	if c.Writers == 0 {
+		c.Writers = 2
+	}
+	if c.Readers == 0 {
+		c.Readers = 2
+	}
+	if c.MaxDown == 0 {
+		c.MaxDown = 2
+	}
+	if c.MaxClockSkew == 0 {
+		c.MaxClockSkew = 4 * time.Millisecond
+	}
+	if c.ConvergeTimeout == 0 {
+		c.ConvergeTimeout = 30 * time.Second
+	}
+	return c
+}
+
+func (c Config) maxClockSkew() time.Duration { return c.withDefaults().MaxClockSkew }
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Report is the outcome of one chaos run.
+type Report struct {
+	Seed       int64
+	Schedule   Schedule
+	Stats      *Stats
+	Violations []string
+}
+
+// Passed reports whether every invariant held.
+func (r *Report) Passed() bool { return len(r.Violations) == 0 }
+
+// ReproCommand returns the one-liner that re-runs this report's exact
+// fault schedule.
+func (r *Report) ReproCommand() string {
+	return fmt.Sprintf("go test -run TestChaos -chaos.seed=%d ./internal/chaos", r.Seed)
+}
+
+// gtidState is the per-member, per-crash-epoch applied-GTID tracker of
+// the monotonicity checker.
+type gtidState struct {
+	epoch       int
+	prevApplied uint64
+	applied     *gtid.Set
+}
+
+// harness carries one run's mutable state: the latest fault wrapper per
+// member (re-created on every restart), crash epochs to invalidate
+// samples torn by a concurrent crash, leader claims per term, and the
+// per-key acknowledged-write floors the read-safety and durability
+// checkers compare against.
+type harness struct {
+	cfg   Config
+	stats *Stats
+	c     *cluster.Cluster
+
+	mu         sync.Mutex
+	faults     map[wire.NodeID]*transport.Fault
+	faultsAll  []*transport.Fault
+	stores     map[wire.NodeID]*logstore.Faulty
+	storesAll  []*logstore.Faulty
+	skews      map[wire.NodeID]*clock.Skewed
+	skewsAll   []*clock.Skewed
+	epochs     map[wire.NodeID]int
+	leaders    map[uint64]map[wire.NodeID]bool
+	acked      map[string]uint64
+	violations []string
+
+	// GTID checker state, touched only by the sampler goroutine and the
+	// final checker (which runs after the sampler has stopped).
+	gtids       map[wire.NodeID]*gtidState
+	appliedEver *gtid.Set
+}
+
+func newHarness(cfg Config) *harness {
+	return &harness{
+		cfg:         cfg,
+		stats:       newStats(),
+		faults:      make(map[wire.NodeID]*transport.Fault),
+		stores:      make(map[wire.NodeID]*logstore.Faulty),
+		skews:       make(map[wire.NodeID]*clock.Skewed),
+		epochs:      make(map[wire.NodeID]int),
+		leaders:     make(map[uint64]map[wire.NodeID]bool),
+		acked:       make(map[string]uint64),
+		gtids:       make(map[wire.NodeID]*gtidState),
+		appliedEver: gtid.NewSet(),
+	}
+}
+
+func (h *harness) violatef(format string, args ...any) {
+	h.mu.Lock()
+	h.violations = append(h.violations, fmt.Sprintf(format, args...))
+	h.mu.Unlock()
+}
+
+// seedFor derives a per-member RNG seed from the master seed, stable
+// across restarts so a member's fault stream depends only on (seed, id).
+func (h *harness) seedFor(id wire.NodeID) int64 {
+	f := fnv.New64a()
+	f.Write([]byte(id))
+	return h.cfg.Seed ^ int64(f.Sum64())
+}
+
+// Cluster wiring: each hook registers the newest wrapper instance under
+// the member's ID (startMember re-invokes them on every restart, so
+// fault state starts each member life fresh) and keeps every instance
+// ever created for final healing and stats aggregation.
+
+func (h *harness) wrapTransport(id wire.NodeID, t transport.Transport) transport.Transport {
+	f := transport.NewFault(t, h.seedFor(id), nil)
+	h.mu.Lock()
+	h.faults[id] = f
+	h.faultsAll = append(h.faultsAll, f)
+	h.mu.Unlock()
+	return f
+}
+
+func (h *harness) wrapLogStore(id wire.NodeID, s raft.LogStore) raft.LogStore {
+	f := logstore.NewFaulty(s)
+	h.mu.Lock()
+	h.stores[id] = f
+	h.storesAll = append(h.storesAll, f)
+	h.mu.Unlock()
+	return f
+}
+
+func (h *harness) wrapClock(id wire.NodeID, c clock.Clock) clock.Clock {
+	sk := clock.NewSkewed(c)
+	h.mu.Lock()
+	h.skews[id] = sk
+	h.skewsAll = append(h.skewsAll, sk)
+	h.mu.Unlock()
+	return sk
+}
+
+func (h *harness) fault(id wire.NodeID) *transport.Fault {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.faults[id]
+}
+
+func (h *harness) store(id wire.NodeID) *logstore.Faulty {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stores[id]
+}
+
+func (h *harness) skew(id wire.NodeID) *clock.Skewed {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.skews[id]
+}
+
+func (h *harness) epoch(id wire.NodeID) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.epochs[id]
+}
+
+func (h *harness) bumpEpoch(id wire.NodeID) {
+	h.mu.Lock()
+	h.epochs[id]++
+	h.mu.Unlock()
+}
+
+// onRoleChange runs synchronously on each node's event loop: record and
+// get out.
+func (h *harness) onRoleChange(rc raft.RoleChange) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch rc.Role {
+	case raft.RoleCandidate:
+		h.stats.Elections.Inc()
+	case raft.RoleLeader:
+		set := h.leaders[rc.Term]
+		if set == nil {
+			set = make(map[wire.NodeID]bool)
+			h.leaders[rc.Term] = set
+			h.stats.LeaderTerms.Inc()
+		}
+		set[rc.ID] = true
+	}
+}
+
+// ObserveRead implements readpath.Witness: count what the read path
+// served at each level while faults were active.
+func (h *harness) ObserveRead(_ string, res readpath.Result) {
+	switch res.Level {
+	case readpath.LevelLinearizable:
+		h.stats.LinReads.Inc()
+	case readpath.LevelLease:
+		h.stats.LeaseReads.Inc()
+		if res.FellBack {
+			h.stats.FallbackObs.Inc()
+		}
+	}
+}
+
+func (h *harness) ackFloor(key string) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.acked[key]
+}
+
+func (h *harness) ack(key string, seq uint64) {
+	h.mu.Lock()
+	if seq > h.acked[key] {
+		h.acked[key] = seq
+	}
+	h.mu.Unlock()
+}
+
+// Run executes one full chaos run: boot the paper topology with every
+// fault wrapper installed, start the workload, play the seed-derived
+// schedule, heal and recover everything, and check the invariants. The
+// returned error reports harness-level failures (boot trouble); safety
+// verdicts are in Report.Violations.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	h := newHarness(cfg)
+	sched := GenerateSchedule(cfg)
+
+	c, err := cluster.New(cluster.Options{
+		Name: fmt.Sprintf("rs-chaos-%d", cfg.Seed),
+		Raft: raft.Config{
+			HeartbeatInterval: 10 * time.Millisecond,
+			MaxClockSkew:      cfg.MaxClockSkew,
+			OnRoleChange:      h.onRoleChange,
+		},
+		NetConfig: transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: 2 * time.Millisecond,
+		},
+		Seed:          cfg.Seed,
+		WrapTransport: h.wrapTransport,
+		WrapLogStore:  h.wrapLogStore,
+		WrapClock:     h.wrapClock,
+		ReadWitness:   h,
+	}, cluster.PaperTopology(cfg.FollowerRegions, 0))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: build cluster: %w", err)
+	}
+	defer c.Close()
+	h.c = c
+
+	bctx, bcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	err = c.Bootstrap(bctx, "mysql-0")
+	bcancel()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: bootstrap: %w", err)
+	}
+
+	// Workload + samplers run for the whole fault window.
+	wctx, wcancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Writers; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); h.writer(wctx, i) }(i)
+	}
+	for i := 0; i < cfg.Readers; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); h.reader(wctx, i) }(i)
+	}
+	wg.Add(1)
+	go func() { defer wg.Done(); h.gtidSampler(wctx) }()
+
+	h.execute(sched)
+
+	wcancel()
+	wg.Wait()
+
+	// Heal every fault and bring every member back before judging the
+	// convergence invariants.
+	h.healAll()
+	for _, id := range c.DownMembers() {
+		h.bumpEpoch(id)
+		if err := c.Restart(id); err != nil {
+			return nil, fmt.Errorf("chaos: final restart of %s: %w", id, err)
+		}
+		h.stats.Restarts.Inc()
+	}
+
+	h.checkConvergence()
+	h.checkDurability()
+	h.checkGTIDFinal()
+	h.checkElectionSafety()
+	h.finalizeStats()
+
+	h.mu.Lock()
+	violations := append([]string(nil), h.violations...)
+	h.mu.Unlock()
+	return &Report{Seed: cfg.Seed, Schedule: sched, Stats: h.stats, Violations: violations}, nil
+}
+
+// execute plays the schedule against the wall clock.
+func (h *harness) execute(sched Schedule) {
+	start := time.Now()
+	for _, a := range sched {
+		if d := a.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		h.cfg.logf("chaos: apply %s", a)
+		h.apply(a)
+	}
+	if d := h.cfg.Duration - time.Since(start); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (h *harness) apply(a Action) {
+	switch a.Kind {
+	case ActCrash:
+		// Epoch bumps on both sides of the crash: a GTID sample that
+		// overlaps either boundary sees a changed epoch and discards
+		// itself rather than attributing pre-crash state to the new life.
+		h.bumpEpoch(a.Node)
+		if err := h.c.Crash(a.Node); err == nil {
+			h.stats.Crashes.Inc()
+		}
+		h.bumpEpoch(a.Node)
+	case ActRestart:
+		h.bumpEpoch(a.Node)
+		if err := h.c.Restart(a.Node); err != nil {
+			h.violatef("harness: restart %s: %v", a.Node, err)
+			return
+		}
+		h.stats.Restarts.Inc()
+	case ActPartition:
+		h.c.Net().Partition(a.Node, a.Peer)
+		h.stats.Partitions.Inc()
+	case ActPartitionOneWay:
+		h.c.Net().PartitionOneWay(a.Node, a.Peer)
+		h.stats.Partitions.Inc()
+	case ActHealNet:
+		h.c.Net().HealAll()
+		h.stats.NetHeals.Inc()
+	case ActDrop:
+		if f := h.fault(a.Node); f != nil {
+			f.SetDrop(a.P)
+			h.stats.FaultRules.Inc()
+		}
+	case ActDelay:
+		if f := h.fault(a.Node); f != nil {
+			f.SetDelay(a.P, a.Dur)
+			h.stats.FaultRules.Inc()
+		}
+	case ActDuplicate:
+		if f := h.fault(a.Node); f != nil {
+			f.SetDuplicate(a.P)
+			h.stats.FaultRules.Inc()
+		}
+	case ActHealFaults:
+		if f := h.fault(a.Node); f != nil {
+			f.Heal()
+		}
+	case ActFsyncStall:
+		if s := h.store(a.Node); s != nil {
+			s.StallSyncs(a.Dur)
+			h.stats.FsyncStalls.Inc()
+		}
+	case ActFsyncHeal:
+		if s := h.store(a.Node); s != nil {
+			s.Heal()
+		}
+	case ActFsyncFail:
+		if s := h.store(a.Node); s != nil {
+			s.FailSyncs(fmt.Errorf("chaos: injected fsync error"))
+			h.stats.FsyncFails.Inc()
+		}
+	case ActSkew:
+		if sk := h.skew(a.Node); sk != nil {
+			sk.SetOffset(a.Dur)
+			h.stats.SkewChanges.Inc()
+		}
+	}
+}
+
+// healAll returns the run to a clean substrate: no partitions, no
+// transport rules (held messages flushed), no log-store faults, clocks
+// back in sync.
+func (h *harness) healAll() {
+	h.c.Net().HealAll()
+	h.mu.Lock()
+	faults := append([]*transport.Fault(nil), h.faultsAll...)
+	stores := append([]*logstore.Faulty(nil), h.storesAll...)
+	skews := append([]*clock.Skewed(nil), h.skewsAll...)
+	h.mu.Unlock()
+	for _, f := range faults {
+		f.Heal()
+	}
+	for _, s := range stores {
+		s.Heal()
+	}
+	for _, sk := range skews {
+		sk.SetOffset(0)
+	}
+}
+
+// writer owns one key and writes strictly increasing sequence numbers
+// to it. The sequence advances even on failed attempts, so a write that
+// times out at the client but commits later can never alias a newer
+// acknowledged value — the read-safety floor stays sound.
+func (h *harness) writer(ctx context.Context, i int) {
+	key := fmt.Sprintf("chaos-w%d", i)
+	client := h.c.NewClient(0)
+	var seq uint64
+	for ctx.Err() == nil {
+		seq++
+		wctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+		res, err := client.TryWrite(wctx, key, []byte(strconv.FormatUint(seq, 10)))
+		cancel()
+		if err == nil {
+			h.ack(key, seq)
+			h.stats.Writes.Inc()
+			h.stats.WriteLatency.Observe(res.Latency)
+		} else {
+			h.stats.WriteErrors.Inc()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// reader checks read safety online: capture the key's acknowledged
+// floor before issuing the read; a linearizable (or lease — leases fall
+// back rather than going stale) read that completes must return a
+// sequence at or above that floor.
+func (h *harness) reader(ctx context.Context, i int) {
+	lin := i%2 == 0
+	rng := rand.New(rand.NewSource(h.cfg.Seed + 7919*int64(i+1)))
+	for ctx.Err() == nil {
+		key := fmt.Sprintf("chaos-w%d", rng.Intn(h.cfg.Writers))
+		floor := h.ackFloor(key)
+		rctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+		var res readpath.Result
+		var err error
+		if lin {
+			res, err = h.c.ReadLinearizable(rctx, key)
+		} else {
+			res, err = h.c.ReadLease(rctx, key)
+		}
+		cancel()
+		if err == nil {
+			h.stats.Reads.Inc()
+			h.checkRead("read safety", key, floor, res)
+		} else {
+			h.stats.ReadErrors.Inc()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func (h *harness) checkRead(what, key string, floor uint64, res readpath.Result) {
+	if floor == 0 {
+		return
+	}
+	if !res.Found {
+		h.violatef("%s: %s read of %s found nothing after seq %d was acked", what, res.Level, key, floor)
+		return
+	}
+	seq, err := strconv.ParseUint(string(res.Value), 10, 64)
+	if err != nil {
+		h.violatef("%s: %s read of %s returned garbage %q: %v", what, res.Level, key, res.Value, err)
+		return
+	}
+	if seq < floor {
+		h.violatef("%s: %s read of %s returned seq %d older than acked seq %d", what, res.Level, key, seq, floor)
+	}
+}
+
+// gtidSampler drives the GTID monotonicity checker: within one crash
+// epoch, a member's executed GTID set (its binlog contents) must always
+// contain every GTID its applier has applied — applied implies
+// committed, and committed entries are exactly what log truncation must
+// never remove. Samples that overlap a crash are discarded via the
+// epoch counters; across a crash the per-member state resets, because a
+// torn tail may legally drop locally-unsynced copies of entries.
+func (h *harness) gtidSampler(ctx context.Context) {
+	var mysqls []wire.NodeID
+	for _, m := range h.c.Members() {
+		if m.Spec.Kind == cluster.KindMySQL {
+			mysqls = append(mysqls, m.Spec.ID)
+		}
+	}
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		for _, id := range mysqls {
+			h.sampleGTID(id)
+		}
+	}
+}
+
+func (h *harness) sampleGTID(id wire.NodeID) {
+	e0 := h.epoch(id)
+	_, srv, ok := h.c.MySQLStack(id)
+	if !ok {
+		return
+	}
+	st := h.gtids[id]
+	if st == nil || st.epoch != e0 {
+		st = &gtidState{epoch: e0, applied: gtid.NewSet()}
+		h.gtids[id] = st
+	}
+	applied := srv.ApplierLastApplied()
+	fresh := gtid.NewSet()
+	lg := srv.Log()
+	for idx := st.prevApplied + 1; idx <= applied; idx++ {
+		ent, err := lg.Entry(idx)
+		if err != nil {
+			return // crashed or rotated under us; resample later
+		}
+		if ent.HasGTID {
+			fresh.Add(ent.GTID)
+		}
+	}
+	executed := srv.GTIDExecuted()
+	if h.epoch(id) != e0 {
+		return // crash landed mid-sample; state is torn, discard
+	}
+	st.prevApplied = applied
+	st.applied.Union(fresh)
+	h.appliedEver.Union(fresh)
+	if !executed.ContainsSet(st.applied) {
+		h.violatef("gtid monotonicity: %s executed set %v stopped containing its applied set %v with no crash in between",
+			id, executed, st.applied)
+	}
+}
+
+// checkConvergence waits for the healed cluster to elect a primary and
+// re-converge every member's log and engine — the log matching
+// invariant judged at quiescence, over full content checksums rather
+// than samples.
+func (h *harness) checkConvergence() {
+	deadline := time.Now().Add(h.cfg.ConvergeTimeout)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	if _, err := h.c.AnyPrimary(ctx); err != nil {
+		h.violatef("convergence: no primary after full heal: %v\nstatus: %s", err, h.statusLines())
+		return
+	}
+	members := h.c.Members()
+	var lastLog, lastEng string
+	for {
+		logOK := false
+		sums, err := h.c.LogChecksums(1)
+		if err == nil && len(sums) == len(members) {
+			logOK = allEqual(sums)
+			lastLog = fmt.Sprintf("%v", sums)
+		} else {
+			lastLog = fmt.Sprintf("%v (err=%v)", sums, err)
+		}
+		esums := h.c.EngineChecksums()
+		engOK := len(esums) > 0 && allEqual(esums)
+		lastEng = fmt.Sprintf("%v", esums)
+		if logOK && engOK {
+			h.cfg.logf("chaos: converged: logs=%s engines=%s", lastLog, lastEng)
+			return
+		}
+		if time.Now().After(deadline) {
+			h.violatef("log matching: no convergence within %s: logs=%s engines=%s\nstatus: %s",
+				h.cfg.ConvergeTimeout, lastLog, lastEng, h.statusLines())
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// statusLines renders every member's raft status for convergence
+// failure reports.
+func (h *harness) statusLines() string {
+	var lines []string
+	for _, m := range h.c.Members() {
+		n := m.Node()
+		if n == nil {
+			lines = append(lines, fmt.Sprintf("%s: down", m.Spec.ID))
+			continue
+		}
+		st := n.Status()
+		ds := n.DurabilityStats()
+		lines = append(lines, fmt.Sprintf("%s: role=%v term=%d leader=%s last=%v commit=%d durable=%d werr=%v",
+			st.ID, st.Role, st.Term, st.Leader, st.LastOpID, st.CommitIndex, st.DurableIndex, ds.Err))
+		if ds.Err != nil {
+			if s := h.store(m.Spec.ID); s != nil {
+				j := s.Journal()
+				if len(j) > 40 {
+					j = j[len(j)-40:]
+				}
+				lines = append(lines, fmt.Sprintf("%s store journal: %v", m.Spec.ID, j))
+			}
+		}
+	}
+	return "\n  " + fmt.Sprint(lines)
+}
+
+// checkDurability re-reads every key's final value linearizably: an
+// acknowledged write — acked only after quorum fsync — must never be
+// lost, no matter how many members crashed.
+func (h *harness) checkDurability() {
+	h.mu.Lock()
+	acked := make(map[string]uint64, len(h.acked))
+	for k, v := range h.acked {
+		acked[k] = v
+	}
+	h.mu.Unlock()
+	keys := make([]string, 0, len(acked))
+	for k := range acked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		res, err := h.c.ReadLinearizable(ctx, key)
+		cancel()
+		if err != nil {
+			h.violatef("durability: final read of %s (acked seq %d) failed: %v", key, acked[key], err)
+			continue
+		}
+		h.checkRead("durability", key, acked[key], res)
+	}
+}
+
+// checkGTIDFinal verifies the quiesced MySQL members agree on one
+// executed GTID set and that it contains every GTID any member ever
+// applied: applied implies committed, and committed transactions must
+// survive into the converged state.
+func (h *harness) checkGTIDFinal() {
+	sets := make(map[wire.NodeID]*gtid.Set)
+	for _, m := range h.c.Members() {
+		if m.Spec.Kind != cluster.KindMySQL {
+			continue
+		}
+		_, srv, ok := h.c.MySQLStack(m.Spec.ID)
+		if !ok {
+			h.violatef("gtid convergence: %s still down after final heal", m.Spec.ID)
+			continue
+		}
+		sets[m.Spec.ID] = srv.GTIDExecuted()
+	}
+	var ref *gtid.Set
+	var refID wire.NodeID
+	for id, s := range sets {
+		if ref == nil {
+			ref, refID = s, id
+			continue
+		}
+		if !ref.Equal(s) {
+			h.violatef("gtid convergence: %s executed %v != %s executed %v", refID, ref, id, s)
+		}
+	}
+	for id, s := range sets {
+		if !s.ContainsSet(h.appliedEver) {
+			h.violatef("gtid durability: %s executed %v is missing applied-anywhere GTIDs %v", id, s, h.appliedEver)
+		}
+	}
+}
+
+// checkElectionSafety asserts at most one member ever claimed
+// leadership of any term, from the role-change records the raft hook
+// captured.
+func (h *harness) checkElectionSafety() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for term, set := range h.leaders {
+		if len(set) > 1 {
+			ids := make([]wire.NodeID, 0, len(set))
+			for id := range set {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			h.violations = append(h.violations,
+				fmt.Sprintf("election safety: term %d had %d leaders: %v", term, len(set), ids))
+		}
+	}
+}
+
+// finalizeStats folds every transport fault wrapper's message counters
+// into the run stats.
+func (h *harness) finalizeStats() {
+	h.mu.Lock()
+	faults := append([]*transport.Fault(nil), h.faultsAll...)
+	h.mu.Unlock()
+	for _, f := range faults {
+		st := f.Stats()
+		h.stats.MsgDropped.Add(st.Dropped)
+		h.stats.MsgDelayed.Add(st.Delayed)
+		h.stats.MsgDuplicated.Add(st.Duplicated)
+		h.stats.DropsPerLife.Observe(st.Dropped)
+	}
+}
+
+func allEqual[K comparable](m map[K]uint32) bool {
+	var ref uint32
+	first := true
+	for _, v := range m {
+		if first {
+			ref, first = v, false
+			continue
+		}
+		if v != ref {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+)
+
+// -chaos.seed re-runs a single seed's exact schedule, the repro knob a
+// failing campaign prints.
+var seedFlag = flag.Int64("chaos.seed", -1, "run only this chaos seed (repro mode)")
+
+// -chaos.seeds sizes the local campaign.
+var seedsFlag = flag.Int("chaos.seeds", 20, "number of distinct seeds in the chaos campaign")
+
+func runSeed(t *testing.T, seed int64) {
+	t.Helper()
+	cfg := Config{Seed: seed}
+	if testing.Verbose() {
+		cfg.Logf = t.Logf
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: harness error: %v\nrepro: go test -run TestChaos -chaos.seed=%d ./internal/chaos", seed, err, seed)
+	}
+	if !rep.Passed() {
+		t.Errorf("seed %d: %d invariant violation(s):", seed, len(rep.Violations))
+		for _, v := range rep.Violations {
+			t.Errorf("  %s", v)
+		}
+		t.Errorf("stats:\n%s", rep.Stats)
+		t.Errorf("schedule:\n%s", rep.Schedule)
+		t.Errorf("repro: %s", rep.ReproCommand())
+		return
+	}
+	if testing.Verbose() {
+		t.Logf("seed %d passed:\n%s", seed, rep.Stats)
+	}
+}
+
+// TestChaos is the randomized campaign: a pool of distinct seeds, each
+// a full cluster life under its own fault schedule with every invariant
+// checker armed. With -chaos.seed=N it runs exactly that seed instead —
+// the deterministic reproduction path.
+func TestChaos(t *testing.T) {
+	if *seedFlag >= 0 {
+		runSeed(t, *seedFlag)
+		return
+	}
+	if testing.Short() {
+		t.Skip("chaos campaign skipped in -short mode (run TestChaosSmoke instead)")
+	}
+	for seed := int64(1); seed <= int64(*seedsFlag); seed++ {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			runSeed(t, seed)
+		})
+	}
+}
+
+func seedName(seed int64) string { return fmt.Sprintf("seed-%d", seed) }
+
+// TestChaosSmoke is the fixed-seed subset CI runs on every push: small
+// enough to keep the gate fast, seeded identically everywhere so a CI
+// failure reproduces locally with the printed command.
+func TestChaosSmoke(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			runSeed(t, seed)
+		})
+	}
+}
+
+// TestScheduleDeterminism pins the property the repro workflow depends
+// on: the schedule is a pure function of the config.
+func TestScheduleDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := GenerateSchedule(Config{Seed: seed})
+		b := GenerateSchedule(Config{Seed: seed})
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: schedule lengths differ: %d vs %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: action %d differs: %v vs %v", seed, i, a[i], b[i])
+			}
+		}
+		if len(a) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+	}
+}
+
+// TestScheduleRespectsMaxDown replays generated schedules symbolically
+// and asserts the generator's own bookkeeping held: concurrently-down
+// members never exceed MaxDown, restarts only target down members, and
+// every fsync failure is followed by a crash and a restart of the same
+// node (the sticky log-writer error makes the node useless until it
+// recovers from disk).
+func TestScheduleRespectsMaxDown(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		cfg := Config{Seed: seed}.withDefaults()
+		sched := GenerateSchedule(cfg)
+		down := map[string]bool{}
+		pendingFail := map[string]int{} // fsync-failed node -> crash/restart debt
+		for _, a := range sched {
+			id := string(a.Node)
+			switch a.Kind {
+			case ActCrash:
+				down[id] = true
+				if len(down) > cfg.MaxDown {
+					t.Fatalf("seed %d: %d members down after %v", seed, len(down), a)
+				}
+				if pendingFail[id] == 2 {
+					pendingFail[id] = 1
+				}
+			case ActRestart:
+				if !down[id] {
+					t.Fatalf("seed %d: restart of up member: %v", seed, a)
+				}
+				delete(down, id)
+				if pendingFail[id] == 1 {
+					delete(pendingFail, id)
+				}
+			case ActFsyncFail:
+				pendingFail[id] = 2 // owes a crash, then a restart
+			}
+		}
+		if len(pendingFail) > 0 {
+			t.Fatalf("seed %d: fsync-failed nodes never crash+restarted: %v", seed, pendingFail)
+		}
+	}
+}

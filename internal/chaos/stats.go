@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"myraft/internal/metrics"
+)
+
+// Stats aggregates one chaos run's fault-injection and workload
+// counters through internal/metrics, so a failing seed's report shows
+// what the schedule actually did to the cluster (a schedule line saying
+// "drop p=0.3" is only meaningful next to how many messages that rule
+// ate).
+type Stats struct {
+	// Fault injection.
+	Crashes     metrics.Counter
+	Restarts    metrics.Counter // recoveries observed (scheduled + final heal)
+	Partitions  metrics.Counter // symmetric + asymmetric partitions applied
+	NetHeals    metrics.Counter
+	FaultRules  metrics.Counter // drop/delay/duplicate rule changes
+	FsyncStalls metrics.Counter
+	FsyncFails  metrics.Counter
+	SkewChanges metrics.Counter
+
+	// Message-level effects, aggregated over every transport.Fault
+	// wrapper the run created (one per member life).
+	MsgDropped    metrics.Counter
+	MsgDelayed    metrics.Counter
+	MsgDuplicated metrics.Counter
+	// DropsPerLife is the distribution of dropped-message counts across
+	// member lives — a life with zero drops never had a drop rule or
+	// block applied to it.
+	DropsPerLife *metrics.IntHistogram
+
+	// Consensus churn observed through the raft role-change hook.
+	Elections   metrics.Counter // campaigns started
+	LeaderTerms metrics.Counter // distinct terms that produced a leader
+
+	// Workload.
+	Writes       metrics.Counter
+	WriteErrors  metrics.Counter
+	Reads        metrics.Counter
+	ReadErrors   metrics.Counter
+	LeaseReads   metrics.Counter // lease-level reads witnessed
+	LinReads     metrics.Counter // linearizable-level reads witnessed
+	FallbackObs  metrics.Counter // lease reads that fell back to ReadIndex
+	WriteLatency *metrics.Histogram
+}
+
+func newStats() *Stats {
+	return &Stats{
+		DropsPerLife: metrics.NewIntHistogram(),
+		WriteLatency: metrics.NewHistogram(),
+	}
+}
+
+// String renders the full per-run summary, one line per group.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults   : crashes=%d restarts=%d partitions=%d net-heals=%d rules=%d fsync-stalls=%d fsync-fails=%d skews=%d\n",
+		s.Crashes.Value(), s.Restarts.Value(), s.Partitions.Value(), s.NetHeals.Value(),
+		s.FaultRules.Value(), s.FsyncStalls.Value(), s.FsyncFails.Value(), s.SkewChanges.Value())
+	fmt.Fprintf(&b, "messages : dropped=%d delayed=%d duplicated=%d drops/life=%s\n",
+		s.MsgDropped.Value(), s.MsgDelayed.Value(), s.MsgDuplicated.Value(), s.DropsPerLife)
+	fmt.Fprintf(&b, "raft     : elections=%d leader-terms=%d\n",
+		s.Elections.Value(), s.LeaderTerms.Value())
+	fmt.Fprintf(&b, "workload : writes=%d write-errs=%d reads=%d read-errs=%d lin=%d lease=%d fallbacks=%d write-latency=%s",
+		s.Writes.Value(), s.WriteErrors.Value(), s.Reads.Value(), s.ReadErrors.Value(),
+		s.LinReads.Value(), s.LeaseReads.Value(), s.FallbackObs.Value(), s.WriteLatency)
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package clock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Skewed wraps a Clock and shifts its wall readings (Now, Since) by a
+// runtime-mutable offset, modeling a member whose system clock has
+// drifted from the rest of the fleet. Timers, tickers and sleeps pass
+// through to the base clock unshifted: skew changes what time a node
+// *thinks* it is, not how fast its timers run — which is exactly the
+// hazard for lease-based reads (LeaseGuard): a lease is granted and
+// checked against the node's own skewed wall clock while elections
+// elsewhere proceed on real time.
+//
+// The chaos harness gives every member its own Skewed clock and moves the
+// offsets around within the configured raft.Config.MaxClockSkew bound;
+// the read-safety invariant then verifies leases never vouch for stale
+// leadership.
+type Skewed struct {
+	base Clock
+	off  atomic.Int64 // nanoseconds added to every wall reading
+}
+
+// NewSkewed wraps base (nil means the real clock) with zero initial skew.
+func NewSkewed(base Clock) *Skewed {
+	if base == nil {
+		base = Real()
+	}
+	return &Skewed{base: base}
+}
+
+// SetOffset replaces the skew offset.
+func (s *Skewed) SetOffset(d time.Duration) { s.off.Store(int64(d)) }
+
+// Offset returns the current skew offset.
+func (s *Skewed) Offset() time.Duration { return time.Duration(s.off.Load()) }
+
+// Now returns the base clock's time shifted by the offset.
+func (s *Skewed) Now() time.Time { return s.base.Now().Add(s.Offset()) }
+
+// Since returns the elapsed skewed time since t.
+func (s *Skewed) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Sleep passes through to the base clock (timer rates are not skewed).
+func (s *Skewed) Sleep(d time.Duration) { s.base.Sleep(d) }
+
+// After passes through to the base clock.
+func (s *Skewed) After(d time.Duration) <-chan time.Time { return s.base.After(d) }
+
+// NewTimer passes through to the base clock.
+func (s *Skewed) NewTimer(d time.Duration) Timer { return s.base.NewTimer(d) }
+
+// NewTicker passes through to the base clock.
+func (s *Skewed) NewTicker(d time.Duration) Ticker { return s.base.NewTicker(d) }

@@ -67,10 +67,29 @@ type Options struct {
 	// many retained samples (reservoir sampling) for open-ended read-heavy
 	// runs; 0 keeps every sample (exact percentiles).
 	ReadSampleCap int
+	// Seed, when non-zero, seeds the network jitter RNG (unless NetConfig
+	// already carries an explicit seed) so a whole replicaset run is
+	// reproducible from one number. The chaos harness derives everything —
+	// schedule, fault RNGs, network jitter — from this.
+	Seed int64
 	// WrapLogStore, when set, wraps each member's log store before it is
 	// handed to raft.NewNode. Experiments use it to model storage-device
-	// latency (logstore.Delayed) and tests to instrument fsync behaviour.
-	WrapLogStore func(raft.LogStore) raft.LogStore
+	// latency (logstore.Delayed); the chaos harness injects fsync stalls
+	// and errors (logstore.Faulty). Called again on every restart of the
+	// member, so wrappers with mutable fault state start each life fresh.
+	WrapLogStore func(id wire.NodeID, s raft.LogStore) raft.LogStore
+	// WrapTransport, when set, wraps each member's network endpoint before
+	// it is handed to raft.NewNode. The chaos harness uses it to inject
+	// message drops, delays, duplication and asymmetric partitions
+	// (transport.Fault). Called again on every restart of the member.
+	WrapTransport func(id wire.NodeID, t transport.Transport) transport.Transport
+	// WrapClock, when set, derives each member's node clock from the
+	// cluster clock. The chaos harness uses it to give members individually
+	// skewed clocks (clock.Skewed) while the network keeps real time.
+	WrapClock func(id wire.NodeID, c clock.Clock) clock.Clock
+	// ReadWitness, when set, observes every successful read served through
+	// the cluster's readers (readpath.Witness).
+	ReadWitness readpath.Witness
 }
 
 // Member is one running replicaset member.
@@ -150,7 +169,11 @@ func New(opts Options, specs []MemberSpec) (*Cluster, error) {
 		c.readMetrics = readpath.NewMetrics()
 	}
 	if c.net == nil {
-		c.net = transport.New(opts.NetConfig, opts.Clock)
+		netCfg := opts.NetConfig
+		if netCfg.Seed == 0 {
+			netCfg.Seed = opts.Seed
+		}
+		c.net = transport.New(netCfg, opts.Clock)
 		c.ownsNet = true
 	}
 	if c.registry == nil {
@@ -225,9 +248,17 @@ func (c *Cluster) startMember(m *Member) error {
 	}
 
 	if c.opts.WrapLogStore != nil {
-		store = c.opts.WrapLogStore(store)
+		store = c.opts.WrapLogStore(m.Spec.ID, store)
 	}
-	node, err := raft.NewNode(rcfg, store, cb, ep, c.clk)
+	var tr transport.Transport = ep
+	if c.opts.WrapTransport != nil {
+		tr = c.opts.WrapTransport(m.Spec.ID, ep)
+	}
+	nodeClk := c.clk
+	if c.opts.WrapClock != nil {
+		nodeClk = c.opts.WrapClock(m.Spec.ID, c.clk)
+	}
+	node, err := raft.NewNode(rcfg, store, cb, tr, nodeClk)
 	if err != nil {
 		return err
 	}
@@ -259,6 +290,35 @@ func (c *Cluster) Members() []*Member {
 	out := make([]*Member, 0, len(c.members))
 	for _, s := range c.specs {
 		out = append(out, c.members[s.ID])
+	}
+	return out
+}
+
+// MySQLStack atomically snapshots a MySQL member's live stack — its Raft
+// node and server — under the cluster lock, so callers racing with
+// Crash/Restart (the chaos harness's invariant samplers) never observe a
+// half-torn member. ok is false while the member is down, unknown, or
+// not a MySQL server.
+func (c *Cluster) MySQLStack(id wire.NodeID) (*raft.Node, *mysql.Server, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := c.members[id]
+	if m == nil || m.down || m.node == nil || m.server == nil {
+		return nil, nil, false
+	}
+	return m.node, m.server, true
+}
+
+// DownMembers returns the IDs of currently-crashed members, snapshotted
+// under the cluster lock.
+func (c *Cluster) DownMembers() []wire.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []wire.NodeID
+	for _, s := range c.specs {
+		if m := c.members[s.ID]; m != nil && m.down {
+			out = append(out, s.ID)
+		}
 	}
 	return out
 }

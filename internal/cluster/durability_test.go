@@ -10,6 +10,7 @@ import (
 	"myraft/internal/binlog"
 	"myraft/internal/logstore"
 	"myraft/internal/raft"
+	"myraft/internal/wire"
 )
 
 // TestFollowerCrashKeepsAckedEntries is the §A.2 durability guarantee
@@ -93,7 +94,7 @@ func TestFollowerCrashKeepsAckedEntries(t *testing.T) {
 // report grouped fsyncs through the durability stats.
 func TestWrapLogStoreInjectsLatency(t *testing.T) {
 	opts := testOptions(t, nil)
-	opts.WrapLogStore = func(s raft.LogStore) raft.LogStore {
+	opts.WrapLogStore = func(_ wire.NodeID, s raft.LogStore) raft.LogStore {
 		return logstore.Delayed{Inner: s, SyncDelay: 2 * time.Millisecond}
 	}
 	c := bootCluster(t, opts, smallTopology())

@@ -8,6 +8,7 @@ import (
 	"myraft/internal/cluster"
 	"myraft/internal/logstore"
 	"myraft/internal/raft"
+	"myraft/internal/wire"
 	"myraft/internal/workload"
 )
 
@@ -56,7 +57,7 @@ func durabilityStack(ctx context.Context, p Params, syncEvery bool) (*cluster.Cl
 		Dir:       "",
 		Raft:      rcfg,
 		NetConfig: p.netConfig(),
-		WrapLogStore: func(s raft.LogStore) raft.LogStore {
+		WrapLogStore: func(_ wire.NodeID, s raft.LogStore) raft.LogStore {
 			return logstore.Delayed{Inner: s, SyncDelay: p.FsyncLatency}
 		},
 	}, cluster.PaperTopology(p.FollowerRegions, p.Learners))

@@ -71,31 +71,41 @@ func (lt *Logtailer) Node() *raft.Node {
 
 // OnPromote implements raft.Callbacks: a logtailer elected leader holds no
 // database, so it transfers leadership to the most caught-up non-witness
-// voter (§2.2). It retries while it remains leader, excluding targets
-// whose transfer already failed (e.g. the dead primary whose crash caused
-// this election).
+// voter (§2.2). It keeps retrying for as long as it remains leader at this
+// term: a bounded retry budget would let a network fault during failover
+// exhaust every target and leave the witness as a permanent leader that
+// can never serve writes.
 func (lt *Logtailer) OnPromote(info raft.PromoteInfo) {
 	node := lt.Node()
 	if node == nil {
 		return
 	}
 	failed := make(map[wire.NodeID]bool)
-	for attempt := 0; attempt < 40; attempt++ {
+	for attempt := 0; ; attempt++ {
 		st := node.Status()
 		if st.Role != raft.RoleLeader || st.Term != info.Term {
-			return // someone else took over; done
+			return // someone else took over (or the node stopped); done
 		}
 		// Until replication acknowledgements arrive, match indexes are
 		// zero and liveness is unknown; insisting on match > 0 avoids
 		// handing leadership to the dead member that caused this
 		// failover. After several beats, fall back to any candidate.
 		requireAck := attempt < 10
-		target := bestTransferTarget(st, lt.id, failed, requireAck)
-		if target != "" {
-			if err := node.TransferLeadership(target); err == nil {
-				return
+		// A target that failed may merely have been partitioned at the
+		// time; periodically forgive everyone so healed members become
+		// eligible again.
+		if len(failed) > 0 && attempt%16 == 15 {
+			failed = make(map[wire.NodeID]bool)
+		}
+		if target := bestTransferTarget(st, lt.id, failed, requireAck); target != "" {
+			// TransferLeadership blocks until the transfer fires or
+			// fails — but even a fired transfer is no guarantee: the
+			// target can still lose the election it was handed, and the
+			// quiesced leader silently resumes. Success therefore just
+			// means "re-check the role next lap" rather than "done".
+			if err := node.TransferLeadership(target); err != nil {
+				failed[target] = true
 			}
-			failed[target] = true
 		}
 		time.Sleep(lt.TransferDelay)
 	}

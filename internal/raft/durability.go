@@ -82,6 +82,9 @@ type DurabilityStats struct {
 	AppendDurable metrics.Summary
 	// LoopBlocked is total event-loop time spent blocked on the writer.
 	LoopBlocked time.Duration
+	// Err is the writer's sticky I/O error, nil while healthy. Once set
+	// the node cannot ack anything again until restarted.
+	Err error
 }
 
 // queuedAppend is one entry waiting in the writer's queue.
@@ -215,12 +218,13 @@ func (w *logWriter) state() (uint64, error) {
 // stats snapshots the writer for DurabilityStats.
 func (w *logWriter) stats() DurabilityStats {
 	w.mu.Lock()
-	durable, appended, unsynced := w.durable, w.appended, w.unsyncedBytes
+	durable, appended, unsynced, serr := w.durable, w.appended, w.unsyncedBytes, w.err
 	w.mu.Unlock()
 	return DurabilityStats{
 		DurableIndex:  durable,
 		AppendedIndex: appended,
 		UnsyncedBytes: unsynced,
+		Err:           serr,
 		Fsyncs:        w.met.fsyncs.Value(),
 		FsyncBatch:    w.met.fsyncBatch.Summarize(),
 		AppendDurable: w.met.appendDurable.Summarize(),

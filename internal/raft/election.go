@@ -24,6 +24,7 @@ func (n *Node) startCampaign(kind wire.VoteKind) {
 		n.persistHardState()
 		n.role = RoleCandidate
 		n.leader = ""
+		n.noteRole()
 	}
 	n.campaign = &campaignState{
 		kind:      kind,

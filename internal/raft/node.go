@@ -484,6 +484,14 @@ func (n *Node) storeEntry(index uint64) (*wire.LogEntry, bool) {
 	return e, true
 }
 
+// noteRole reports the current role/term to the OnRoleChange hook. Called
+// on the event loop after every transition.
+func (n *Node) noteRole() {
+	if n.cfg.OnRoleChange != nil {
+		n.cfg.OnRoleChange(RoleChange{ID: n.cfg.ID, Term: n.term, Role: n.role, Leader: n.leader})
+	}
+}
+
 // handleMessage dispatches an incoming envelope.
 func (n *Node) handleMessage(env transport.Envelope) {
 	switch msg := env.Msg.(type) {
@@ -526,6 +534,7 @@ func (n *Node) becomeFollower(term uint64, leader wire.NodeID) {
 		term := n.term
 		go n.cb.OnDemote(term)
 	}
+	n.noteRole()
 }
 
 // becomeLeader transitions to leader: initialize peer bookkeeping, append
@@ -561,6 +570,7 @@ func (n *Node) becomeLeader() {
 	n.resetReadState()
 	n.advanceLeaderCommit()
 	n.broadcastAppend()
+	n.noteRole()
 	info := PromoteInfo{Term: n.term, NoOpIndex: n.noOpIndex}
 	go n.cb.OnPromote(info)
 }

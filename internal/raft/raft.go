@@ -282,6 +282,22 @@ type Config struct {
 	// StateDir, when non-empty, persists the Raft hard state (term and
 	// vote) across restarts.
 	StateDir string
+
+	// OnRoleChange, when set, is invoked synchronously on the node's event
+	// loop at every role transition (becoming follower, candidate, or
+	// leader). Implementations must be fast and must not call back into
+	// the node. The chaos harness uses it to machine-check election safety
+	// — at most one leader per term — across a whole fault schedule.
+	OnRoleChange func(RoleChange)
+}
+
+// RoleChange is the payload of the Config.OnRoleChange hook: the node's
+// identity and its post-transition role, term, and known leader.
+type RoleChange struct {
+	ID     wire.NodeID
+	Term   uint64
+	Role   Role
+	Leader wire.NodeID
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"myraft/internal/opid"
+	"myraft/internal/wire"
+)
+
+// faultPair wires a Fault-wrapped endpoint "a" to a plain endpoint "b".
+func faultPair(t *testing.T, seed int64) (*Network, *Fault, *Endpoint) {
+	t.Helper()
+	n := New(testConfig(), nil)
+	t.Cleanup(func() { n.Close() })
+	a := n.Register("a", "r1")
+	b := n.Register("b", "r1")
+	return n, NewFault(a, seed, nil), b
+}
+
+func drain(b *Endpoint, within time.Duration) int {
+	got := 0
+	for {
+		select {
+		case <-b.Recv():
+			got++
+		case <-time.After(within):
+			return got
+		}
+	}
+}
+
+func TestFaultPassThrough(t *testing.T) {
+	_, f, b := faultPair(t, 1)
+	for i := uint64(1); i <= 20; i++ {
+		if err := f.Send("b", vote(i, "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drain(b, 100*time.Millisecond); got != 20 {
+		t.Fatalf("zero-rule wrapper delivered %d/20", got)
+	}
+	st := f.Stats()
+	if st.Dropped != 0 || st.Delayed != 0 || st.Duplicated != 0 {
+		t.Fatalf("pass-through recorded injections: %+v", st)
+	}
+}
+
+func TestFaultDropRule(t *testing.T) {
+	_, f, b := faultPair(t, 2)
+	f.SetDrop(1.0)
+	for i := uint64(1); i <= 10; i++ {
+		f.Send("b", vote(i, "a"))
+	}
+	if got := drain(b, 50*time.Millisecond); got != 0 {
+		t.Fatalf("drop p=1 delivered %d messages", got)
+	}
+	if st := f.Stats(); st.Dropped != 10 {
+		t.Fatalf("dropped = %d, want 10", st.Dropped)
+	}
+	f.SetDrop(0)
+	f.Send("b", vote(11, "a"))
+	if got := drain(b, 200*time.Millisecond); got != 1 {
+		t.Fatalf("cleared drop rule delivered %d/1", got)
+	}
+}
+
+func TestFaultDuplicateRule(t *testing.T) {
+	_, f, b := faultPair(t, 3)
+	f.SetDuplicate(1.0)
+	for i := uint64(1); i <= 5; i++ {
+		f.Send("b", vote(i, "a"))
+	}
+	if got := drain(b, 200*time.Millisecond); got != 10 {
+		t.Fatalf("dup p=1 delivered %d, want 10", got)
+	}
+	if st := f.Stats(); st.Duplicated != 5 {
+		t.Fatalf("duplicated = %d, want 5", st.Duplicated)
+	}
+}
+
+func TestFaultDelayReordersAndDelivers(t *testing.T) {
+	_, f, b := faultPair(t, 4)
+	// Delay only the first message, then send an undelayed one behind it:
+	// the held message must be overtaken (reordering) yet still arrive.
+	f.SetDelay(1.0, 50*time.Millisecond)
+	f.Send("b", vote(1, "a"))
+	f.SetDelay(0, 0)
+	f.Send("b", vote(2, "a"))
+	first := recvOne(t, b, time.Second).Msg.(*wire.RequestVoteResp)
+	second := recvOne(t, b, time.Second).Msg.(*wire.RequestVoteResp)
+	if first.Term != 2 || second.Term != 1 {
+		t.Fatalf("order = %d,%d; want the delayed message overtaken (2,1)", first.Term, second.Term)
+	}
+	if st := f.Stats(); st.Delayed != 1 {
+		t.Fatalf("delayed = %d, want 1", st.Delayed)
+	}
+}
+
+// TestFaultDelaySnapshotsMessage pins the transport contract the raft
+// layer leans on (sendAppend reuses its per-peer scratch buffer the
+// moment Send returns): a delayed delivery must carry a snapshot taken
+// at Send time, not the caller's live pointer.
+func TestFaultDelaySnapshotsMessage(t *testing.T) {
+	_, f, b := faultPair(t, 5)
+	f.SetDelay(1.0, 30*time.Millisecond)
+	msg := &wire.AppendEntriesReq{
+		Term:     1,
+		LeaderID: "a",
+		Entries:  []wire.LogEntry{{OpID: opid.OpID{Term: 1, Index: 7}, Payload: []byte("orig")}},
+	}
+	f.Send("b", msg)
+	// The sender immediately reuses its buffer, as sendAppend does.
+	msg.Entries[0] = wire.LogEntry{OpID: opid.OpID{Term: 9, Index: 99}, Payload: []byte("clobbered")}
+	got := recvOne(t, b, time.Second).Msg.(*wire.AppendEntriesReq)
+	if got.Entries[0].OpID.Index != 7 || string(got.Entries[0].Payload) != "orig" {
+		t.Fatalf("delayed delivery saw the sender's buffer reuse: %+v", got.Entries[0])
+	}
+}
+
+func TestFaultBlockIsDirectional(t *testing.T) {
+	n := New(testConfig(), nil)
+	defer n.Close()
+	a := n.Register("a", "r1")
+	b := n.Register("b", "r1")
+	fa := NewFault(a, 6, nil)
+	fa.Block("b")
+	fa.Send("b", vote(1, "a"))
+	if got := drain(b, 50*time.Millisecond); got != 0 {
+		t.Fatalf("blocked direction delivered %d messages", got)
+	}
+	// The reverse direction is untouched: b can still reach a.
+	b.Send("a", vote(2, "b"))
+	if env := recvOne(t, a, time.Second); env.From != "b" {
+		t.Fatalf("reverse direction broken: %+v", env)
+	}
+	fa.Unblock("b")
+	fa.Send("b", vote(3, "a"))
+	if got := drain(b, 200*time.Millisecond); got != 1 {
+		t.Fatalf("unblocked direction delivered %d/1", got)
+	}
+}
+
+// TestFaultHealFlushesAndLeavesNothingBehind is the invariant the chaos
+// harness depends on before judging convergence: after Heal there are no
+// stuck messages, no pending deliveries, and no lingering goroutines.
+func TestFaultHealFlushesAndLeavesNothingBehind(t *testing.T) {
+	_, f, b := faultPair(t, 7)
+	f.SetDrop(0.5)
+	f.SetDuplicate(0.5)
+	f.SetDelay(1.0, time.Hour) // held ~forever unless Heal flushes
+	f.Block("nobody")
+	const sent = 40
+	for i := uint64(1); i <= sent; i++ {
+		f.Send("b", vote(i, "a"))
+	}
+	if f.Pending() == 0 {
+		t.Fatal("delay p=1 held nothing")
+	}
+	before := runtime.NumGoroutine()
+	f.Heal() // waits for every held delivery to finish
+	if p := f.Pending(); p != 0 {
+		t.Fatalf("pending = %d after Heal", p)
+	}
+	st := f.Stats()
+	// Every non-dropped message (plus duplicates) must have reached the
+	// network by now; nothing is stuck inside the wrapper.
+	want := int(sent - st.Dropped + st.Duplicated)
+	if got := drain(b, 300*time.Millisecond); got != want {
+		t.Fatalf("delivered %d, want %d (stats %+v)", got, want, st)
+	}
+	// Delivery goroutines exit promptly once flushed.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d > %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And the healed wrapper is a clean pass-through again.
+	f.Send("b", vote(99, "a"))
+	if got := drain(b, 200*time.Millisecond); got != 1 {
+		t.Fatalf("healed wrapper delivered %d/1", got)
+	}
+}
+
+func TestFaultDeterministicOutcomes(t *testing.T) {
+	outcomes := func() FaultStats {
+		_, f, b := faultPair(t, 42)
+		f.SetDrop(0.3)
+		f.SetDuplicate(0.3)
+		for i := uint64(1); i <= 100; i++ {
+			f.Send("b", vote(i, "a"))
+		}
+		drain(b, 100*time.Millisecond)
+		return f.Stats()
+	}
+	a, b := outcomes(), outcomes()
+	if a != b {
+		t.Fatalf("same seed, different outcomes: %+v vs %+v", a, b)
+	}
+}

@@ -361,6 +361,15 @@ func (n *Network) Partition(a, b wire.NodeID) {
 	n.blocked[linkKey{b, a}] = true
 }
 
+// PartitionOneWay blocks only the from→to direction, the asymmetric
+// partition of the chaos harness: to still reaches from, but nothing
+// flows back. HealAll (or Heal of the pair) removes it.
+func (n *Network) PartitionOneWay(from, to wire.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[linkKey{from, to}] = true
+}
+
 // Heal unblocks both directions between a and b.
 func (n *Network) Heal(a, b wire.NodeID) {
 	n.mu.Lock()
