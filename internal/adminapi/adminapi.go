@@ -33,6 +33,12 @@ type MemberStatus struct {
 	Leader      string `json:"leader,omitempty"`
 	CommitIndex uint64 `json:"commit_index,omitempty"`
 	LastOpID    string `json:"last_opid,omitempty"`
+	// FirstIndex / SnapshotAnchor describe the retained log window under
+	// the bounded-log lifecycle: the lowest index still on disk (0 when
+	// the log is empty) and the op the log was last reset to by a
+	// snapshot install (absent when the member never installed one).
+	FirstIndex     uint64 `json:"first_index,omitempty"`
+	SnapshotAnchor string `json:"snapshot_anchor,omitempty"`
 	// LeaseHeld / LeaseExpiry report the leader's read lease (leaders
 	// only): whether lease reads are currently served locally and until
 	// when, clock skew already discounted.
@@ -41,6 +47,12 @@ type MemberStatus struct {
 	ReadOnly    *bool       `json:"read_only,omitempty"`
 	GTIDs       string      `json:"gtid_executed,omitempty"`
 	BinlogFiles []FileEntry `json:"binlog_files,omitempty"`
+	// BinlogBytes is the on-disk size of the member's binlog inventory,
+	// the number the purge coordinator exists to bound.
+	BinlogBytes int64 `json:"binlog_bytes,omitempty"`
+	// Snapshots reports snapshot-transfer activity (leader-side chunks
+	// and bytes sent, follower-side installs) when any occurred.
+	Snapshots *SnapshotStatus `json:"snapshots,omitempty"`
 	// Durability reports the async log writer's pipeline state: how far
 	// fsync has progressed, how it is batching, and how far acks lag
 	// appends (§3.4 group commit observability).
@@ -71,11 +83,23 @@ type FileEntry struct {
 	Size int64  `json:"size"`
 }
 
+// SnapshotStatus is the /status view of one member's snapshot-transfer
+// counters (raft.SnapshotStats).
+type SnapshotStatus struct {
+	Installs   int64 `json:"installs,omitempty"`
+	ChunksSent int64 `json:"chunks_sent,omitempty"`
+	BytesSent  int64 `json:"bytes_sent,omitempty"`
+	Failures   int64 `json:"failures,omitempty"`
+}
+
 // ClusterStatus is the /status payload.
 type ClusterStatus struct {
-	Name    string         `json:"name"`
-	Primary string         `json:"primary,omitempty"`
-	Members []MemberStatus `json:"members"`
+	Name    string `json:"name"`
+	Primary string `json:"primary,omitempty"`
+	// PurgeFloor is the last cluster-wide purge floor the retention
+	// coordinator drove (0 before the first purge).
+	PurgeFloor uint64         `json:"purge_floor,omitempty"`
+	Members    []MemberStatus `json:"members"`
 }
 
 // Server wraps a cluster with the admin handlers.
@@ -98,6 +122,7 @@ func NewServer(c *cluster.Cluster) *Server {
 	s.mux.HandleFunc("POST /write", s.handleWrite)
 	s.mux.HandleFunc("GET /read", s.handleRead)
 	s.mux.HandleFunc("POST /flush-binlogs", s.handleFlush)
+	s.mux.HandleFunc("POST /purge", s.handlePurge)
 	s.mux.HandleFunc("POST /fix-quorum", s.handleFixQuorum)
 	return s
 }
@@ -117,7 +142,7 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 
 // Status builds the cluster status snapshot.
 func (s *Server) Status() ClusterStatus {
-	st := ClusterStatus{Name: s.c.Name()}
+	st := ClusterStatus{Name: s.c.Name(), PurgeFloor: s.c.PurgeFloor()}
 	if id, ok := s.c.Registry().Primary(s.c.Name()); ok {
 		st.Primary = string(id)
 	}
@@ -138,6 +163,18 @@ func (s *Server) Status() ClusterStatus {
 			ms.Leader = string(ns.Leader)
 			ms.CommitIndex = ns.CommitIndex
 			ms.LastOpID = ns.LastOpID.String()
+			ms.FirstIndex = ns.FirstIndex
+			if !ns.SnapshotAnchor.IsZero() {
+				ms.SnapshotAnchor = ns.SnapshotAnchor.String()
+			}
+			if ss := node.SnapshotStats(); ss != (raft.SnapshotStats{}) {
+				ms.Snapshots = &SnapshotStatus{
+					Installs:   ss.Installs,
+					ChunksSent: ss.ChunksSent,
+					BytesSent:  ss.BytesSent,
+					Failures:   ss.Failures,
+				}
+			}
 			if ns.Role == raft.RoleLeader {
 				ms.LeaseHeld = ns.LeaseHeld
 				if !ns.LeaseExpiry.IsZero() {
@@ -171,6 +208,7 @@ func (s *Server) Status() ClusterStatus {
 			ms.GTIDs = srv.GTIDExecuted().String()
 			for _, f := range srv.BinlogFiles() {
 				ms.BinlogFiles = append(ms.BinlogFiles, FileEntry{Name: f.Name, Size: f.Size})
+				ms.BinlogBytes += f.Size
 			}
 		}
 		st.Members = append(st.Members, ms)
@@ -375,6 +413,29 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// handlePurge runs one round of the cluster purge coordinator with the
+// given retention budget (entries kept below the tail, default 1024):
+// the operator-driven face of PURGE BINARY LOGS. The response reports
+// the floor driven this round (0 when nothing was purgeable) and the
+// cluster floor after it.
+func (s *Server) handlePurge(w http.ResponseWriter, r *http.Request) {
+	retain := uint64(1024)
+	if v := r.FormValue("retain"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad retain: %w", err))
+			return
+		}
+		retain = n
+	}
+	floor, err := s.c.PurgeOnce(retain)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, map[string]uint64{"purged_to": floor, "purge_floor": s.c.PurgeFloor()})
 }
 
 func (s *Server) handleFixQuorum(w http.ResponseWriter, r *http.Request) {

@@ -278,6 +278,64 @@ func TestFixQuorumEndpoint(t *testing.T) {
 	}
 }
 
+// TestPurgeEndpointAndLifecycleStatus drives the operator purge surface:
+// a purge round with a small retention budget advances the cluster floor,
+// and /status reports the lifecycle fields — purge floor, retained log
+// window, binlog inventory size.
+func TestPurgeEndpointAndLifecycleStatus(t *testing.T) {
+	c, client := testStack(t)
+	for i := 0; i < 20; i++ {
+		if _, err := client.Write(string(rune('a'+i%26))+"-key", "v"); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 4 {
+			if err := client.FlushBinlogs(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The floor needs every live member durably past it; retry while
+	// replication settles.
+	var floor uint64
+	deadline := time.Now().Add(10 * time.Second)
+	for floor == 0 && time.Now().Before(deadline) {
+		f, err := client.Purge(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floor = f
+		time.Sleep(5 * time.Millisecond)
+	}
+	if floor == 0 {
+		t.Fatal("purge floor never advanced")
+	}
+	if got := c.PurgeFloor(); got != floor {
+		t.Fatalf("client floor %d != cluster floor %d", floor, got)
+	}
+
+	st, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PurgeFloor != floor {
+		t.Fatalf("status purge_floor = %d, want %d", st.PurgeFloor, floor)
+	}
+	for _, m := range st.Members {
+		if m.Role != "leader" {
+			continue
+		}
+		if m.FirstIndex <= 1 {
+			t.Fatalf("leader first_index = %d after purge to %d", m.FirstIndex, floor)
+		}
+		if m.BinlogBytes <= 0 || len(m.BinlogFiles) == 0 {
+			t.Fatalf("leader missing binlog inventory: %+v", m)
+		}
+		return
+	}
+	t.Fatal("no leader in status")
+}
+
 func TestStatusReportsDurability(t *testing.T) {
 	_, client := testStack(t)
 	if _, err := client.Write("user:1", "alice"); err != nil {

@@ -153,6 +153,14 @@ func (c *Client) FlushBinlogs() error {
 	return c.do(http.MethodPost, "/flush-binlogs", nil, nil)
 }
 
+// Purge runs one cluster purge round, retaining at least retain entries
+// below the log tail, and returns the purge floor after the round.
+func (c *Client) Purge(retain uint64) (uint64, error) {
+	var out map[string]uint64
+	err := c.do(http.MethodPost, "/purge", url.Values{"retain": {fmt.Sprint(retain)}}, &out)
+	return out["purge_floor"], err
+}
+
 // FixQuorum runs the Quorum Fixer remediation.
 func (c *Client) FixQuorum(allowDataLoss bool) (string, error) {
 	var out map[string]string

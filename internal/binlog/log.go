@@ -90,6 +90,7 @@ type Log struct {
 
 	firstIndex uint64 // lowest live entry index; 0 when the log is empty
 	lastOpID   opid.OpID
+	anchor     opid.OpID // snapshot anchor set by ResetTo; Zero when none
 	gtids      *gtid.Set // GTIDs of every entry ever appended (incl. purged)
 	offsets    map[uint64]entryLoc
 	seq        int // sequence number of the next file to create
@@ -126,8 +127,27 @@ func Open(opts Options) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
+	skipped := false
 	for _, name := range names {
-		if err := l.recoverFile(name); err != nil {
+		err := l.recoverFile(name)
+		if errors.Is(err, os.ErrNotExist) {
+			// A crash between a purge's file unlink and its index rewrite
+			// leaves the index listing files that are gone. The entries in
+			// them were purgeable by definition, so skip and re-persist the
+			// corrected index below.
+			skipped = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if l.lastOpID.Index < l.anchor.Index {
+		// Freshly reset log with no appends yet: the tail is the anchor.
+		l.lastOpID = l.anchor
+	}
+	if skipped && len(l.files) > 0 {
+		if err := l.writeIndexFileLocked(); err != nil {
 			return nil, err
 		}
 	}
@@ -230,6 +250,17 @@ func (l *Log) recoverFile(name string) error {
 				}
 				l.gtids.Union(prev)
 			}
+		}
+		pos += int64(n)
+	}
+	// Optional third header event: the snapshot anchor.
+	if ev, n, err := decodeEvent(data[pos:]); err == nil && ev != nil && ev.typ == EventSnapshotAnchor {
+		op, err := decodeAnchorBody(ev.body)
+		if err != nil {
+			return &ErrCorrupt{File: name, Offset: pos, Reason: err.Error()}
+		}
+		if l.anchor.Less(op) {
+			l.anchor = op
 		}
 		pos += int64(n)
 	}
@@ -346,6 +377,9 @@ func (l *Log) createFileLocked() error {
 	fd = append(fd, byte(formatVersion>>8), byte(formatVersion), byte(l.persona))
 	hdr = (&event{typ: EventFormatDesc, body: fd}).appendTo(hdr)
 	hdr = (&event{typ: EventPrevGTIDs, body: []byte(l.gtids.String())}).appendTo(hdr)
+	if !l.anchor.IsZero() {
+		hdr = (&event{typ: EventSnapshotAnchor, body: encodeAnchorBody(l.anchor)}).appendTo(hdr)
+	}
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return fmt.Errorf("binlog: write header: %w", err)
@@ -558,6 +592,10 @@ func (l *Log) Scan(from uint64, fn func(*Entry) bool) error {
 			}
 			pos += int64(n)
 		}
+		// Skip the optional snapshot-anchor header event.
+		if ev, n, err := decodeEvent(data[pos:]); err == nil && ev != nil && ev.typ == EventSnapshotAnchor {
+			pos += int64(n)
+		}
 		for {
 			e, n, err := readEntryAt(data, pos, fr.name)
 			if err != nil {
@@ -643,7 +681,7 @@ func (l *Log) TruncateAfter(index uint64) ([]*Entry, error) {
 		tail.lastIndex = index
 	} else if tail.firstIndex == 0 || index < tail.firstIndex {
 		// Everything in the tail file goes; cut back to its header.
-		newSize = headerSize(l.gtidsBeforeFileLocked(tail))
+		newSize = headerSize(l.gtidsBeforeFileLocked(tail), l.anchor)
 		tail.firstIndex = 0
 		tail.lastIndex = 0
 	}
@@ -653,6 +691,11 @@ func (l *Log) TruncateAfter(index uint64) ([]*Entry, error) {
 			return nil, err
 		}
 		newLast = e.OpID
+	}
+	if newLast.Index < l.anchor.Index {
+		// Truncating down to (or below) the snapshot anchor: the anchor is
+		// the floor the tail can never drop under.
+		newLast = l.anchor
 	}
 	if l.f != nil {
 		l.f.Close()
@@ -675,7 +718,9 @@ func (l *Log) TruncateAfter(index uint64) ([]*Entry, error) {
 	l.w = bufio.NewWriter(f)
 	l.dirty = true // truncation metadata must reach disk on the next Sync
 	l.lastOpID = newLast
-	if index == 0 {
+	if index < l.firstIndex {
+		// Every live entry was removed (truncate to 0, or back to the
+		// snapshot anchor): the log is empty again.
 		l.firstIndex = 0
 	}
 	return removed, l.writeIndexFileLocked()
@@ -721,12 +766,65 @@ func (l *Log) gtidsBeforeFileLocked(lf *logFile) *gtid.Set {
 }
 
 // headerSize returns the size of a file header carrying the given
-// previous-GTIDs set.
-func headerSize(prev *gtid.Set) int64 {
+// previous-GTIDs set (and, when anchor is non-zero, a snapshot-anchor
+// event).
+func headerSize(prev *gtid.Set, anchor opid.OpID) int64 {
 	n := int64(len(magic))
 	n += int64((&event{typ: EventFormatDesc, body: make([]byte, 3)}).encodedLen())
 	n += int64((&event{typ: EventPrevGTIDs, body: []byte(prev.String())}).encodedLen())
+	if !anchor.IsZero() {
+		n += int64((&event{typ: EventSnapshotAnchor, body: make([]byte, 16)}).encodedLen())
+	}
 	return n
+}
+
+// ResetTo discards every file and entry and re-creates the log as the
+// suffix of a snapshot installed at op: the new (empty) log is anchored
+// at op, the executed-GTID set becomes gtids, and the next Append must
+// carry index op.Index+1. This is the binlog half of a snapshot install
+// (§A.1): the purged prefix is not replayed, it is replaced. The reset
+// is synced to disk before returning.
+func (l *Log) ResetTo(op opid.OpID, gtids *gtid.Set) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w == nil {
+		return fmt.Errorf("binlog: log closed")
+	}
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	l.f.Close()
+	l.f = nil
+	l.w = nil
+	old := l.files
+	l.files = nil
+	l.active = nil
+	l.offsets = make(map[uint64]entryLoc)
+	l.firstIndex = 0
+	l.lastOpID = op
+	l.anchor = op
+	if gtids != nil {
+		l.gtids = gtids.Clone()
+	} else {
+		l.gtids = gtid.NewSet()
+	}
+	for _, f := range old {
+		if err := os.Remove(filepath.Join(l.dir, f.name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("binlog: reset remove %s: %w", f.name, err)
+		}
+	}
+	if err := l.createFileLocked(); err != nil {
+		return err
+	}
+	return l.syncLocked()
+}
+
+// Anchor returns the snapshot anchor the log was last reset to, or
+// opid.Zero when the log has never installed a snapshot.
+func (l *Log) Anchor() opid.OpID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.anchor
 }
 
 // PurgeTo deletes whole files whose entries all precede index. The active

@@ -4,8 +4,10 @@
 // network) through it while a read/write workload runs, and then
 // machine-checks the safety invariants the paper argues for — election
 // safety, log matching, durability of acknowledged writes across
-// crashes, GTID-set monotonicity on the MySQL substrate, and read
-// safety of the linearizable/lease read path.
+// crashes, GTID-set monotonicity on the MySQL substrate, read safety of
+// the linearizable/lease read path, and purge catch-up (a member
+// restarted after the purge floor passed it converges back to the
+// cluster GTID set through snapshot install).
 //
 // Everything randomized — the schedule, each member's transport fault
 // RNG, the network's jitter — is derived from Config.Seed, so a failing
@@ -148,6 +150,10 @@ type harness struct {
 	leaders    map[uint64]map[wire.NodeID]bool
 	acked      map[string]uint64
 	violations []string
+	// postPurgeRestarts records, per member, the cluster purge floor in
+	// force when the member was last restarted — the population the
+	// purge catch-up invariant judges at the end of the run.
+	postPurgeRestarts map[wire.NodeID]uint64
 
 	// GTID checker state, touched only by the sampler goroutine and the
 	// final checker (which runs after the sampler has stopped).
@@ -157,16 +163,17 @@ type harness struct {
 
 func newHarness(cfg Config) *harness {
 	return &harness{
-		cfg:         cfg,
-		stats:       newStats(),
-		faults:      make(map[wire.NodeID]*transport.Fault),
-		stores:      make(map[wire.NodeID]*logstore.Faulty),
-		skews:       make(map[wire.NodeID]*clock.Skewed),
-		epochs:      make(map[wire.NodeID]int),
-		leaders:     make(map[uint64]map[wire.NodeID]bool),
-		acked:       make(map[string]uint64),
-		gtids:       make(map[wire.NodeID]*gtidState),
-		appliedEver: gtid.NewSet(),
+		cfg:               cfg,
+		stats:             newStats(),
+		faults:            make(map[wire.NodeID]*transport.Fault),
+		stores:            make(map[wire.NodeID]*logstore.Faulty),
+		skews:             make(map[wire.NodeID]*clock.Skewed),
+		epochs:            make(map[wire.NodeID]int),
+		leaders:           make(map[uint64]map[wire.NodeID]bool),
+		acked:             make(map[string]uint64),
+		postPurgeRestarts: make(map[wire.NodeID]uint64),
+		gtids:             make(map[wire.NodeID]*gtidState),
+		appliedEver:       gtid.NewSet(),
 	}
 }
 
@@ -360,12 +367,13 @@ func Run(cfg Config) (*Report, error) {
 		if err := c.Restart(id); err != nil {
 			return nil, fmt.Errorf("chaos: final restart of %s: %w", id, err)
 		}
-		h.stats.Restarts.Inc()
+		h.noteRestart(id)
 	}
 
 	h.checkConvergence()
 	h.checkDurability()
 	h.checkGTIDFinal()
+	h.checkPurgeCatchup()
 	h.checkElectionSafety()
 	h.finalizeStats()
 
@@ -407,7 +415,7 @@ func (h *harness) apply(a Action) {
 			h.violatef("harness: restart %s: %v", a.Node, err)
 			return
 		}
-		h.stats.Restarts.Inc()
+		h.noteRestart(a.Node)
 	case ActPartition:
 		h.c.Net().Partition(a.Node, a.Peer)
 		h.stats.Partitions.Inc()
@@ -455,6 +463,26 @@ func (h *harness) apply(a Action) {
 			sk.SetOffset(a.Dur)
 			h.stats.SkewChanges.Inc()
 		}
+	case ActPurge:
+		// One purge-coordinator round; rounds without a leader or with
+		// nothing purgeable are legitimate no-ops under faults.
+		if floor, err := h.c.PurgeOnce(a.N); err == nil && floor > 0 {
+			h.stats.Purges.Inc()
+			h.cfg.logf("chaos: purge floor -> %d (budget %d)", floor, a.N)
+		}
+	}
+}
+
+// noteRestart records a recovery, and — when the cluster has already
+// purged history — marks the member for the purge catch-up check: its
+// on-disk log may now start below the cluster floor, so convergence must
+// come through snapshot install rather than log replay.
+func (h *harness) noteRestart(id wire.NodeID) {
+	h.stats.Restarts.Inc()
+	if floor := h.c.PurgeFloor(); floor > 0 {
+		h.mu.Lock()
+		h.postPurgeRestarts[id] = floor
+		h.mu.Unlock()
 	}
 }
 
@@ -638,12 +666,17 @@ func (h *harness) checkConvergence() {
 	var lastLog, lastEng string
 	for {
 		logOK := false
-		sums, err := h.c.LogChecksums(1)
+		// Under the bounded-log lifecycle the logs are windows, not
+		// prefixes: compare from the highest first-retained index so a
+		// snapshot-installed member's missing (purged) prefix is not
+		// mistaken for divergence.
+		from := h.c.LogCommonStart()
+		sums, err := h.c.LogChecksums(from)
 		if err == nil && len(sums) == len(members) {
 			logOK = allEqual(sums)
-			lastLog = fmt.Sprintf("%v", sums)
+			lastLog = fmt.Sprintf("from=%d %v", from, sums)
 		} else {
-			lastLog = fmt.Sprintf("%v (err=%v)", sums, err)
+			lastLog = fmt.Sprintf("from=%d %v (err=%v)", from, sums, err)
 		}
 		esums := h.c.EngineChecksums()
 		engOK := len(esums) > 0 && allEqual(esums)
@@ -750,6 +783,42 @@ func (h *harness) checkGTIDFinal() {
 	}
 }
 
+// checkPurgeCatchup is the purge catch-up invariant: every MySQL member
+// that was restarted after a purge floor was in force must still have
+// converged to the primary's executed GTID set — its purged prefix is
+// unreplayable, so only the snapshot path (or a log window still above
+// the floor) can have gotten it there, and neither is allowed to lose or
+// invent transactions.
+func (h *harness) checkPurgeCatchup() {
+	h.mu.Lock()
+	restarts := make(map[wire.NodeID]uint64, len(h.postPurgeRestarts))
+	for id, f := range h.postPurgeRestarts {
+		restarts[id] = f
+	}
+	h.mu.Unlock()
+	if len(restarts) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.ConvergeTimeout)
+	primary, err := h.c.AnyPrimary(ctx)
+	cancel()
+	if err != nil || primary.Server() == nil {
+		h.violatef("purge catch-up: no primary to judge against: %v", err)
+		return
+	}
+	ref := primary.Server().GTIDExecuted()
+	for id, floor := range restarts {
+		_, srv, ok := h.c.MySQLStack(id)
+		if !ok {
+			continue // logtailer or (impossibly) still down; GTID checks do not apply
+		}
+		if got := srv.GTIDExecuted(); !got.Equal(ref) {
+			h.violatef("purge catch-up: %s restarted under purge floor %d but its executed set %v never reconverged to the primary's %v",
+				id, floor, got, ref)
+		}
+	}
+}
+
 // checkElectionSafety asserts at most one member ever claimed
 // leadership of any term, from the role-change records the raft hook
 // captured.
@@ -770,7 +839,10 @@ func (h *harness) checkElectionSafety() {
 }
 
 // finalizeStats folds every transport fault wrapper's message counters
-// into the run stats.
+// into the run stats, plus the snapshot-transfer counters of each
+// member's final life (restarts reset a node's counters, so this is a
+// lower bound on transfer activity — enough to show the snapshot path
+// actually ran under purge faults).
 func (h *harness) finalizeStats() {
 	h.mu.Lock()
 	faults := append([]*transport.Fault(nil), h.faultsAll...)
@@ -781,6 +853,13 @@ func (h *harness) finalizeStats() {
 		h.stats.MsgDelayed.Add(st.Delayed)
 		h.stats.MsgDuplicated.Add(st.Duplicated)
 		h.stats.DropsPerLife.Observe(st.Dropped)
+	}
+	for _, m := range h.c.Members() {
+		if n := m.Node(); n != nil {
+			ss := n.SnapshotStats()
+			h.stats.SnapshotInstalls.Add(ss.Installs)
+			h.stats.SnapshotChunks.Add(ss.ChunksSent)
+		}
 	}
 }
 

@@ -49,6 +49,13 @@ const (
 	// ActSkew sets Node's wall-clock offset to Dur (possibly negative),
 	// stressing the lease read path.
 	ActSkew
+	// ActPurge runs one cluster purge round with retention budget N: the
+	// leader advances the purge floor and drives PURGE BINARY LOGS on
+	// every live member, so crashed members come back behind the floor
+	// and must catch up through snapshot install. The generator also
+	// composes this with crash/restart pairs to crash members mid
+	// snapshot transfer (the resumable-transfer stress).
+	ActPurge
 )
 
 func (k ActionKind) String() string {
@@ -79,14 +86,16 @@ func (k ActionKind) String() string {
 		return "fsync-fail"
 	case ActSkew:
 		return "skew"
+	case ActPurge:
+		return "purge"
 	default:
 		return fmt.Sprintf("action(%d)", int(k))
 	}
 }
 
 // Action is one timed fault: apply Kind to Node (and Peer for
-// partitions) At nanoseconds after the workload starts. P and Dur carry
-// the kind-specific probability and duration parameters.
+// partitions) At nanoseconds after the workload starts. P, Dur and N
+// carry the kind-specific probability, duration and count parameters.
 type Action struct {
 	At   time.Duration
 	Kind ActionKind
@@ -94,6 +103,8 @@ type Action struct {
 	Peer wire.NodeID
 	P    float64
 	Dur  time.Duration
+	// N is ActPurge's retention budget (entries kept below the tail).
+	N uint64
 }
 
 func (a Action) String() string {
@@ -107,6 +118,9 @@ func (a Action) String() string {
 	}
 	if a.Dur != 0 {
 		fmt.Fprintf(&b, " d=%s", a.Dur)
+	}
+	if a.N != 0 {
+		fmt.Fprintf(&b, " n=%d", a.N)
 	}
 	return b.String()
 }
@@ -175,7 +189,7 @@ func GenerateSchedule(cfg Config) Schedule {
 		if t >= cfg.Duration {
 			break
 		}
-		switch rng.Intn(16) {
+		switch rng.Intn(18) {
 		case 0: // crash, no scheduled recovery
 			if downCount(t) >= cfg.MaxDown {
 				continue
@@ -261,6 +275,35 @@ func GenerateSchedule(cfg Config) Schedule {
 			half := int64(cfg.maxClockSkew() / 2)
 			off := time.Duration(rng.Int63n(2*half+1) - half)
 			sched = append(sched, Action{At: t, Kind: ActSkew, Node: pick(up(nodes, t)), Dur: off})
+		case 16: // purge round with a small retention budget
+			sched = append(sched, Action{
+				At: t, Kind: ActPurge, N: uint64(4 + rng.Intn(24)),
+			})
+		case 17:
+			// Crash-while-snapshotting: crash a MySQL member, purge history
+			// past it while it is down, restart it (it comes back behind the
+			// floor, so the leader starts a snapshot transfer), then crash it
+			// again mid-transfer and recover it once more. The transfer must
+			// restart or resume idempotently.
+			alive := up(mysqls, t)
+			if downCount(t) >= cfg.MaxDown || len(alive) == 0 {
+				continue
+			}
+			id := pick(alive)
+			purgeAt := t + 30*time.Millisecond
+			restart1 := t + 60*time.Millisecond
+			crash2 := restart1 + 10*time.Millisecond + time.Duration(rng.Int63n(int64(30*time.Millisecond)))
+			restart2 := crash2 + 60*time.Millisecond
+			sched = append(sched,
+				Action{At: t, Kind: ActCrash, Node: id},
+				Action{At: purgeAt, Kind: ActPurge, N: uint64(2 + rng.Intn(8))},
+				Action{At: restart1, Kind: ActRestart, Node: id},
+				Action{At: crash2, Kind: ActCrash, Node: id},
+				Action{At: restart2, Kind: ActRestart, Node: id})
+			// Conservatively held down for the whole composite, so the
+			// generator's MaxDown accounting stays an upper bound on the
+			// replayed down-count at any instant.
+			downUntil[id] = restart2
 		}
 	}
 

@@ -22,6 +22,7 @@ type Stats struct {
 	FsyncStalls metrics.Counter
 	FsyncFails  metrics.Counter
 	SkewChanges metrics.Counter
+	Purges      metrics.Counter // purge rounds that actually advanced the floor
 
 	// Message-level effects, aggregated over every transport.Fault
 	// wrapper the run created (one per member life).
@@ -36,6 +37,11 @@ type Stats struct {
 	// Consensus churn observed through the raft role-change hook.
 	Elections   metrics.Counter // campaigns started
 	LeaderTerms metrics.Counter // distinct terms that produced a leader
+
+	// Snapshot catch-up activity (final member lives only; restarts
+	// reset a node's counters, so these are lower bounds).
+	SnapshotInstalls metrics.Counter
+	SnapshotChunks   metrics.Counter
 
 	// Workload.
 	Writes       metrics.Counter
@@ -58,13 +64,13 @@ func newStats() *Stats {
 // String renders the full per-run summary, one line per group.
 func (s *Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "faults   : crashes=%d restarts=%d partitions=%d net-heals=%d rules=%d fsync-stalls=%d fsync-fails=%d skews=%d\n",
+	fmt.Fprintf(&b, "faults   : crashes=%d restarts=%d partitions=%d net-heals=%d rules=%d fsync-stalls=%d fsync-fails=%d skews=%d purges=%d\n",
 		s.Crashes.Value(), s.Restarts.Value(), s.Partitions.Value(), s.NetHeals.Value(),
-		s.FaultRules.Value(), s.FsyncStalls.Value(), s.FsyncFails.Value(), s.SkewChanges.Value())
+		s.FaultRules.Value(), s.FsyncStalls.Value(), s.FsyncFails.Value(), s.SkewChanges.Value(), s.Purges.Value())
 	fmt.Fprintf(&b, "messages : dropped=%d delayed=%d duplicated=%d drops/life=%s\n",
 		s.MsgDropped.Value(), s.MsgDelayed.Value(), s.MsgDuplicated.Value(), s.DropsPerLife)
-	fmt.Fprintf(&b, "raft     : elections=%d leader-terms=%d\n",
-		s.Elections.Value(), s.LeaderTerms.Value())
+	fmt.Fprintf(&b, "raft     : elections=%d leader-terms=%d snapshot-installs=%d snapshot-chunks=%d\n",
+		s.Elections.Value(), s.LeaderTerms.Value(), s.SnapshotInstalls.Value(), s.SnapshotChunks.Value())
 	fmt.Fprintf(&b, "workload : writes=%d write-errs=%d reads=%d read-errs=%d lin=%d lease=%d fallbacks=%d write-latency=%s",
 		s.Writes.Value(), s.WriteErrors.Value(), s.Reads.Value(), s.ReadErrors.Value(),
 		s.LinReads.Value(), s.LeaseReads.Value(), s.FallbackObs.Value(), s.WriteLatency)

@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"myraft/internal/clock"
@@ -135,6 +136,11 @@ type Cluster struct {
 	mu      sync.RWMutex
 	members map[wire.NodeID]*Member
 
+	// purgeFloor is the last cluster-wide purge floor driven by the purge
+	// coordinator (retention.go): the first log index every member is asked
+	// to retain.
+	purgeFloor atomic.Uint64
+
 	// readMetrics is the shared read-path observability sink (readpath.go).
 	readMetrics *readpath.Metrics
 }
@@ -236,6 +242,10 @@ func (c *Cluster) startMember(m *Member) error {
 		m.server = srv
 		m.plug = plug
 		store, cb = plug, plug
+		// Snapshot catch-up: the plugin checkpoints the engine when this
+		// member leads, and installs received checkpoints when it lags.
+		rcfg.SnapshotProvider = plug
+		rcfg.SnapshotSink = plug
 	case KindLogtailer:
 		lt, err := logtailer.New(m.Spec.ID, m.dir)
 		if err != nil {
@@ -243,6 +253,9 @@ func (c *Cluster) startMember(m *Member) error {
 		}
 		m.tailer = lt
 		store, cb = lt.LogStore(), lt
+		// A witness has no engine to checkpoint, so it can only be a
+		// snapshot target: installing resets its log at the anchor.
+		rcfg.SnapshotSink = lt
 	default:
 		return fmt.Errorf("cluster: unknown member kind %d", m.Spec.Kind)
 	}
@@ -577,6 +590,43 @@ func (c *Cluster) EngineChecksums() map[wire.NodeID]uint32 {
 		}
 	}
 	return out
+}
+
+// LogCommonStart returns the lowest index at which every live member's
+// log can be compared: the maximum across members of the first index each
+// one still retains (anchor+1 for a member whose log was reset by a
+// snapshot install, since nothing below the anchor exists there). Under
+// the bounded-log lifecycle, log-equality invariants must start here —
+// comparing from index 1 would mix purged and retained prefixes.
+func (c *Cluster) LogCommonStart() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	from := uint64(1)
+	for _, m := range c.members {
+		if m.down {
+			continue
+		}
+		var first, anchor uint64
+		switch {
+		case m.server != nil:
+			first = m.server.Log().FirstIndex()
+			anchor = m.server.Log().Anchor().Index
+		case m.tailer != nil:
+			first = m.tailer.Log().FirstIndex()
+			anchor = m.tailer.Log().Anchor().Index
+		default:
+			continue
+		}
+		if first == 0 {
+			// Empty log: entries begin just above the anchor (index 1 when
+			// the member has never installed a snapshot).
+			first = anchor + 1
+		}
+		if first > from {
+			from = first
+		}
+	}
+	return from
 }
 
 // LogChecksums returns per-member replicated-log checksums starting at

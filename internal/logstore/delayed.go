@@ -62,6 +62,15 @@ func (d Delayed) Sync() error {
 	return d.Inner.Sync()
 }
 
+// SnapshotAnchor forwards the inner store's snapshot anchor when it has
+// one, so wrapping does not hide the snapshot boundary from raft.
+func (d Delayed) SnapshotAnchor() opid.OpID {
+	if a, ok := d.Inner.(interface{ SnapshotAnchor() opid.OpID }); ok {
+		return a.SnapshotAnchor()
+	}
+	return opid.Zero
+}
+
 // ScanFrom forwards to the inner store's sequential scan when it has
 // one, falling back to per-entry reads otherwise, so wrapping does not
 // hide the fast recovery path.

@@ -165,6 +165,15 @@ func (f *Faulty) TruncateAfter(index uint64) ([]*wire.LogEntry, error) {
 	return cut, err
 }
 
+// SnapshotAnchor forwards the inner store's snapshot anchor when it has
+// one, so wrapping does not hide the snapshot boundary from raft.
+func (f *Faulty) SnapshotAnchor() opid.OpID {
+	if a, ok := f.inner.(interface{ SnapshotAnchor() opid.OpID }); ok {
+		return a.SnapshotAnchor()
+	}
+	return opid.Zero
+}
+
 // ScanFrom forwards to the inner store's sequential scan when it has one,
 // falling back to per-entry reads, so wrapping does not hide the fast
 // recovery path.

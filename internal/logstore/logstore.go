@@ -81,3 +81,14 @@ func (s BinlogStore) ScanFrom(from uint64, fn func(*wire.LogEntry) bool) error {
 		return fn(ToWireEntry(be))
 	})
 }
+
+// SnapshotAnchor exposes the log's snapshot anchor (opid.Zero when the
+// log never installed a snapshot). The raft node reads it at startup so
+// the consistency check at the snapshot boundary keeps working after a
+// restart.
+func (s BinlogStore) SnapshotAnchor() opid.OpID { return s.Log.Anchor() }
+
+// PurgeTo drops whole log files whose entries precede index (never the
+// active file). The cluster purge coordinator drives it on log-only
+// members; MySQL members purge through mysql.Server.PurgeLogsTo.
+func (s BinlogStore) PurgeTo(index uint64) error { return s.Log.PurgeTo(index) }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"myraft/internal/binlog"
+	"myraft/internal/gtid"
 	"myraft/internal/logstore"
 	"myraft/internal/raft"
 	"myraft/internal/wire"
@@ -142,10 +143,25 @@ func (lt *Logtailer) OnCommitAdvance(uint64) {}
 // OnMembershipChange implements raft.Callbacks.
 func (lt *Logtailer) OnMembershipChange(wire.Config) {}
 
+// InstallSnapshot implements raft.SnapshotSink. A logtailer has no
+// storage engine, so installing a snapshot is just resetting the log to
+// an empty suffix at the anchor; the engine checkpoint payload is
+// discarded.
+func (lt *Logtailer) InstallSnapshot(s *raft.Snapshot) error {
+	set, err := gtid.ParseSet(s.GTIDSet)
+	if err != nil {
+		return fmt.Errorf("logtailer: install snapshot: %w", err)
+	}
+	return lt.log.ResetTo(s.Anchor, set)
+}
+
 // Crash simulates a process crash (torn log tail).
 func (lt *Logtailer) Crash() { lt.log.Crash() }
 
 // Close shuts the logtailer down cleanly.
 func (lt *Logtailer) Close() error { return lt.log.Close() }
 
-var _ raft.Callbacks = (*Logtailer)(nil)
+var (
+	_ raft.Callbacks    = (*Logtailer)(nil)
+	_ raft.SnapshotSink = (*Logtailer)(nil)
+)

@@ -269,8 +269,105 @@ func (s *Server) FlushBinaryLogs(ctx context.Context) error {
 
 // PurgeLogsTo deletes log files wholly below index. The plugin gates the
 // index on Raft's region watermarks so out-of-region laggards can still
-// fetch history (§A.1).
-func (s *Server) PurgeLogsTo(index uint64) error { return s.log.PurgeTo(index) }
+// fetch history (§A.1). The index is additionally clamped to this
+// member's own safe bound: nothing at or above the applier's applied
+// position or the consensus commit marker is ever purged, so an
+// over-eager purge coordinator (or operator) cannot delete entries this
+// member still needs to replay. Clamping rather than erroring lets the
+// cluster-wide purge protocol drive every member with one floor; each
+// member purges as much of it as is locally safe.
+func (s *Server) PurgeLogsTo(index uint64) error {
+	if limit := s.safePurgeLimit(); index > limit {
+		index = limit
+	}
+	return s.log.PurgeTo(index)
+}
+
+// safePurgeLimit is the highest index PurgeLogsTo may forward to the log.
+// PurgeTo(i) removes entries strictly below i, so the limit is one past
+// the newest entry that is both applied to the engine and consensus
+// committed: min(applied, commitIndex) + 1.
+func (s *Server) safePurgeLimit() uint64 {
+	applied := s.applier.lastApplied()
+	// On a primary the applier is stopped and pipeline stage 3 commits
+	// directly to the engine; the engine cursor is then the live one.
+	if ec := s.engine.LastCommitted().Index; ec > applied {
+		applied = ec
+	}
+	limit := applied
+	s.mu.Lock()
+	repl := s.repl
+	s.mu.Unlock()
+	if repl != nil {
+		if ci := repl.CommitIndex(); ci < limit {
+			limit = ci
+		}
+	}
+	return limit + 1
+}
+
+// Checkpoint serializes a consistent engine checkpoint for snapshot
+// transfer: the committed row state, the OpID it is current through, and
+// the executed-GTID set at exactly that position. config is the encoded
+// replication membership to embed (the installer may have purged every
+// config entry from its log). It returns the checkpoint bytes, the
+// anchor OpID and the anchor GTID set.
+func (s *Server) Checkpoint(config []byte) ([]byte, opid.OpID, string, error) {
+	rows, op := s.engine.CheckpointRows()
+	// The log's executed set covers its tail, which may be ahead of the
+	// engine; strip GTIDs of entries after the checkpoint's applied
+	// position so the set matches the row state. The tail is read after
+	// the clone, so every post-anchor GTID in the clone is visited.
+	set := s.log.GTIDSet().Clone()
+	tail := s.log.LastOpID().Index
+	for i := op.Index + 1; i <= tail; i++ {
+		e, err := s.log.Entry(i)
+		if err != nil {
+			return nil, opid.Zero, "", fmt.Errorf("mysql: checkpoint gtid walk at %d: %w", i, err)
+		}
+		if e.HasGTID {
+			set.Remove(e.GTID)
+		}
+	}
+	cp := &storage.Checkpoint{AppliedOp: op, GTIDSet: set.String(), Config: config, Rows: rows}
+	return cp.Encode(), op, cp.GTIDSet, nil
+}
+
+// InstallCheckpoint replaces this server's entire state with a received
+// engine checkpoint: the applier is quiesced, the engine atomically
+// swaps to the checkpoint's rows, and the log is reset to an empty
+// suffix anchored at the checkpoint's applied OpID. Engine first, then
+// log — a crash between the two leaves a log behind the engine cursor,
+// which the next snapshot transfer simply re-installs over.
+func (s *Server) InstallCheckpoint(data []byte, anchor opid.OpID, gtidSet string) error {
+	cp, err := storage.DecodeCheckpoint(data)
+	if err != nil {
+		return fmt.Errorf("mysql: install checkpoint: %w", err)
+	}
+	if cp.AppliedOp != anchor {
+		return fmt.Errorf("mysql: checkpoint applied op %v does not match snapshot anchor %v", cp.AppliedOp, anchor)
+	}
+	set, err := gtid.ParseSet(gtidSet)
+	if err != nil {
+		return fmt.Errorf("mysql: install checkpoint gtids: %w", err)
+	}
+	// Quiesce the applier so it cannot race the swap; it restarts
+	// positioned from the engine's new cursor (the anchor).
+	wasRunning := s.applier.isRunning()
+	s.applier.stop()
+	defer func() {
+		if wasRunning {
+			s.applier.start()
+		}
+	}()
+	if err := s.engine.InstallCheckpoint(cp); err != nil {
+		return fmt.Errorf("mysql: install checkpoint engine: %w", err)
+	}
+	if err := s.log.ResetTo(anchor, set); err != nil {
+		return fmt.Errorf("mysql: install checkpoint log reset: %w", err)
+	}
+	return nil
+}
 
 // --- role orchestration (driven by the plugin's Raft callbacks, §3.3) ---
 

@@ -235,6 +235,34 @@ func (p *Plugin) CommitIndex() uint64 {
 	return n.CommitIndex()
 }
 
+// --- raft.SnapshotProvider / raft.SnapshotSink: snapshot catch-up ---
+
+// Snapshot implements raft.SnapshotProvider: it serializes a consistent
+// engine checkpoint for streaming to a member whose log position fell
+// below the purge floor. Raft calls it off the event loop and caches the
+// result, so one checkpoint serves every catching-up peer.
+func (p *Plugin) Snapshot() (*raft.Snapshot, error) {
+	n := p.Node()
+	if n == nil {
+		return nil, fmt.Errorf("plugin: no raft node attached")
+	}
+	cfg := n.Status().Config
+	data, anchor, gtids, err := p.server.Checkpoint(wire.EncodeConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	if anchor.IsZero() {
+		return nil, fmt.Errorf("plugin: engine has no committed state to snapshot")
+	}
+	return &raft.Snapshot{Anchor: anchor, GTIDSet: gtids, Config: cfg, Data: data}, nil
+}
+
+// InstallSnapshot implements raft.SnapshotSink: replace the engine state
+// with the received checkpoint and reset the binlog at its anchor.
+func (p *Plugin) InstallSnapshot(s *raft.Snapshot) error {
+	return p.server.InstallCheckpoint(s.Data, s.Anchor, s.GTIDSet)
+}
+
 // PurgeSafely purges binlog files below the minimum region watermark, the
 // heuristic of §A.1 that prevents purging entries a lagging out-of-region
 // member might still request.
@@ -291,7 +319,9 @@ func (p *Plugin) RunLogMaintenance(ctx context.Context, interval time.Duration, 
 
 // Interface conformance checks.
 var (
-	_ raft.LogStore    = (*Plugin)(nil)
-	_ raft.Callbacks   = (*Plugin)(nil)
-	_ mysql.Replicator = (*Plugin)(nil)
+	_ raft.LogStore         = (*Plugin)(nil)
+	_ raft.Callbacks        = (*Plugin)(nil)
+	_ mysql.Replicator      = (*Plugin)(nil)
+	_ raft.SnapshotProvider = (*Plugin)(nil)
+	_ raft.SnapshotSink     = (*Plugin)(nil)
 )

@@ -34,14 +34,25 @@ type Options struct {
 	Timeout time.Duration
 }
 
+// LogBounds is one surveyed member's retained log range. Under the
+// bounded-log lifecycle a log is a window, not a prefix: First is the
+// lowest index still on disk (anchor+1 for a snapshot-installed member)
+// and Last is the tail. Both matter for choosing a leader — Last decides
+// election safety, First decides who the new leader can repair by log
+// replay alone.
+type LogBounds struct {
+	First uint64
+	Last  opid.OpID
+}
+
 // Report describes what the fixer did.
 type Report struct {
 	// Chosen is the entity promoted to leader.
 	Chosen wire.NodeID
 	// ChosenOpID is its log tail at selection time.
 	ChosenOpID opid.OpID
-	// Surveyed maps each healthy member to its log tail.
-	Surveyed map[wire.NodeID]opid.OpID
+	// Surveyed maps each healthy member to its retained log range.
+	Surveyed map[wire.NodeID]LogBounds
 }
 
 // forced is the relaxed election quorum: any self-vote wins. Data commits
@@ -71,10 +82,10 @@ func Fix(ctx context.Context, c *cluster.Cluster, opts Options) (*Report, error)
 	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
 	defer cancel()
 
-	// Step 1+2: out-of-band survey of log tails.
-	report := &Report{Surveyed: make(map[wire.NodeID]opid.OpID)}
+	// Step 1+2: out-of-band survey of retained log ranges.
+	report := &Report{Surveyed: make(map[wire.NodeID]LogBounds)}
 	var chosen *cluster.Member
-	var chosenOp opid.OpID
+	var chosenBounds LogBounds
 	var longest opid.OpID
 	for _, m := range c.Members() {
 		if m.IsDown() || m.Node() == nil {
@@ -84,32 +95,60 @@ func Fix(ctx context.Context, c *cluster.Cluster, opts Options) (*Report, error)
 		if st.Role == raft.RoleLeader {
 			return nil, fmt.Errorf("quorumfixer: %s is already leader; ring not shattered", m.Spec.ID)
 		}
-		report.Surveyed[m.Spec.ID] = st.LastOpID
-		if longest.Less(st.LastOpID) {
-			longest = st.LastOpID
+		first := st.FirstIndex
+		if first == 0 {
+			first = st.SnapshotAnchor.Index + 1
 		}
-		// Prefer MySQL members as the next leader; a logtailer would
-		// immediately transfer away, adding a hop.
-		better := chosen == nil ||
-			chosenOp.Less(st.LastOpID) ||
-			(chosenOp == st.LastOpID && chosen.Spec.Kind == cluster.KindLogtailer && m.Spec.Kind == cluster.KindMySQL)
-		if m.Spec.Kind == cluster.KindLogtailer && chosen != nil && chosen.Spec.Kind == cluster.KindMySQL && !chosenOp.Less(st.LastOpID) {
+		b := LogBounds{First: first, Last: st.LastOpID}
+		report.Surveyed[m.Spec.ID] = b
+		if longest.Less(b.Last) {
+			longest = b.Last
+		}
+		// Longest tail wins. On equal tails, prefer MySQL members (a
+		// logtailer would immediately transfer away, adding a hop), then
+		// the deepest retained history: a leader with a lower FirstIndex
+		// can repair more of the ring by log replay instead of snapshot.
+		var better bool
+		switch {
+		case chosen == nil:
+			better = true
+		case chosenBounds.Last.Less(b.Last):
+			better = true
+		case b.Last.Less(chosenBounds.Last):
 			better = false
+		case chosen.Spec.Kind == cluster.KindLogtailer && m.Spec.Kind == cluster.KindMySQL:
+			better = true
+		case chosen.Spec.Kind == m.Spec.Kind && b.First < chosenBounds.First:
+			better = true
 		}
 		if better {
 			chosen = m
-			chosenOp = st.LastOpID
+			chosenBounds = b
 		}
 	}
 	if chosen == nil {
 		return nil, fmt.Errorf("quorumfixer: no healthy members")
 	}
-	if chosenOp.Less(longest) && !opts.AllowDataLoss {
+	if chosenBounds.Last.Less(longest) && !opts.AllowDataLoss {
 		return nil, fmt.Errorf("quorumfixer: chosen %s (log %v) trails longest log %v; rerun with AllowDataLoss to accept loss",
-			chosen.Spec.ID, chosenOp, longest)
+			chosen.Spec.ID, chosenBounds.Last, longest)
+	}
+	// A witness leader has no engine to checkpoint, so it can only repair
+	// members whose tail reaches its first retained entry. Electing it
+	// would permanently orphan anyone below that line.
+	if chosen.Spec.Kind == cluster.KindLogtailer && !opts.AllowDataLoss {
+		for id, b := range report.Surveyed {
+			if id == chosen.Spec.ID {
+				continue
+			}
+			if b.Last.Index+1 < chosenBounds.First {
+				return nil, fmt.Errorf("quorumfixer: chosen witness %s retains only [%d..] and cannot repair %s (tail %v); rerun with AllowDataLoss to accept loss",
+					chosen.Spec.ID, chosenBounds.First, id, b.Last)
+			}
+		}
 	}
 	report.Chosen = chosen.Spec.ID
-	report.ChosenOpID = chosenOp
+	report.ChosenOpID = chosenBounds.Last
 
 	// Step 3: override the quorum and force an election.
 	node := chosen.Node()

@@ -178,6 +178,24 @@ func (c *entryCache) truncateAfter(index uint64) {
 	c.last = index
 }
 
+// dropBelow evicts every cached entry with index < floor. The purge
+// coordinator calls it (via Node.NotePurged) so the cache never answers
+// for entries the log no longer retains — a lagging peer below the floor
+// must take the snapshot path, not be silently served from memory.
+func (c *entryCache) dropBelow(floor uint64) {
+	if c.first == 0 || floor <= c.first {
+		return
+	}
+	if floor > c.last {
+		c.reset()
+		return
+	}
+	for i := c.first; i < floor; i++ {
+		delete(c.entries, i)
+	}
+	c.first = floor
+}
+
 func (c *entryCache) reset() {
 	c.entries = make(map[uint64]*cachedEntry)
 	c.first, c.last = 0, 0

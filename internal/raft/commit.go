@@ -1,0 +1,189 @@
+package raft
+
+// commit.go is the log-append and commit pipeline: local appends through
+// the async writer, tail truncation, the commit marker, and the blocking
+// Propose/WaitCommitted API the mysql commit pipeline drives (§3.4).
+
+import (
+	"context"
+
+	"myraft/internal/gtid"
+	"myraft/internal/opid"
+	"myraft/internal/wire"
+)
+
+// commitWaiter is a pipeline thread blocked in the "wait for Raft
+// consensus commit" stage (§3.4).
+type commitWaiter struct {
+	index uint64
+	ch    chan error
+}
+
+// appendLocal hands an entry to the off-loop log writer (which appends it
+// via the plugin, §3.2, and covers it with a group fsync) and updates the
+// in-memory tail/cache/membership bookkeeping immediately. The entry is
+// replicatable and electable at once, but is not acked — by a follower's
+// MatchIndex or the leader's own commit vote — until the writer reports
+// it durable (durability.go).
+func (n *Node) appendLocal(e *wire.LogEntry) error {
+	if err := n.writer.enqueue(e); err != nil {
+		return err
+	}
+	n.lastOpID = e.OpID
+	if n.firstIndex == 0 {
+		n.firstIndex = e.OpID.Index
+	}
+	n.cache.add(e)
+	if e.Kind == entryConfigKind {
+		cfg, err := wire.DecodeConfig(e.Payload)
+		if err == nil {
+			n.applyConfig(e.OpID.Index, cfg)
+		}
+	}
+	return nil
+}
+
+// truncateTo removes log entries after index, rolling back membership if
+// config entries were cut, and informs the plugin so GTIDs can be removed
+// from all metadata (§3.3 demotion step 4).
+func (n *Node) truncateTo(index uint64) error {
+	// Queued appends must land before the tail is cut, and the writer's
+	// cursors (plus this node's durable vote) must be clamped so stale
+	// in-flight state never resurrects truncated indexes.
+	if err := n.writer.drainAppends(); err != nil {
+		return err
+	}
+	if _, err := n.log.TruncateAfter(index); err != nil {
+		return err
+	}
+	n.writer.truncate(index)
+	if n.selfMatch > index {
+		n.selfMatch = index
+	}
+	n.failDurableWaitersAbove(index)
+	n.cache.truncateAfter(index)
+	for len(n.confHistory) > 1 && n.confHistory[len(n.confHistory)-1].index > index {
+		n.confHistory = n.confHistory[:len(n.confHistory)-1]
+	}
+	n.members = n.confHistory[len(n.confHistory)-1].cfg.Clone()
+	n.lastOpID = n.log.LastOpID()
+	n.firstIndex = n.log.FirstIndex()
+	return nil
+}
+
+// failWaiters aborts every blocked commit wait with err.
+func (n *Node) failWaiters(err error) {
+	for _, w := range n.waiters {
+		w.ch <- err
+	}
+	n.waiters = nil
+}
+
+// notifyWaiters completes commit waits up to the new commit index.
+func (n *Node) notifyWaiters() {
+	if len(n.waiters) == 0 {
+		return
+	}
+	kept := n.waiters[:0]
+	for _, w := range n.waiters {
+		if w.index <= n.commitIndex {
+			w.ch <- nil
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	n.waiters = kept
+}
+
+// setCommitIndex advances the commit marker and fans out notifications.
+func (n *Node) setCommitIndex(index uint64) {
+	if index <= n.commitIndex {
+		return
+	}
+	n.commitIndex = index
+	n.notifyWaiters()
+	n.completeReadWaiters()
+	go n.cb.OnCommitAdvance(index)
+}
+
+// Propose appends a client transaction to the replicated log. It returns
+// the assigned OpID; the caller then blocks in WaitCommitted (stage 2 of
+// the commit pipeline, §3.4). Only the leader accepts proposals.
+func (n *Node) Propose(payload []byte, g gtid.GTID, hasGTID bool) (opid.OpID, error) {
+	return n.propose(payload, g, hasGTID, entryNormalKind)
+}
+
+// ProposeRotate replicates a log-rotation marker (FLUSH BINARY LOGS,
+// §A.1).
+func (n *Node) ProposeRotate() (opid.OpID, error) {
+	return n.propose(nil, gtid.GTID{}, false, entryRotateKind)
+}
+
+func (n *Node) propose(payload []byte, g gtid.GTID, hasGTID bool, kind int) (opid.OpID, error) {
+	var op opid.OpID
+	var perr error
+	err := n.post(func() {
+		if n.role != RoleLeader {
+			perr = ErrNotLeader
+			return
+		}
+		if n.transfer != nil && n.transfer.stage >= transferCatchup {
+			perr = ErrQuiesced
+			return
+		}
+		e := &wire.LogEntry{
+			OpID:    opid.OpID{Term: n.term, Index: n.lastOpID.Index + 1},
+			Kind:    wire.EntryType(kind),
+			HasGTID: hasGTID,
+			GTID:    g,
+			Payload: payload,
+		}
+		if perr = n.appendLocal(e); perr != nil {
+			return
+		}
+		op = e.OpID
+		n.advanceLeaderCommit()
+		n.needsBroadcast = true
+	})
+	if err != nil {
+		return opid.Zero, err
+	}
+	return op, perr
+}
+
+// WaitCommitted blocks until the given index is consensus committed, the
+// node loses leadership/stops, or the context is done.
+func (n *Node) WaitCommitted(ctx context.Context, index uint64) error {
+	ch := make(chan error, 1)
+	err := n.post(func() {
+		if index <= n.commitIndex {
+			ch <- nil
+			return
+		}
+		// Only a leader can drive an uncommitted index to commit. A
+		// waiter registered after losing leadership (the proposal raced
+		// with a demotion) would hang forever: the demotion's waiter
+		// flush already ran.
+		if n.role != RoleLeader {
+			ch <- ErrLeadershipLost
+			return
+		}
+		n.waiters = append(n.waiters, commitWaiter{index: index, ch: ch})
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CommitIndex returns the current consensus commit marker.
+func (n *Node) CommitIndex() uint64 {
+	var idx uint64
+	n.post(func() { idx = n.commitIndex })
+	return idx
+}

@@ -1,13 +1,11 @@
 package raft
 
 import (
-	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"myraft/internal/clock"
-	"myraft/internal/gtid"
 	"myraft/internal/opid"
 	"myraft/internal/quorum"
 	"myraft/internal/transport"
@@ -23,17 +21,15 @@ type peerState struct {
 	match   uint64 // highest index known replicated
 	lastAck time.Time
 	ackSeq  uint64 // newest heartbeat round this peer has echoed (lease.go)
+	// Snapshot catch-up transfer cursor (snapshot.go): while snapPending,
+	// the peer receives checkpoint chunks instead of AppendEntries.
+	snapPending bool
+	snapOffset  uint64
+	snapAnchor  opid.OpID
 	// scratch is the reusable entry buffer for sendAppend: building each
 	// (re)send into a fresh slice allocated per message was measurable on
 	// the hot path.
 	scratch []wire.LogEntry
-}
-
-// commitWaiter is a pipeline thread blocked in the "wait for Raft
-// consensus commit" stage (§3.4).
-type commitWaiter struct {
-	index uint64
-	ch    chan error
 }
 
 // pendingProxy is a proxied AppendEntries whose payload the final proxy
@@ -42,13 +38,6 @@ type pendingProxy struct {
 	req      *wire.AppendEntriesReq
 	nextHop  wire.NodeID
 	deadline time.Time
-}
-
-// confVersion is one point in the membership history, used to roll the
-// active config back when a config entry is truncated.
-type confVersion struct {
-	index uint64
-	cfg   wire.Config
 }
 
 // Node is a MyRaft consensus participant.
@@ -96,6 +85,16 @@ type Node struct {
 	durableWaiters []commitWaiter
 	pendingAck     *durableAck
 
+	// Snapshot catch-up state (snapshot.go): snapOp is the anchor the log
+	// was last reset to (termAt answers for it even though no entry exists
+	// at that index); snapCache/snapFetching are the leader's cached
+	// provider checkpoint; snapRecv is the follower's receive buffer.
+	snapOp       opid.OpID
+	snapCache    *Snapshot
+	snapFetching bool
+	snapRecv     snapRecvState
+	snapMet      snapMetrics
+
 	electionDeadline time.Time
 	noOpIndex        uint64 // index of this leadership's No-Op entry
 	needsBroadcast   bool   // coalesces broadcasts across queued proposals
@@ -135,23 +134,6 @@ type mockState struct {
 	reason    string
 	deadline  time.Time
 	intersect map[wire.Region]bool
-}
-
-// transferStage sequences a graceful TransferLeadership.
-type transferStage int
-
-const (
-	transferMock    transferStage = iota // waiting for the mock election result
-	transferCatchup                      // quiesced, waiting for the target to match the tail
-	transferFired                        // StartElection sent
-)
-
-// transferState tracks the leader side of a graceful transfer.
-type transferState struct {
-	target   wire.NodeID
-	stage    transferStage
-	deadline time.Time
-	resp     chan error
 }
 
 // NewNode creates a node. Call Start to boot it.
@@ -210,6 +192,12 @@ func (n *Node) Start(bootstrap wire.Config) error {
 	n.confHistory = []confVersion{{index: 0, cfg: n.members.Clone()}}
 	n.lastOpID = n.log.LastOpID()
 	n.firstIndex = n.log.FirstIndex()
+	// Recover the snapshot anchor from stores that persist one (the
+	// binlog): after a restart the consistency check at the snapshot
+	// boundary must keep answering for the anchor's term.
+	if a, ok := n.log.(interface{ SnapshotAnchor() opid.OpID }); ok {
+		n.snapOp = a.SnapshotAnchor()
+	}
 	// The current term can never trail the log tail's term. This matters
 	// when adopting a log produced outside Raft (the enable-raft rollout
 	// imports semi-sync binlogs whose entries carry promotion eras).
@@ -397,18 +385,6 @@ func (n *Node) resetElectionDeadline() {
 	n.electionDeadline = n.clk.Now().Add(base + jitter + n.cfg.ElectionTimeoutBias)
 }
 
-func (n *Node) isVoter(id wire.NodeID) bool {
-	m, ok := n.members.Find(id)
-	return ok && m.Voter
-}
-
-func (n *Node) regionOf(id wire.NodeID) wire.Region {
-	if m, ok := n.members.Find(id); ok {
-		return m.Region
-	}
-	return ""
-}
-
 func (n *Node) strategy() quorum.Strategy {
 	if n.override != nil {
 		return n.override
@@ -428,6 +404,11 @@ func (n *Node) persistHardState() {
 func (n *Node) termAt(index uint64) (uint64, bool) {
 	if index == 0 {
 		return 0, true
+	}
+	if index == n.snapOp.Index {
+		// The snapshot boundary: no entry exists at the anchor index, but
+		// the install recorded its term (snapshot.go).
+		return n.snapOp.Term, true
 	}
 	if t, ok := n.cache.termAt(index); ok {
 		return t, true
@@ -507,6 +488,10 @@ func (n *Node) handleMessage(env transport.Envelope) {
 		n.handleStartElection(msg)
 	case *wire.MockElectionResult:
 		n.handleMockResult(msg)
+	case *wire.InstallSnapshotReq:
+		n.handleSnapshotReq(msg)
+	case *wire.InstallSnapshotResp:
+		n.handleSnapshotResp(msg)
 	}
 }
 
@@ -531,6 +516,7 @@ func (n *Node) becomeFollower(term uint64, leader wire.NodeID) {
 		n.failReadWaiters(ErrLeadershipLost)
 		n.resetReadState()
 		n.peers = make(map[wire.NodeID]*peerState)
+		n.snapCache = nil // per-leadership; an in-flight fetch self-voids
 		term := n.term
 		go n.cb.OnDemote(term)
 	}
@@ -546,7 +532,8 @@ func (n *Node) becomeLeader() {
 	n.lastLeaderRegion = n.cfg.Region
 	n.lastLeaderTerm = n.term
 	n.campaign = nil
-	n.pendingAck = nil // any owed follower durability ack is void now
+	n.pendingAck = nil           // any owed follower durability ack is void now
+	n.snapRecv = snapRecvState{} // a half-received snapshot is void now
 	n.peers = make(map[wire.NodeID]*peerState)
 	now := n.clk.Now()
 	for _, m := range n.members.Members {
@@ -575,218 +562,24 @@ func (n *Node) becomeLeader() {
 	go n.cb.OnPromote(info)
 }
 
-// appendLocal hands an entry to the off-loop log writer (which appends it
-// via the plugin, §3.2, and covers it with a group fsync) and updates the
-// in-memory tail/cache/membership bookkeeping immediately. The entry is
-// replicatable and electable at once, but is not acked — by a follower's
-// MatchIndex or the leader's own commit vote — until the writer reports
-// it durable (durability.go).
-func (n *Node) appendLocal(e *wire.LogEntry) error {
-	if err := n.writer.enqueue(e); err != nil {
-		return err
-	}
-	n.lastOpID = e.OpID
-	if n.firstIndex == 0 {
-		n.firstIndex = e.OpID.Index
-	}
-	n.cache.add(e)
-	if e.Kind == entryConfigKind {
-		cfg, err := wire.DecodeConfig(e.Payload)
-		if err == nil {
-			n.applyConfig(e.OpID.Index, cfg)
-		}
-	}
-	return nil
-}
-
-// applyConfig activates a membership (effective as soon as written,
-// §2.2) and records it for truncation rollback.
-func (n *Node) applyConfig(index uint64, cfg wire.Config) {
-	n.members = cfg.Clone()
-	n.confHistory = append(n.confHistory, confVersion{index: index, cfg: cfg.Clone()})
-	if n.role == RoleLeader {
-		now := n.clk.Now()
-		for _, m := range cfg.Members {
-			if m.ID == n.cfg.ID {
-				continue
-			}
-			if _, ok := n.peers[m.ID]; !ok {
-				n.peers[m.ID] = &peerState{next: n.lastOpID.Index + 1, lastAck: now}
-			}
-		}
-		for id := range n.peers {
-			if _, ok := cfg.Find(id); !ok {
-				delete(n.peers, id)
-			}
-		}
-	}
-	cb := cfg.Clone()
-	go n.cb.OnMembershipChange(cb)
-}
-
-// truncateTo removes log entries after index, rolling back membership if
-// config entries were cut, and informs the plugin so GTIDs can be removed
-// from all metadata (§3.3 demotion step 4).
-func (n *Node) truncateTo(index uint64) error {
-	// Queued appends must land before the tail is cut, and the writer's
-	// cursors (plus this node's durable vote) must be clamped so stale
-	// in-flight state never resurrects truncated indexes.
-	if err := n.writer.drainAppends(); err != nil {
-		return err
-	}
-	if _, err := n.log.TruncateAfter(index); err != nil {
-		return err
-	}
-	n.writer.truncate(index)
-	if n.selfMatch > index {
-		n.selfMatch = index
-	}
-	n.failDurableWaitersAbove(index)
-	n.cache.truncateAfter(index)
-	for len(n.confHistory) > 1 && n.confHistory[len(n.confHistory)-1].index > index {
-		n.confHistory = n.confHistory[:len(n.confHistory)-1]
-	}
-	n.members = n.confHistory[len(n.confHistory)-1].cfg.Clone()
-	n.lastOpID = n.log.LastOpID()
-	if n.lastOpID.IsZero() {
-		n.firstIndex = 0
-	}
-	return nil
-}
-
-// failWaiters aborts every blocked commit wait with err.
-func (n *Node) failWaiters(err error) {
-	for _, w := range n.waiters {
-		w.ch <- err
-	}
-	n.waiters = nil
-}
-
-// notifyWaiters completes commit waits up to the new commit index.
-func (n *Node) notifyWaiters() {
-	if len(n.waiters) == 0 {
-		return
-	}
-	kept := n.waiters[:0]
-	for _, w := range n.waiters {
-		if w.index <= n.commitIndex {
-			w.ch <- nil
-		} else {
-			kept = append(kept, w)
-		}
-	}
-	n.waiters = kept
-}
-
-// setCommitIndex advances the commit marker and fans out notifications.
-func (n *Node) setCommitIndex(index uint64) {
-	if index <= n.commitIndex {
-		return
-	}
-	n.commitIndex = index
-	n.notifyWaiters()
-	n.completeReadWaiters()
-	go n.cb.OnCommitAdvance(index)
-}
-
 // --- public API (all methods post onto the event loop) ---
-
-// Propose appends a client transaction to the replicated log. It returns
-// the assigned OpID; the caller then blocks in WaitCommitted (stage 2 of
-// the commit pipeline, §3.4). Only the leader accepts proposals.
-func (n *Node) Propose(payload []byte, g gtid.GTID, hasGTID bool) (opid.OpID, error) {
-	return n.propose(payload, g, hasGTID, entryNormalKind)
-}
-
-// ProposeRotate replicates a log-rotation marker (FLUSH BINARY LOGS,
-// §A.1).
-func (n *Node) ProposeRotate() (opid.OpID, error) {
-	return n.propose(nil, gtid.GTID{}, false, entryRotateKind)
-}
-
-func (n *Node) propose(payload []byte, g gtid.GTID, hasGTID bool, kind int) (opid.OpID, error) {
-	var op opid.OpID
-	var perr error
-	err := n.post(func() {
-		if n.role != RoleLeader {
-			perr = ErrNotLeader
-			return
-		}
-		if n.transfer != nil && n.transfer.stage >= transferCatchup {
-			perr = ErrQuiesced
-			return
-		}
-		e := &wire.LogEntry{
-			OpID:    opid.OpID{Term: n.term, Index: n.lastOpID.Index + 1},
-			Kind:    wire.EntryType(kind),
-			HasGTID: hasGTID,
-			GTID:    g,
-			Payload: payload,
-		}
-		if perr = n.appendLocal(e); perr != nil {
-			return
-		}
-		op = e.OpID
-		n.advanceLeaderCommit()
-		n.needsBroadcast = true
-	})
-	if err != nil {
-		return opid.Zero, err
-	}
-	return op, perr
-}
-
-// WaitCommitted blocks until the given index is consensus committed, the
-// node loses leadership/stops, or the context is done.
-func (n *Node) WaitCommitted(ctx context.Context, index uint64) error {
-	ch := make(chan error, 1)
-	err := n.post(func() {
-		if index <= n.commitIndex {
-			ch <- nil
-			return
-		}
-		// Only a leader can drive an uncommitted index to commit. A
-		// waiter registered after losing leadership (the proposal raced
-		// with a demotion) would hang forever: the demotion's waiter
-		// flush already ran.
-		if n.role != RoleLeader {
-			ch <- ErrLeadershipLost
-			return
-		}
-		n.waiters = append(n.waiters, commitWaiter{index: index, ch: ch})
-	})
-	if err != nil {
-		return err
-	}
-	select {
-	case err := <-ch:
-		return err
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// CommitIndex returns the current consensus commit marker.
-func (n *Node) CommitIndex() uint64 {
-	var idx uint64
-	n.post(func() { idx = n.commitIndex })
-	return idx
-}
 
 // Status snapshots the node state.
 func (n *Node) Status() Status {
 	var st Status
 	n.post(func() {
 		st = Status{
-			ID:           n.cfg.ID,
-			Role:         n.role,
-			Term:         n.term,
-			Leader:       n.leader,
-			LastOpID:     n.lastOpID,
-			CommitIndex:  n.commitIndex,
-			DurableIndex: n.selfMatch,
-			Config:       n.members.Clone(),
-			Transferring: n.transfer != nil,
+			ID:             n.cfg.ID,
+			Role:           n.role,
+			Term:           n.term,
+			Leader:         n.leader,
+			LastOpID:       n.lastOpID,
+			CommitIndex:    n.commitIndex,
+			FirstIndex:     n.firstIndex,
+			SnapshotAnchor: n.snapOp,
+			DurableIndex:   n.selfMatch,
+			Config:         n.members.Clone(),
+			Transferring:   n.transfer != nil,
 		}
 		if n.role == RoleLeader {
 			st.Match = make(map[wire.NodeID]uint64, len(n.peers)+1)
@@ -811,164 +604,6 @@ func (n *Node) CampaignNow() {
 			n.startCampaign(wire.VoteReal)
 		}
 	})
-}
-
-// ForceQuorum overrides the quorum strategy (nil restores the configured
-// one). This is the Quorum Fixer's "forcibly change the quorum
-// expectations" primitive (§5.3); it is deliberately unsafe and exists
-// for operator-driven remediation only.
-func (n *Node) ForceQuorum(s quorum.Strategy) {
-	n.post(func() { n.override = s })
-}
-
-// AddMember proposes adding a member; RemoveMember proposes removal. Only
-// one membership change may be in flight at a time (§2.2).
-func (n *Node) AddMember(m wire.Member) (opid.OpID, error) {
-	return n.changeMembership(func(cfg wire.Config) (wire.Config, error) {
-		if _, ok := cfg.Find(m.ID); ok {
-			return cfg, fmt.Errorf("raft: member %s already present", m.ID)
-		}
-		cfg.Members = append(cfg.Members, m)
-		return cfg, nil
-	})
-}
-
-// RemoveMember proposes removing a member.
-func (n *Node) RemoveMember(id wire.NodeID) (opid.OpID, error) {
-	return n.changeMembership(func(cfg wire.Config) (wire.Config, error) {
-		out := cfg.Clone()
-		out.Members = out.Members[:0]
-		found := false
-		for _, m := range cfg.Members {
-			if m.ID == id {
-				found = true
-				continue
-			}
-			out.Members = append(out.Members, m)
-		}
-		if !found {
-			return cfg, ErrUnknownMember
-		}
-		return out, nil
-	})
-}
-
-func (n *Node) changeMembership(mutate func(wire.Config) (wire.Config, error)) (opid.OpID, error) {
-	var op opid.OpID
-	var perr error
-	err := n.post(func() {
-		if n.role != RoleLeader {
-			perr = ErrNotLeader
-			return
-		}
-		if n.confHistory[len(n.confHistory)-1].index > n.commitIndex {
-			perr = ErrConfChangeInFlight
-			return
-		}
-		newCfg, err := mutate(n.members.Clone())
-		if err != nil {
-			perr = err
-			return
-		}
-		e := &wire.LogEntry{
-			OpID:    opid.OpID{Term: n.term, Index: n.lastOpID.Index + 1},
-			Kind:    entryConfigKind,
-			Payload: wire.EncodeConfig(newCfg),
-		}
-		if perr = n.appendLocal(e); perr != nil {
-			return
-		}
-		op = e.OpID
-		n.advanceLeaderCommit()
-		n.needsBroadcast = true
-	})
-	if err != nil {
-		return opid.Zero, err
-	}
-	return op, perr
-}
-
-// TransferLeadership gracefully hands leadership to target: run a mock
-// election (§4.3), quiesce writes, wait for the target to fully catch up,
-// then trigger an election on it (§2.2). It blocks until the transfer
-// fires or fails; the caller observes the actual role change through the
-// promotion callbacks / Status.
-func (n *Node) TransferLeadership(target wire.NodeID) error {
-	resp := make(chan error, 1)
-	err := n.post(func() {
-		if n.role != RoleLeader {
-			resp <- ErrNotLeader
-			return
-		}
-		if n.transfer != nil {
-			resp <- fmt.Errorf("%w: transfer already in flight", ErrTransferFailed)
-			return
-		}
-		m, ok := n.members.Find(target)
-		if !ok || !m.Voter {
-			resp <- ErrUnknownMember
-			return
-		}
-		n.transfer = &transferState{
-			target:   target,
-			stage:    transferMock,
-			deadline: n.clk.Now().Add(n.cfg.TransferTimeout),
-			resp:     resp,
-		}
-		if n.cfg.DisableMockElection {
-			// Stock kuduraft: no pre-check; quiesce and wait for the
-			// target to catch up.
-			n.transfer.stage = transferCatchup
-			n.sendAppend(target)
-			n.checkTransferProgress()
-			return
-		}
-		n.tr.Send(target, &wire.StartElection{
-			Term:     n.term,
-			From:     n.cfg.ID,
-			Mock:     true,
-			Snapshot: n.lastOpID,
-		})
-	})
-	if err != nil {
-		return err
-	}
-	select {
-	case err := <-resp:
-		return err
-	case <-n.stop:
-		return ErrStopped
-	}
-}
-
-// finishTransfer resolves the in-flight transfer with err (nil=fired).
-func (n *Node) finishTransfer(err error) {
-	if n.transfer == nil {
-		return
-	}
-	t := n.transfer
-	n.transfer = nil
-	select {
-	case t.resp <- err:
-	default:
-	}
-}
-
-// tickTransfer drives the transfer deadline. A fired transfer whose
-// target never took over expires silently and the leader resumes writes;
-// earlier stages time out with an error to the caller.
-func (n *Node) tickTransfer(now time.Time) {
-	if n.transfer == nil || n.role != RoleLeader {
-		return
-	}
-	if !now.After(n.transfer.deadline) {
-		return
-	}
-	if n.transfer.stage == transferFired {
-		n.transfer = nil
-		return
-	}
-	n.finishTransfer(fmt.Errorf("%w: timed out in stage %d", ErrTransferFailed, n.transfer.stage))
 }
 
 // maybeAutoStepDown relinquishes leadership when the data-commit quorum

@@ -267,6 +267,18 @@ type Config struct {
 	// heartbeat intervals.
 	TransferTimeout time.Duration
 
+	// SnapshotProvider, when set, lets this node (as leader) stream engine
+	// checkpoints to followers whose logs fell behind the purge floor
+	// (snapshot.go). Nil disables snapshot catch-up: lagging peers are
+	// served from the oldest retained entry.
+	SnapshotProvider SnapshotProvider
+	// SnapshotSink, when set, lets this node (as follower) install
+	// received checkpoints. Nil makes it reject snapshot transfers.
+	SnapshotSink SnapshotSink
+	// SnapshotChunkSize caps the bytes per InstallSnapshot message.
+	// Default 256 KiB.
+	SnapshotChunkSize int
+
 	// LeaseDuration is how long a quorum-confirmed heartbeat round vouches
 	// for leadership on the LeaseRead path. Safety requires it not exceed
 	// the minimum election timeout (a new leader must not be electable
@@ -331,6 +343,9 @@ func (c Config) withDefaults() Config {
 	if c.TransferTimeout == 0 {
 		c.TransferTimeout = 20 * c.HeartbeatInterval
 	}
+	if c.SnapshotChunkSize == 0 {
+		c.SnapshotChunkSize = 256 << 10
+	}
 	if c.LeaseDuration == 0 {
 		c.LeaseDuration = time.Duration(c.ElectionTimeoutTicks) * c.HeartbeatInterval
 	}
@@ -366,6 +381,12 @@ type Status struct {
 	Leader      wire.NodeID
 	LastOpID    opid.OpID
 	CommitIndex uint64
+	// FirstIndex is the lowest log index still retained (0 when the log
+	// holds no entries, e.g. right after a snapshot install).
+	FirstIndex uint64
+	// SnapshotAnchor is the op the log was last reset to by a snapshot
+	// install (zero when none). The log logically starts just above it.
+	SnapshotAnchor opid.OpID
 	// DurableIndex is the highest locally fsynced log index — this node's
 	// own gated vote toward commit (durability.go). It can trail LastOpID
 	// while appends sit in the log writer's queue.

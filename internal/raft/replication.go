@@ -29,16 +29,38 @@ func (n *Node) sendAppend(peer wire.NodeID) {
 	if ps == nil {
 		return
 	}
+	if ps.snapPending {
+		// Snapshot catch-up in progress: the heartbeat path re-sends the
+		// current chunk instead of AppendEntries (snapshot.go).
+		n.tickSnapshot(peer, ps)
+		return
+	}
 	next := ps.next
 	if next == 0 {
 		next = 1
 	}
+	// A peer whose next entry fell below the retained window cannot be
+	// repaired from the log, even when prevIndex itself still resolves
+	// (prevIndex 0, or exactly the snapshot anchor): the entries to send
+	// are gone. A brand-new member joining a purged-prefix ring hits this
+	// with next=1.
+	floor := n.firstIndex
+	if floor == 0 {
+		floor = n.snapOp.Index + 1
+	}
+	if next < floor && n.maybeSendSnapshot(peer, ps) {
+		return
+	}
 	prevIndex := next - 1
 	prevTerm, ok := n.termAt(prevIndex)
 	if !ok {
-		// The peer needs entries older than our log retains; back off to
-		// what we do have. (No snapshots in this deployment: purge
-		// heuristics keep the log long enough, §A.1.)
+		// The peer needs entries older than our log retains: stream an
+		// engine checkpoint instead (snapshot.go). Without a provider,
+		// back off to the oldest entry we do have — the pre-compaction
+		// behaviour, which suffices while nothing is purged.
+		if n.maybeSendSnapshot(peer, ps) {
+			return
+		}
 		next = n.firstIndex
 		if next == 0 {
 			next = 1

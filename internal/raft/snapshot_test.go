@@ -1,0 +1,356 @@
+package raft
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"myraft/internal/gtid"
+	"myraft/internal/opid"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+// snapLog is an in-memory LogStore with the bounded-log lifecycle the
+// binlog-backed store has: a purgeable prefix and a ResetTo/anchor for
+// snapshot installs.
+type snapLog struct {
+	mu     sync.Mutex
+	anchor opid.OpID
+	first  uint64 // first retained index; 0 when no entries
+	tail   opid.OpID
+	byIdx  map[uint64]*wire.LogEntry
+}
+
+func newSnapLog() *snapLog { return &snapLog{byIdx: make(map[uint64]*wire.LogEntry)} }
+
+func (l *snapLog) Append(e *wire.LogEntry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.OpID.Index != l.tail.Index+1 {
+		return fmt.Errorf("snaplog: gap append %d after %d", e.OpID.Index, l.tail.Index)
+	}
+	cp := *e
+	cp.Payload = append([]byte(nil), e.Payload...)
+	l.byIdx[e.OpID.Index] = &cp
+	l.tail = e.OpID
+	if l.first == 0 {
+		l.first = e.OpID.Index
+	}
+	return nil
+}
+
+func (l *snapLog) Entry(index uint64) (*wire.LogEntry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.byIdx[index]
+	if !ok {
+		return nil, fmt.Errorf("snaplog: no entry %d", index)
+	}
+	return e, nil
+}
+
+func (l *snapLog) LastOpID() opid.OpID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+func (l *snapLog) FirstIndex() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first
+}
+
+func (l *snapLog) TruncateAfter(index uint64) ([]*wire.LogEntry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if index < l.anchor.Index {
+		index = l.anchor.Index
+	}
+	var removed []*wire.LogEntry
+	for i := index + 1; i <= l.tail.Index; i++ {
+		if e, ok := l.byIdx[i]; ok {
+			removed = append(removed, e)
+			delete(l.byIdx, i)
+		}
+	}
+	if index == l.anchor.Index {
+		l.tail = l.anchor
+		l.first = 0
+	} else if e, ok := l.byIdx[index]; ok {
+		l.tail = e.OpID
+	}
+	return removed, nil
+}
+
+func (l *snapLog) Sync() error { return nil }
+
+// PurgeTo drops entries below index (never the tail entry).
+func (l *snapLog) PurgeTo(index uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if index > l.tail.Index {
+		index = l.tail.Index
+	}
+	for i := l.first; i < index; i++ {
+		delete(l.byIdx, i)
+	}
+	if l.first != 0 && index > l.first {
+		l.first = index
+	}
+}
+
+// ResetTo implements the snapshot-install log reset.
+func (l *snapLog) ResetTo(op opid.OpID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byIdx = make(map[uint64]*wire.LogEntry)
+	l.anchor = op
+	l.tail = op
+	l.first = 0
+}
+
+// SnapshotAnchor exposes the reset boundary to the raft node.
+func (l *snapLog) SnapshotAnchor() opid.OpID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.anchor
+}
+
+// testProvider serves a fixed payload anchored at the caller's current
+// commit index.
+type testProvider struct {
+	n    *Node
+	log  *snapLog
+	data []byte
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (p *testProvider) Snapshot() (*Snapshot, error) {
+	p.mu.Lock()
+	p.calls++
+	p.mu.Unlock()
+	st := p.n.Status()
+	e, err := p.log.Entry(st.CommitIndex)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{Anchor: e.OpID, GTIDSet: "test:1-5", Config: st.Config, Data: p.data}, nil
+}
+
+// testSink installs by resetting the log, recording what it saw.
+type testSink struct {
+	log *snapLog
+
+	mu        sync.Mutex
+	installed []*Snapshot
+}
+
+func (s *testSink) InstallSnapshot(sn *Snapshot) error {
+	s.log.ResetTo(sn.Anchor)
+	s.mu.Lock()
+	s.installed = append(s.installed, sn)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *testSink) installs() []*Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Snapshot(nil), s.installed...)
+}
+
+// snapCluster wires three nodes with snapLogs, a provider on every node
+// (any of them may lead) and a sink on every node.
+type snapCluster struct {
+	net   *transport.Network
+	cfg   wire.Config
+	nodes map[wire.NodeID]*Node
+	logs  map[wire.NodeID]*snapLog
+	sinks map[wire.NodeID]*testSink
+	provs map[wire.NodeID]*testProvider
+	data  []byte
+}
+
+func newSnapCluster(t *testing.T, chunkSize int) *snapCluster {
+	t.Helper()
+	c := &snapCluster{
+		net: transport.New(transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: 2 * time.Millisecond,
+		}, nil),
+		cfg:   flatConfig(3),
+		nodes: make(map[wire.NodeID]*Node),
+		logs:  make(map[wire.NodeID]*snapLog),
+		sinks: make(map[wire.NodeID]*testSink),
+		provs: make(map[wire.NodeID]*testProvider),
+		data:  bytes.Repeat([]byte("checkpoint"), 400), // 4000 bytes, multiple chunks
+	}
+	for _, m := range c.cfg.Members {
+		c.startNode(t, m.ID, m.Region, chunkSize)
+	}
+	t.Cleanup(func() {
+		for _, n := range c.nodes {
+			n.Stop()
+		}
+		c.net.Close()
+	})
+	return c
+}
+
+func (c *snapCluster) startNode(t *testing.T, id wire.NodeID, region wire.Region, chunkSize int) *Node {
+	t.Helper()
+	log, ok := c.logs[id]
+	if !ok {
+		log = newSnapLog()
+		c.logs[id] = log
+	}
+	sink := &testSink{log: log}
+	cfg := Config{
+		ID:                id,
+		Region:            region,
+		HeartbeatInterval: testHeartbeat,
+		SnapshotSink:      sink,
+		SnapshotChunkSize: chunkSize,
+	}
+	ep := c.net.Register(id, region)
+	n, err := NewNode(cfg, log, nil, ep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := &testProvider{n: n, log: log, data: c.data}
+	n.cfg.SnapshotProvider = prov // set after NewNode: needs the node handle
+	if err := n.Start(c.cfg); err != nil {
+		t.Fatal(err)
+	}
+	c.nodes[id] = n
+	c.logs[id] = log
+	c.sinks[id] = sink
+	c.provs[id] = prov
+	return n
+}
+
+func proposeN(t *testing.T, n *Node, count int, start int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		op, err := n.Propose([]byte(fmt.Sprintf("w%d", start+i)), gtid.GTID{Source: "test", ID: int64(start + i)}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == count-1 {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := n.WaitCommitted(ctx, op.Index); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSnapshotCatchUpAfterPurge(t *testing.T) {
+	c := newSnapCluster(t, 1024)
+	leader := c.nodes["n0"]
+	leader.CampaignNow()
+	waitFor(t, "n0 leadership", func() bool { return leader.Status().Role == RoleLeader })
+
+	proposeN(t, leader, 40, 0)
+	waitFor(t, "n2 catch-up", func() bool { return c.nodes["n2"].Status().LastOpID.Index >= 40 })
+
+	// n2 crashes; the cluster moves on and purges past its position.
+	c.nodes["n2"].Stop()
+	proposeN(t, leader, 40, 40)
+	c.logs["n0"].PurgeTo(70)
+	leader.NotePurged()
+	if fi := leader.FirstIndex(); fi != 70 {
+		t.Fatalf("leader FirstIndex = %d, want 70", fi)
+	}
+
+	// Restart n2 behind the purge floor: AppendEntries cannot repair it,
+	// so the leader must stream a snapshot.
+	n2 := c.startNode(t, "n2", "r1", 1024)
+	waitFor(t, "snapshot install on n2", func() bool { return len(c.sinks["n2"].installs()) > 0 })
+	waitFor(t, "n2 log convergence", func() bool {
+		return n2.Status().LastOpID == leader.Status().LastOpID
+	})
+
+	inst := c.sinks["n2"].installs()[0]
+	if !bytes.Equal(inst.Data, c.data) {
+		t.Fatalf("installed snapshot data mismatch: %d bytes vs %d", len(inst.Data), len(c.data))
+	}
+	if inst.GTIDSet != "test:1-5" {
+		t.Fatalf("installed GTIDSet = %q", inst.GTIDSet)
+	}
+	if inst.Anchor.Index < 70 {
+		t.Fatalf("snapshot anchor %v below purge floor 70", inst.Anchor)
+	}
+	st := n2.Status()
+	if st.SnapshotAnchor != inst.Anchor {
+		t.Fatalf("n2 SnapshotAnchor = %v, want %v", st.SnapshotAnchor, inst.Anchor)
+	}
+	// Replication continues past the snapshot: new proposals reach n2.
+	proposeN(t, leader, 5, 80)
+	waitFor(t, "post-snapshot replication", func() bool {
+		return n2.Status().LastOpID == leader.Status().LastOpID
+	})
+	// The transfer was chunked (4000 bytes / 1024 per chunk > 1 message).
+	if stats := leader.SnapshotStats(); stats.ChunksSent < 4 {
+		t.Fatalf("ChunksSent = %d, want >= 4", stats.ChunksSent)
+	}
+	if stats := n2.SnapshotStats(); stats.Installs != 1 {
+		t.Fatalf("n2 Installs = %d, want 1", stats.Installs)
+	}
+}
+
+func TestSnapshotAnchorRecoveredOnRestart(t *testing.T) {
+	c := newSnapCluster(t, 1024)
+	leader := c.nodes["n0"]
+	leader.CampaignNow()
+	waitFor(t, "n0 leadership", func() bool { return leader.Status().Role == RoleLeader })
+
+	proposeN(t, leader, 30, 0)
+	c.nodes["n2"].Stop()
+	proposeN(t, leader, 30, 30)
+	c.logs["n0"].PurgeTo(55)
+	leader.NotePurged()
+
+	n2 := c.startNode(t, "n2", "r1", 1024)
+	waitFor(t, "snapshot install on n2", func() bool { return len(c.sinks["n2"].installs()) > 0 })
+	anchor := c.sinks["n2"].installs()[0].Anchor
+	waitFor(t, "n2 convergence", func() bool { return n2.Status().LastOpID == leader.Status().LastOpID })
+
+	// Restart n2 again: the anchor must be recovered from the store so
+	// the consistency check at the snapshot boundary keeps passing.
+	n2.Stop()
+	n2 = c.startNode(t, "n2", "r1", 1024)
+	if got := n2.Status().SnapshotAnchor; got != anchor {
+		t.Fatalf("recovered SnapshotAnchor = %v, want %v", got, anchor)
+	}
+	proposeN(t, leader, 5, 60)
+	waitFor(t, "replication after anchored restart", func() bool {
+		return n2.Status().LastOpID == leader.Status().LastOpID
+	})
+	// No second snapshot was needed: AppendEntries repaired from the log.
+	// (startNode installed a fresh sink at restart, so any install here
+	// would be a new transfer.)
+	if got := len(c.sinks["n2"].installs()); got != 0 {
+		t.Fatalf("installs after restart = %d, want 0", got)
+	}
+}

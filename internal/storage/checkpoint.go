@@ -1,0 +1,204 @@
+package storage
+
+// checkpoint.go implements the engine side of bounded-log catch-up
+// (§2, §A.1): a Checkpoint is a consistent serialization of the
+// committed row state together with the OpID it is current through, the
+// GTID set applied up to that OpID, and an opaque replication-membership
+// blob. The raft snapshot transfer ships the encoded form to lagging
+// followers; InstallCheckpoint is the inverse, atomically replacing the
+// engine's WAL and in-memory state so recovery after a crash lands on
+// the checkpoint rather than on replayed history.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"myraft/internal/opid"
+)
+
+// checkpointMagic brands encoded checkpoints.
+var checkpointMagic = []byte("MYCP")
+
+// checkpointVersion is the current encoding version. Decoders reject
+// versions they do not understand rather than guessing.
+const checkpointVersion uint16 = 1
+
+// ErrBadCheckpoint is returned when decoding a corrupt or incompatible
+// checkpoint.
+var ErrBadCheckpoint = errors.New("storage: bad checkpoint")
+
+// Checkpoint is a consistent snapshot of committed engine state.
+type Checkpoint struct {
+	// AppliedOp is the replicated-log position the row state is current
+	// through: every committed transaction with OpID <= AppliedOp is
+	// reflected in Rows, none after it is.
+	AppliedOp opid.OpID
+	// GTIDSet is the canonical text form of the GTIDs applied through
+	// AppliedOp. The installing member seeds its binlog PrevGTIDs with it.
+	GTIDSet string
+	// Config is an opaque replication-membership blob (wire.EncodeConfig)
+	// carried so an installer whose config entries were purged still
+	// learns the membership in force at AppliedOp.
+	Config []byte
+	// Rows is the committed row state.
+	Rows map[string][]byte
+}
+
+// Encode serializes the checkpoint: magic, version, body, CRC-32C over
+// version+body. Row order is sorted, so equal checkpoints encode
+// identically (checksummable across members).
+func (cp *Checkpoint) Encode() []byte {
+	body := binary.BigEndian.AppendUint64(nil, cp.AppliedOp.Term)
+	body = binary.BigEndian.AppendUint64(body, cp.AppliedOp.Index)
+	body = appendBytes(body, []byte(cp.GTIDSet))
+	body = appendBytes(body, cp.Config)
+	keys := make([]string, 0, len(cp.Rows))
+	for k := range cp.Rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	body = binary.BigEndian.AppendUint32(body, uint32(len(keys)))
+	for _, k := range keys {
+		body = appendBytes(body, []byte(k))
+		body = appendBytes(body, cp.Rows[k])
+	}
+
+	buf := append([]byte(nil), checkpointMagic...)
+	buf = binary.BigEndian.AppendUint16(buf, checkpointVersion)
+	buf = append(buf, body...)
+	return binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf[len(checkpointMagic):], castagnoli))
+}
+
+// DecodeCheckpoint parses an encoded checkpoint, verifying magic,
+// version, and checksum.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	if len(data) < len(checkpointMagic)+2+4 {
+		return nil, fmt.Errorf("%w: truncated (%d bytes)", ErrBadCheckpoint, len(data))
+	}
+	if string(data[:len(checkpointMagic)]) != string(checkpointMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	sumAt := len(data) - 4
+	want := binary.BigEndian.Uint32(data[sumAt:])
+	if crc32.Checksum(data[len(checkpointMagic):sumAt], castagnoli) != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadCheckpoint)
+	}
+	rest := data[len(checkpointMagic):sumAt]
+	version := binary.BigEndian.Uint16(rest)
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, version)
+	}
+	rest = rest[2:]
+	if len(rest) < 16 {
+		return nil, fmt.Errorf("%w: short header", ErrBadCheckpoint)
+	}
+	cp := &Checkpoint{Rows: make(map[string][]byte)}
+	cp.AppliedOp.Term = binary.BigEndian.Uint64(rest)
+	cp.AppliedOp.Index = binary.BigEndian.Uint64(rest[8:])
+	rest = rest[16:]
+	gtids, rest, err := readBytes(rest)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	cp.GTIDSet = string(gtids)
+	if cp.Config, rest, err = readBytes(rest); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: short row count", ErrBadCheckpoint)
+	}
+	n := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	for i := uint32(0); i < n; i++ {
+		var k, v []byte
+		if k, rest, err = readBytes(rest); err != nil {
+			return nil, fmt.Errorf("%w: row %d key: %v", ErrBadCheckpoint, i, err)
+		}
+		if v, rest, err = readBytes(rest); err != nil {
+			return nil, fmt.Errorf("%w: row %d value: %v", ErrBadCheckpoint, i, err)
+		}
+		if v == nil {
+			v = []byte{}
+		}
+		cp.Rows[string(k)] = v
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(rest))
+	}
+	return cp, nil
+}
+
+// CheckpointRows returns a deep copy of the committed rows and the OpID
+// they are current through, captured under one lock so the pair is
+// consistent even while the applier keeps committing.
+func (e *Engine) CheckpointRows() (map[string][]byte, opid.OpID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rows := make(map[string][]byte, len(e.rows))
+	for k, v := range e.rows {
+		rows[k] = append([]byte(nil), v...)
+	}
+	return rows, e.lastOp
+}
+
+// InstallCheckpoint atomically replaces the engine's state with the
+// checkpoint: a fresh WAL containing a single checkpoint record is
+// written to a temporary path, fsynced, and renamed over the live WAL,
+// so a crash at any point recovers either the old state or the complete
+// checkpoint — never a mix. The caller must have rolled back or drained
+// prepared transactions first.
+func (e *Engine) InstallCheckpoint(cp *Checkpoint) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if len(e.prepared) > 0 {
+		return fmt.Errorf("storage: install checkpoint with %d prepared transactions", len(e.prepared))
+	}
+	changes := make([]RowChange, 0, len(cp.Rows))
+	for k, v := range cp.Rows {
+		changes = append(changes, RowChange{Key: k, After: v})
+	}
+	sort.Slice(changes, func(i, j int) bool { return changes[i].Key < changes[j].Key })
+	rec := encodeWALRecord(&walRecord{typ: walCheckpoint, op: cp.AppliedOp, changes: changes})
+
+	tmp := e.walPath + ".ckpt.tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: install checkpoint: %w", err)
+	}
+	if _, err := f.Write(rec); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: install checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: install checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("storage: install checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, e.walPath); err != nil {
+		return fmt.Errorf("storage: install checkpoint: %w", err)
+	}
+	// Swap the append handle to the new WAL before mutating memory: if the
+	// reopen fails we have not half-installed anything in RAM.
+	wal, err := os.OpenFile(e.walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: install checkpoint: reopen wal: %w", err)
+	}
+	e.wal.Close()
+	e.wal = wal
+
+	e.rows = make(map[string][]byte, len(cp.Rows))
+	for k, v := range cp.Rows {
+		e.rows[k] = append([]byte(nil), v...)
+	}
+	e.lastOp = cp.AppliedOp
+	return nil
+}

@@ -1,0 +1,200 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"testing"
+
+	"myraft/internal/opid"
+)
+
+func testCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		AppliedOp: opid.OpID{Term: 3, Index: 42},
+		GTIDSet:   "src:1-42",
+		Config:    []byte("membership-blob"),
+		Rows: map[string][]byte{
+			"a":     []byte("1"),
+			"b":     []byte("two"),
+			"empty": {},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := testCheckpoint()
+	dec, err := DecodeCheckpoint(cp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.AppliedOp != cp.AppliedOp || dec.GTIDSet != cp.GTIDSet || !bytes.Equal(dec.Config, cp.Config) {
+		t.Fatalf("header mismatch: %+v vs %+v", dec, cp)
+	}
+	if len(dec.Rows) != len(cp.Rows) {
+		t.Fatalf("row count %d != %d", len(dec.Rows), len(cp.Rows))
+	}
+	for k, v := range cp.Rows {
+		if !bytes.Equal(dec.Rows[k], v) {
+			t.Fatalf("row %q = %q want %q", k, dec.Rows[k], v)
+		}
+	}
+}
+
+func TestCheckpointEncodeDeterministic(t *testing.T) {
+	cp := testCheckpoint()
+	if !bytes.Equal(cp.Encode(), cp.Encode()) {
+		t.Fatal("two encodings of the same checkpoint differ")
+	}
+}
+
+func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
+	enc := testCheckpoint().Encode()
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated", enc[:len(enc)/2]},
+		{"bad magic", append([]byte("XXXX"), enc[4:]...)},
+		{"flipped body byte", func() []byte {
+			b := append([]byte(nil), enc...)
+			b[10] ^= 0xff
+			return b
+		}()},
+		{"flipped checksum", func() []byte {
+			b := append([]byte(nil), enc...)
+			b[len(b)-1] ^= 0xff
+			return b
+		}()},
+		{"bad version", func() []byte {
+			// Re-checksum so only the version is wrong.
+			cp := testCheckpoint()
+			b := cp.Encode()
+			b[5] = 99
+			return fixupChecksum(b)
+		}()},
+		{"trailing bytes", func() []byte {
+			b := append([]byte(nil), enc[:len(enc)-4]...)
+			b = append(b, 0, 0)
+			return fixupChecksum(append(b, 0, 0, 0, 0))
+		}()},
+	} {
+		if _, err := DecodeCheckpoint(tc.data); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("%s: err = %v, want ErrBadCheckpoint", tc.name, err)
+		}
+	}
+}
+
+// fixupChecksum rewrites the trailing CRC so structural corruption tests
+// fail on the structure, not the checksum.
+func fixupChecksum(b []byte) []byte {
+	sum := crc32.Checksum(b[4:len(b)-4], castagnoli)
+	binary.BigEndian.PutUint32(b[len(b)-4:], sum)
+	return b
+}
+
+func TestCheckpointRowsConsistent(t *testing.T) {
+	e := openTestEngine(t, "")
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 1}, map[string]string{"a": "1"})
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 2}, map[string]string{"b": "2"})
+	rows, op := e.CheckpointRows()
+	if op != (opid.OpID{Term: 1, Index: 2}) {
+		t.Fatalf("op = %v", op)
+	}
+	if string(rows["a"]) != "1" || string(rows["b"]) != "2" {
+		t.Fatalf("rows = %v", rows)
+	}
+	// The copy is deep: mutating it does not touch the engine.
+	rows["a"][0] = 'X'
+	if v, _ := e.Get("a"); string(v) != "1" {
+		t.Fatalf("engine row mutated through checkpoint copy: %q", v)
+	}
+}
+
+func TestInstallCheckpointReplacesState(t *testing.T) {
+	dir := t.TempDir()
+	e := openTestEngine(t, dir)
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 1}, map[string]string{"old": "gone"})
+
+	cp := &Checkpoint{
+		AppliedOp: opid.OpID{Term: 5, Index: 100},
+		Rows:      map[string][]byte{"new": []byte("fresh")},
+	}
+	if err := e.InstallCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Get("old"); ok {
+		t.Fatal("pre-checkpoint row survived install")
+	}
+	if v, ok := e.Get("new"); !ok || string(v) != "fresh" {
+		t.Fatalf("Get(new) = %q %v", v, ok)
+	}
+	if e.LastCommitted() != cp.AppliedOp {
+		t.Fatalf("LastCommitted = %v", e.LastCommitted())
+	}
+
+	// Commits after install land on the new WAL and survive recovery.
+	mustCommit(t, e, opid.OpID{Term: 5, Index: 101}, map[string]string{"after": "yes"})
+	e.Crash()
+	re := openTestEngine(t, dir)
+	if _, ok := re.Get("old"); ok {
+		t.Fatal("recovery resurrected pre-checkpoint row")
+	}
+	for k, want := range map[string]string{"new": "fresh", "after": "yes"} {
+		if v, ok := re.Get(k); !ok || string(v) != want {
+			t.Fatalf("after recovery, Get(%s) = %q %v", k, v, ok)
+		}
+	}
+	if re.LastCommitted() != (opid.OpID{Term: 5, Index: 101}) {
+		t.Fatalf("recovered LastCommitted = %v", re.LastCommitted())
+	}
+}
+
+func TestInstallCheckpointRefusesPrepared(t *testing.T) {
+	e := openTestEngine(t, "")
+	txn := e.Begin()
+	if err := txn.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	err := e.InstallCheckpoint(&Checkpoint{AppliedOp: opid.OpID{Term: 1, Index: 1}})
+	if err == nil {
+		t.Fatal("install succeeded with a prepared transaction outstanding")
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InstallCheckpoint(&Checkpoint{AppliedOp: opid.OpID{Term: 1, Index: 1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointEngineRoundTrip(t *testing.T) {
+	// Export from one engine, install into another, compare checksums.
+	src := openTestEngine(t, "")
+	for i := 1; i <= 20; i++ {
+		mustCommit(t, src, opid.OpID{Term: 2, Index: uint64(i)},
+			map[string]string{fmt.Sprintf("k%02d", i): fmt.Sprintf("v%d", i)})
+	}
+	rows, op := src.CheckpointRows()
+	cp := &Checkpoint{AppliedOp: op, GTIDSet: "s:1-20", Rows: rows}
+	dec, err := DecodeCheckpoint(cp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := openTestEngine(t, "")
+	if err := dst.InstallCheckpoint(dec); err != nil {
+		t.Fatal(err)
+	}
+	if src.Checksum() != dst.Checksum() {
+		t.Fatalf("checksum mismatch: src=%08x dst=%08x", src.Checksum(), dst.Checksum())
+	}
+	if dst.LastCommitted() != op {
+		t.Fatalf("dst LastCommitted = %v want %v", dst.LastCommitted(), op)
+	}
+}

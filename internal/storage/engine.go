@@ -21,6 +21,10 @@ const (
 	walPrepare  walRecordType = 1
 	walCommit   walRecordType = 2
 	walRollback walRecordType = 3
+	// walCheckpoint is a full-state record: its changes replace every row
+	// and its OpID becomes the applied position. InstallCheckpoint writes
+	// it as the sole record of a fresh WAL.
+	walCheckpoint walRecordType = 4
 )
 
 // ErrLockTimeout is returned when a transaction cannot acquire a row lock
@@ -124,6 +128,13 @@ func (e *Engine) recover() error {
 			e.lastOp = rec.op
 		case walRollback:
 			delete(pending, rec.txnID)
+		case walCheckpoint:
+			e.rows = make(map[string][]byte, len(rec.changes))
+			for _, c := range rec.changes {
+				e.applyChange(c)
+			}
+			e.lastOp = rec.op
+			pending = make(map[uint64][]RowChange)
 		}
 		if rec.txnID >= e.nextTxn {
 			e.nextTxn = rec.txnID + 1

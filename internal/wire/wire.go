@@ -26,12 +26,14 @@ type MsgType uint8
 
 // Message type tags (stable; part of the wire format).
 const (
-	MsgAppendEntriesReq   MsgType = 1
-	MsgAppendEntriesResp  MsgType = 2
-	MsgRequestVoteReq     MsgType = 3
-	MsgRequestVoteResp    MsgType = 4
-	MsgStartElection      MsgType = 5
-	MsgMockElectionResult MsgType = 6
+	MsgAppendEntriesReq    MsgType = 1
+	MsgAppendEntriesResp   MsgType = 2
+	MsgRequestVoteReq      MsgType = 3
+	MsgRequestVoteResp     MsgType = 4
+	MsgStartElection       MsgType = 5
+	MsgMockElectionResult  MsgType = 6
+	MsgInstallSnapshotReq  MsgType = 7
+	MsgInstallSnapshotResp MsgType = 8
 )
 
 // Message is implemented by every RPC payload.
@@ -227,6 +229,42 @@ type StartElection struct {
 }
 
 func (*StartElection) Type() MsgType { return MsgStartElection }
+
+// InstallSnapshotReq streams one chunk of an engine checkpoint to a
+// follower whose log no longer overlaps the leader's (its nextIndex fell
+// below the leader's FirstIndex after purging). Anchor is the snapshot's
+// last applied op: after install the follower's log restarts empty at
+// Anchor, and AppendEntries resumes at Anchor.Index+1. Snapshot transfer
+// is always direct leader→target, never proxied: a PROXY_OP-style relay
+// would require intermediate hops to buffer the full checkpoint.
+type InstallSnapshotReq struct {
+	Term     uint64
+	LeaderID NodeID
+	Anchor   opid.OpID
+	GTIDSet  string // executed GTID set at the anchor
+	Config   []byte // encoded membership at the anchor (EncodeConfig)
+	Total    uint64 // checkpoint size in bytes, constant across chunks
+	Offset   uint64 // byte offset of Chunk within the checkpoint
+	Chunk    []byte
+	Done     bool // last chunk; follower installs on receipt
+}
+
+func (*InstallSnapshotReq) Type() MsgType { return MsgInstallSnapshotReq }
+
+// InstallSnapshotResp acknowledges a snapshot chunk. NextOffset is the
+// next byte the follower wants, which lets the leader resume a transfer
+// after drops or restarts instead of starting over. Installed reports
+// that the final chunk was applied and the follower is ready for
+// AppendEntries at Anchor.Index+1.
+type InstallSnapshotResp struct {
+	Term       uint64
+	From       NodeID
+	Success    bool
+	NextOffset uint64
+	Installed  bool
+}
+
+func (*InstallSnapshotResp) Type() MsgType { return MsgInstallSnapshotResp }
 
 // --- binary codec ---
 
@@ -467,6 +505,22 @@ func Marshal(m Message) ([]byte, error) {
 		e.str(string(msg.From))
 		e.bool(msg.Mock)
 		e.opid(msg.Snapshot)
+	case *InstallSnapshotReq:
+		e.u64(msg.Term)
+		e.str(string(msg.LeaderID))
+		e.opid(msg.Anchor)
+		e.str(msg.GTIDSet)
+		e.bytes(msg.Config)
+		e.u64(msg.Total)
+		e.u64(msg.Offset)
+		e.bytes(msg.Chunk)
+		e.bool(msg.Done)
+	case *InstallSnapshotResp:
+		e.u64(msg.Term)
+		e.str(string(msg.From))
+		e.bool(msg.Success)
+		e.u64(msg.NextOffset)
+		e.bool(msg.Installed)
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %T", m)
 	}
@@ -546,6 +600,26 @@ func Unmarshal(data []byte) (Message, error) {
 		msg.From = NodeID(d.str())
 		msg.Mock = d.bool()
 		msg.Snapshot = d.opid()
+		m = msg
+	case MsgInstallSnapshotReq:
+		msg := &InstallSnapshotReq{}
+		msg.Term = d.u64()
+		msg.LeaderID = NodeID(d.str())
+		msg.Anchor = d.opid()
+		msg.GTIDSet = d.str()
+		msg.Config = d.bytes()
+		msg.Total = d.u64()
+		msg.Offset = d.u64()
+		msg.Chunk = d.bytes()
+		msg.Done = d.bool()
+		m = msg
+	case MsgInstallSnapshotResp:
+		msg := &InstallSnapshotResp{}
+		msg.Term = d.u64()
+		msg.From = NodeID(d.str())
+		msg.Success = d.bool()
+		msg.NextOffset = d.u64()
+		msg.Installed = d.bool()
 		m = msg
 	default:
 		return nil, fmt.Errorf("wire: unknown message tag %d", data[0])

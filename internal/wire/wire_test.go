@@ -324,3 +324,53 @@ func TestDecodeConfigNeverPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestInstallSnapshotRoundTrip(t *testing.T) {
+	req := &InstallSnapshotReq{
+		Term:     9,
+		LeaderID: "mysql-0",
+		Anchor:   opid.OpID{Term: 8, Index: 5000},
+		GTIDSet:  "uuid-1:1-5000",
+		Config:   EncodeConfig(Config{Members: []Member{{ID: "mysql-0", Region: "r1", Voter: true}}}),
+		Total:    1 << 20,
+		Offset:   256 << 10,
+		Chunk:    bytes.Repeat([]byte("c"), 1024),
+		Done:     false,
+	}
+	gotReq := roundTrip(t, req).(*InstallSnapshotReq)
+	if !reflect.DeepEqual(req, gotReq) {
+		t.Fatalf("req round trip mismatch:\n%+v\n%+v", req, gotReq)
+	}
+
+	resp := &InstallSnapshotResp{
+		Term:       9,
+		From:       "mysql-2",
+		Success:    true,
+		NextOffset: 257 << 10,
+		Installed:  false,
+	}
+	gotResp := roundTrip(t, resp).(*InstallSnapshotResp)
+	if !reflect.DeepEqual(resp, gotResp) {
+		t.Fatalf("resp round trip mismatch:\n%+v\n%+v", resp, gotResp)
+	}
+}
+
+func TestInstallSnapshotFinalChunk(t *testing.T) {
+	// Empty trailing chunk with Done=true (pure "install now" signal) and
+	// empty GTID set / config must survive the codec.
+	req := &InstallSnapshotReq{
+		Term:     2,
+		LeaderID: "l",
+		Anchor:   opid.OpID{Term: 2, Index: 7},
+		Total:    0,
+		Offset:   0,
+		Done:     true,
+	}
+	got := roundTrip(t, req).(*InstallSnapshotReq)
+	if !reflect.DeepEqual(req, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", req, got)
+	}
+	if !got.Done {
+		t.Fatal("Done flag lost")
+	}
+}

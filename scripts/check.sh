@@ -11,8 +11,10 @@ cd "$(dirname "$0")/.."
 # concurrency-heavy packages. mysql and binlog joined with the async
 # durability pipeline (off-loop log writer, durable-index waits);
 # transport carries the fault-injection wrapper whose delayed-delivery
-# goroutines and Heal() flush are cross-goroutine handoffs too.
-RACE_PKGS="./internal/raft ./internal/readpath ./internal/cluster ./internal/mysql ./internal/binlog ./internal/transport"
+# goroutines and Heal() flush are cross-goroutine handoffs too; storage
+# and logstore joined with the bounded-log lifecycle (checkpoint encode
+# under a live applier, purge/snapshot-reset against concurrent appends).
+RACE_PKGS="./internal/raft ./internal/readpath ./internal/cluster ./internal/mysql ./internal/binlog ./internal/transport ./internal/storage ./internal/logstore"
 
 stage_lint() {
 	echo "== gofmt -l"
@@ -60,8 +62,23 @@ stage_bench() {
 	go test -run '^$' -bench=BenchmarkDurabilityPipeline -benchtime=1x .
 }
 
+stage_compaction() {
+	echo "== compaction (bounded-log lifecycle)"
+	# The log-lifecycle slice across every layer it touches: binlog purge
+	# and snapshot-anchor mechanics, engine checkpoints and the purge
+	# guard, raft snapshot streaming, and the two cluster acceptance
+	# scenarios (crashed-behind-floor catch-up, fast-join via snapshot).
+	go test ./internal/binlog -run 'Purge|Anchor|Reset'
+	go test ./internal/storage -run 'Checkpoint'
+	go test ./internal/mysql -run 'Purge|Checkpoint'
+	go test ./internal/raft -run 'Snapshot'
+	go test ./internal/cluster -run 'TestPurgeAndSnapshotCatchup|TestAddMemberFastJoinViaSnapshot'
+	echo "== snapshot catch-up bench (1 iteration)"
+	go test ./internal/mysql -run '^$' -bench=BenchmarkSnapshotCatchup -benchtime=1x
+}
+
 case "${1:-all}" in
-lint | build | tests | race | chaos | bench)
+lint | build | tests | race | chaos | bench | compaction)
 	stage_"$1"
 	;;
 all)
@@ -69,10 +86,11 @@ all)
 	stage_build
 	stage_tests
 	stage_race
+	stage_compaction
 	stage_bench
 	;;
 *)
-	echo "usage: $0 [lint|build|tests|race|chaos|bench]" >&2
+	echo "usage: $0 [lint|build|tests|race|chaos|bench|compaction]" >&2
 	exit 2
 	;;
 esac
