@@ -28,6 +28,7 @@ package repro_bench
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -291,5 +292,31 @@ func BenchmarkDurabilityPipeline(b *testing.B) {
 		b.ReportMetric(float64(res.GroupedStats.FsyncBatch.P99), "fsync_batch_p99")
 		reportLatency(b, "grouped", res.Grouped.Latency)
 		reportLatency(b, "sync_every", res.SyncEvery.Latency)
+	}
+}
+
+// BenchmarkMultiRaftShards measures the multi-shard runtime's scaling
+// (DESIGN.md §8) at 1, 4 and 16 rings per process: routed write
+// throughput, the physical heartbeat message rate per (node, peer) pair
+// per interval — held ≈1 by coalescing regardless of shard count — the
+// per-message shard fan-out, and the shared fsync group's coalescing
+// ratio.
+func BenchmarkMultiRaftShards(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			p := benchParams()
+			p.Duration = time.Second
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.MultiRaftShards(context.Background(), p, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.WritesPerSec, "writes_per_s")
+				b.ReportMetric(res.HBMsgsPerPeerInterval, "hb_msgs_per_peer_interval")
+				b.ReportMetric(res.HBFanout, "hb_fanout")
+				b.ReportMetric(res.FsyncCoalescing(), "fsync_coalescing_x")
+			}
+		})
 	}
 }

@@ -32,6 +32,8 @@ commands:
   write <key> <value> | read <key>       client operations
   flush-binlogs                          FLUSH BINARY LOGS through Raft
   fix-quorum [allow-data-loss]           Quorum Fixer remediation
+  shards                                 per-shard rollup (multi-shard endpoints)
+  balance                                run one leader-balancing pass
 `)
 	os.Exit(2)
 }
@@ -119,6 +121,29 @@ func run(c *adminapi.Client, args []string) error {
 			return nil
 		}
 		fmt.Println(v)
+		return nil
+	case "shards":
+		rows, err := c.Shards()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-24s %-10s %-8s %-10s %-10s %s\n",
+			"SHARD", "NAME", "LEADER", "TERM", "COMMIT", "DURABLE", "PURGED")
+		for _, r := range rows {
+			leader := r.Leader
+			if leader == "" {
+				leader = "(none)"
+			}
+			fmt.Printf("%-8d %-24s %-10s %-8d %-10d %-10d %d\n",
+				r.Shard, r.Name, leader, r.Term, r.CommitIndex, r.DurableIndex, r.PurgeFloor)
+		}
+		return nil
+	case "balance":
+		moves, err := c.Balance()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("balanced: %d leadership transfer(s)\n", moves)
 		return nil
 	case "flush-binlogs":
 		return c.FlushBinlogs()

@@ -161,6 +161,40 @@ func (c *Client) Purge(retain uint64) (uint64, error) {
 	return out["purge_floor"], err
 }
 
+// MultiStatus fetches the aggregate rollup of a multi-shard endpoint.
+func (c *Client) MultiStatus() (MultiStatus, error) {
+	var st MultiStatus
+	err := c.do(http.MethodGet, "/status", nil, &st)
+	return st, err
+}
+
+// Shards fetches the per-shard rollup of a multi-shard endpoint.
+func (c *Client) Shards() ([]ShardRow, error) {
+	var rows []ShardRow
+	err := c.do(http.MethodGet, "/shards", nil, &rows)
+	return rows, err
+}
+
+// ShardRow is one shard's line in the /shards rollup (the client-side
+// decoding of multiraft.ShardStatus).
+type ShardRow struct {
+	Shard        uint32 `json:"shard"`
+	Name         string `json:"name"`
+	Leader       string `json:"leader"`
+	Term         uint64 `json:"term"`
+	CommitIndex  uint64 `json:"commit_index"`
+	DurableIndex uint64 `json:"durable_index"`
+	PurgeFloor   uint64 `json:"purge_floor"`
+}
+
+// Balance triggers one leader-balancing pass and returns how many
+// transfers it performed.
+func (c *Client) Balance() (int, error) {
+	var out map[string]int
+	err := c.do(http.MethodPost, "/balance", nil, &out)
+	return out["moves"], err
+}
+
 // FixQuorum runs the Quorum Fixer remediation.
 func (c *Client) FixQuorum(allowDataLoss bool) (string, error) {
 	var out map[string]string

@@ -1,0 +1,157 @@
+package adminapi
+
+// multiserver.go is the admin surface of the multi-shard runtime
+// (internal/multiraft): one process hosting many rings needs a per-shard
+// rollup (/shards), an aggregate health view (/status), routed data
+// access (/write, /read via the key router), and an operator trigger for
+// the leader balancer (/balance).
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"myraft/internal/multiraft"
+	"myraft/internal/wire"
+)
+
+// MultiStatus is the aggregate GET /status payload of a multi-shard
+// runtime: fleet-level counts first, per-shard detail under /shards.
+type MultiStatus struct {
+	Name   string `json:"name"`
+	Shards int    `json:"shards"`
+	// ShardsWithLeader counts shards currently reporting a leader; a
+	// healthy runtime has ShardsWithLeader == Shards.
+	ShardsWithLeader int           `json:"shards_with_leader"`
+	UpNodes          []wire.NodeID `json:"up_nodes"`
+	// LeadersByNode maps each node to the shards it currently leads —
+	// the balancer's input and the operator's skew-at-a-glance view.
+	LeadersByNode map[wire.NodeID][]wire.ShardID `json:"leaders_by_node"`
+	// MaxLeadersPerNode and BalanceTarget summarize placement skew:
+	// converged means Max ≤ Target+1 (⌈shards/up-nodes⌉).
+	MaxLeadersPerNode int `json:"max_leaders_per_node"`
+	BalanceTarget     int `json:"balance_target"`
+	// TableVersion is the routing table generation currently serving.
+	TableVersion uint64 `json:"table_version"`
+	// Metrics is the runtime's named-instrument snapshot (coalescing
+	// traffic, shared-fsync counters, leaders-held gauges).
+	Metrics map[string]int64 `json:"metrics"`
+}
+
+// MultiServer wraps a multi-shard runtime with the admin handlers.
+type MultiServer struct {
+	rt  *multiraft.Runtime
+	mux *http.ServeMux
+}
+
+// NewMultiServer builds the admin handler for a multi-shard runtime.
+func NewMultiServer(rt *multiraft.Runtime) *MultiServer {
+	s := &MultiServer{rt: rt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /status", s.handleStatus)
+	s.mux.HandleFunc("GET /shards", s.handleShards)
+	s.mux.HandleFunc("POST /balance", s.handleBalance)
+	s.mux.HandleFunc("POST /write", s.handleWrite)
+	s.mux.HandleFunc("GET /read", s.handleRead)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *MultiServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Status builds the aggregate rollup.
+func (s *MultiServer) Status() MultiStatus {
+	byNode := s.rt.LeadersByNode()
+	up := s.rt.UpNodes()
+	st := MultiStatus{
+		Name:          s.rt.Name(),
+		Shards:        s.rt.Shards(),
+		UpNodes:       up,
+		LeadersByNode: byNode,
+		TableVersion:  s.rt.Router().Table().Version,
+		Metrics:       s.rt.Metrics().Snapshot(),
+	}
+	for _, shards := range byNode {
+		st.ShardsWithLeader += len(shards)
+		if len(shards) > st.MaxLeadersPerNode {
+			st.MaxLeadersPerNode = len(shards)
+		}
+	}
+	if len(up) > 0 {
+		st.BalanceTarget = (s.rt.Shards() + len(up) - 1) / len(up)
+	}
+	return st
+}
+
+func (s *MultiServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Status())
+}
+
+func (s *MultiServer) handleShards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.rt.ShardStatuses())
+}
+
+func (s *MultiServer) handleBalance(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
+	defer cancel()
+	moves := s.rt.BalanceOnce(ctx)
+	writeJSON(w, map[string]int{"moves": moves})
+}
+
+func (s *MultiServer) handleWrite(w http.ResponseWriter, r *http.Request) {
+	key, value := r.FormValue("key"), r.FormValue("value")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("key required"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	res, err := s.rt.NewClient(0).Write(ctx, key, []byte(value))
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, map[string]string{
+		"shard":   fmt.Sprint(s.rt.Router().ShardFor(key)),
+		"opid":    res.OpID.String(),
+		"latency": res.Latency.String(),
+	})
+}
+
+// handleRead serves routed reads: the key's owning shard answers at the
+// requested level ("linearizable", "lease", or default "local").
+func (s *MultiServer) handleRead(w http.ResponseWriter, r *http.Request) {
+	key := r.FormValue("key")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("key required"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	cl := s.rt.NewClient(0)
+	shard := s.rt.Router().ShardFor(key)
+	switch level := r.FormValue("level"); level {
+	case "", "local":
+		v, ok, err := cl.Read(ctx, key)
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, map[string]any{"shard": shard, "found": ok, "value": string(v), "level": "local"})
+	case "linearizable", "lease":
+		res, err := cl.ReadLinearizable(ctx, key)
+		if level == "lease" {
+			res, err = cl.ReadLease(ctx, key)
+		}
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"shard": shard, "found": res.Found, "value": string(res.Value),
+			"level": res.Level.String(), "index": res.Index, "fell_back": res.FellBack,
+		})
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown read level %q", level))
+	}
+}

@@ -1,0 +1,134 @@
+package adminapi
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/multiraft"
+	"myraft/internal/raft"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+// multiStack boots a 3-node × 4-shard runtime with its admin server and
+// an HTTP client pointed at it.
+func multiStack(t *testing.T) (*multiraft.Runtime, *Client) {
+	t.Helper()
+	rt, err := multiraft.New(multiraft.Options{
+		Shards: 4,
+		Specs: []cluster.MemberSpec{
+			{ID: "n0", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
+			{ID: "n1", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
+			{ID: "n2", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
+		},
+		Name: "rs-multi",
+		Dir:  t.TempDir(),
+		Raft: raft.Config{HeartbeatInterval: 10 * time.Millisecond},
+		NetConfig: transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: time.Millisecond,
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewMultiServer(rt))
+	t.Cleanup(srv.Close)
+	return rt, NewClient(srv.URL)
+}
+
+func TestMultiShardsEndpoint(t *testing.T) {
+	_, client := multiStack(t)
+	rows, err := client.Shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("shards = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Leader == "" {
+			t.Fatalf("shard %d has no leader: %+v", row.Shard, row)
+		}
+		if row.Name != "rs-multi/shard-"+string(rune('0'+row.Shard)) {
+			t.Fatalf("shard %d name %q", row.Shard, row.Name)
+		}
+	}
+}
+
+func TestMultiStatusRollup(t *testing.T) {
+	_, client := multiStack(t)
+	st, err := client.MultiStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "rs-multi" || st.Shards != 4 {
+		t.Fatalf("rollup header: %+v", st)
+	}
+	if st.ShardsWithLeader != 4 {
+		t.Fatalf("shards with leader = %d", st.ShardsWithLeader)
+	}
+	if len(st.UpNodes) != 3 || st.BalanceTarget != 2 {
+		t.Fatalf("up=%v target=%d", st.UpNodes, st.BalanceTarget)
+	}
+	if st.TableVersion != 1 {
+		t.Fatalf("table version = %d", st.TableVersion)
+	}
+	if st.Metrics["shards_hosted"] != 4 {
+		t.Fatalf("metrics rollup missing shards_hosted: %v", st.Metrics)
+	}
+}
+
+func TestMultiRoutedWriteReadAndBalance(t *testing.T) {
+	rt, client := multiStack(t)
+	if _, err := client.Write("routed-key", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.ReadAt("routed-key", "linearizable", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Value != "v1" {
+		t.Fatalf("routed read = %+v", res)
+	}
+
+	// Pile every leader onto n0, then let the endpoint rebalance.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for s := 0; s < rt.Shards(); s++ {
+		c := rt.Shard(wire.ShardID(s))
+		if m := c.Leader(); m != nil && m.Spec.ID == "n0" {
+			continue
+		}
+		if err := c.TransferLeadership("n0"); err != nil {
+			t.Fatalf("stack leaders on n0: shard %d: %v", s, err)
+		}
+		if err := c.WaitForPrimary(ctx, "n0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moves, err := client.Balance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Fatal("balance endpoint moved nothing off a 4-0-0 skew")
+	}
+	st, err := client.MultiStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxLeadersPerNode > st.BalanceTarget+1 {
+		t.Fatalf("still skewed after balance: %+v", st.LeadersByNode)
+	}
+}

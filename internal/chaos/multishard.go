@@ -1,0 +1,375 @@
+package chaos
+
+// multishard.go extends the nemesis to the multi-shard runtime: one
+// process set hosting several raft rings (internal/multiraft), driven
+// through node-level faults — a crash takes every ring on that node down
+// at once, a partition cuts every shard's traffic on the link, because
+// all shards share one transport endpoint. The checkers then judge each
+// shard as its own replicaset (election safety, log matching, durability
+// of acknowledged writes) plus the property single-ring chaos cannot
+// express: isolation. A key routed to shard S must be readable only
+// through S, and the shared demux must never deliver a frame to a shard
+// the node does not host (UnknownShardDrops == 0).
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/multiraft"
+	"myraft/internal/raft"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+// MultiShardConfig parameterizes one multi-shard chaos run. The zero
+// value plus a Seed is the CI smoke configuration: 3 nodes × 4 shards.
+type MultiShardConfig struct {
+	Seed            int64
+	Shards          int           // default 4
+	Duration        time.Duration // fault window, default 1.2s
+	ConvergeTimeout time.Duration // default 30s
+	Logf            func(format string, args ...any)
+}
+
+func (c MultiShardConfig) withDefaults() MultiShardConfig {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Duration == 0 {
+		c.Duration = 1200 * time.Millisecond
+	}
+	if c.ConvergeTimeout == 0 {
+		c.ConvergeTimeout = 30 * time.Second
+	}
+	return c
+}
+
+func (c MultiShardConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// MultiShardReport is the outcome of one multi-shard chaos run.
+type MultiShardReport struct {
+	Seed       int64
+	Writes     int64
+	WriteErrs  int64
+	Crashes    int
+	Partitions int
+	Violations []string
+}
+
+// Passed reports whether every invariant held.
+func (r *MultiShardReport) Passed() bool { return len(r.Violations) == 0 }
+
+// msHarness is the multi-shard run state: per-(shard, term) leader
+// claims from the role-change hook and per-shard acknowledged-write
+// floors.
+type msHarness struct {
+	cfg MultiShardConfig
+	rt  *multiraft.Runtime
+
+	mu         sync.Mutex
+	leaders    map[wire.ShardID]map[uint64]map[wire.NodeID]bool
+	acked      map[wire.ShardID]uint64
+	violations []string
+	writes     int64
+	writeErrs  int64
+}
+
+func (h *msHarness) violatef(format string, args ...any) {
+	h.mu.Lock()
+	h.violations = append(h.violations, fmt.Sprintf(format, args...))
+	h.mu.Unlock()
+}
+
+// onRoleChange records leader claims per shard per term; runs on each
+// node's event loop, so it only stores and returns.
+func (h *msHarness) onRoleChange(shard wire.ShardID, rc raft.RoleChange) {
+	if rc.Role != raft.RoleLeader {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	terms := h.leaders[shard]
+	if terms == nil {
+		terms = make(map[uint64]map[wire.NodeID]bool)
+		h.leaders[shard] = terms
+	}
+	set := terms[rc.Term]
+	if set == nil {
+		set = make(map[wire.NodeID]bool)
+		terms[rc.Term] = set
+	}
+	set[rc.ID] = true
+}
+
+// shardKey finds a key the router sends to the given shard; each shard's
+// writer owns exactly one such key, so leakage is checkable per key.
+func shardKey(r *multiraft.Router, shard wire.ShardID) string {
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("ms-shard-%d-key-%d", shard, i)
+		if r.ShardFor(k) == shard {
+			return k
+		}
+	}
+}
+
+// RunMultiShard executes one multi-shard chaos run: boot 3 nodes × N
+// shards over the shared coalescing transport, run per-shard writers
+// while node crashes, restarts, and partitions play out, then heal and
+// check every shard's invariants plus cross-shard isolation.
+func RunMultiShard(cfg MultiShardConfig) (*MultiShardReport, error) {
+	cfg = cfg.withDefaults()
+	h := &msHarness{
+		cfg:     cfg,
+		leaders: make(map[wire.ShardID]map[uint64]map[wire.NodeID]bool),
+		acked:   make(map[wire.ShardID]uint64),
+	}
+	rep := &MultiShardReport{Seed: cfg.Seed}
+
+	rt, err := multiraft.New(multiraft.Options{
+		Shards: cfg.Shards,
+		Specs: []cluster.MemberSpec{
+			{ID: "n0", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
+			{ID: "n1", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
+			{ID: "n2", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
+		},
+		Name: fmt.Sprintf("ms-chaos-%d", cfg.Seed),
+		Raft: raft.Config{
+			HeartbeatInterval: 10 * time.Millisecond,
+		},
+		NetConfig: transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: 2 * time.Millisecond,
+		},
+		Seed:         cfg.Seed,
+		OnRoleChange: h.onRoleChange,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: build multi-shard runtime: %w", err)
+	}
+	defer rt.Close()
+	h.rt = rt
+
+	bctx, bcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	err = rt.Bootstrap(bctx)
+	bcancel()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: multi-shard bootstrap: %w", err)
+	}
+
+	// One writer per shard, each owning one shard-routed key and writing
+	// strictly increasing sequence numbers — the acked floor is per shard.
+	wctx, wcancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	keys := make([]string, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		keys[s] = shardKey(rt.Router(), wire.ShardID(s))
+		wg.Add(1)
+		go func(shard wire.ShardID, key string) {
+			defer wg.Done()
+			h.writer(wctx, shard, key)
+		}(wire.ShardID(s), keys[s])
+	}
+
+	// Node-level fault schedule, derived from the seed: crash one node at
+	// a time (keeping a 2-of-3 quorum on every shard), partition pairs,
+	// heal, repeat until the window closes.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nodes := rt.Nodes()
+	var down wire.NodeID
+	start := time.Now()
+	for time.Since(start) < cfg.Duration {
+		switch op := rng.Intn(4); {
+		case op == 0 && down == "":
+			id := nodes[rng.Intn(len(nodes))]
+			if err := rt.Crash(id); err == nil {
+				down = id
+				rep.Crashes++
+				cfg.logf("ms-chaos: crash %s (all %d shards)", id, cfg.Shards)
+			}
+		case op == 1 && down != "":
+			if err := rt.Restart(down); err != nil {
+				h.violatef("harness: restart %s: %v", down, err)
+			} else {
+				cfg.logf("ms-chaos: restart %s", down)
+			}
+			down = ""
+		case op == 2:
+			a, b := nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))]
+			if a != b {
+				rt.Net().Partition(a, b)
+				rep.Partitions++
+				cfg.logf("ms-chaos: partition %s <-> %s", a, b)
+			}
+		default:
+			rt.Net().HealAll()
+		}
+		time.Sleep(time.Duration(50+rng.Intn(150)) * time.Millisecond)
+	}
+
+	wcancel()
+	wg.Wait()
+
+	// Heal everything before judging convergence.
+	rt.Net().HealAll()
+	if down != "" {
+		if err := rt.Restart(down); err != nil {
+			return nil, fmt.Errorf("chaos: final restart of %s: %w", down, err)
+		}
+	}
+
+	h.checkShards(keys)
+	h.checkIsolation(keys)
+	h.checkElectionSafety()
+
+	h.mu.Lock()
+	rep.Writes, rep.WriteErrs = h.writes, h.writeErrs
+	rep.Violations = append([]string(nil), h.violations...)
+	h.mu.Unlock()
+	return rep, nil
+}
+
+func (h *msHarness) writer(ctx context.Context, shard wire.ShardID, key string) {
+	client := h.rt.Shard(shard).NewClient(0)
+	var seq uint64
+	for ctx.Err() == nil {
+		seq++
+		wctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+		_, err := client.TryWrite(wctx, key, []byte(strconv.FormatUint(seq, 10)))
+		cancel()
+		h.mu.Lock()
+		if err == nil {
+			h.writes++
+			if seq > h.acked[shard] {
+				h.acked[shard] = seq
+			}
+		} else {
+			h.writeErrs++
+		}
+		h.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// checkShards judges each shard as its own replicaset: a primary
+// re-emerges, logs and engines reconverge (log matching over full
+// checksums), and the shard's acknowledged write floor survives a
+// linearizable read.
+func (h *msHarness) checkShards(keys []string) {
+	deadline := time.Now().Add(h.cfg.ConvergeTimeout)
+	for s := 0; s < h.cfg.Shards; s++ {
+		shard := wire.ShardID(s)
+		c := h.rt.Shard(shard)
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		_, err := c.AnyPrimary(ctx)
+		cancel()
+		if err != nil {
+			h.violatef("shard %d: no primary after full heal: %v", shard, err)
+			continue
+		}
+		members := len(c.Members())
+		for {
+			from := c.LogCommonStart()
+			sums, serr := c.LogChecksums(from)
+			logOK := serr == nil && len(sums) == members && allEqual(sums)
+			esums := c.EngineChecksums()
+			engOK := len(esums) > 0 && allEqual(esums)
+			if logOK && engOK {
+				break
+			}
+			if time.Now().After(deadline) {
+				h.violatef("shard %d: no convergence within %s: logs=%v (err=%v) engines=%v",
+					shard, h.cfg.ConvergeTimeout, sums, serr, esums)
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+
+		h.mu.Lock()
+		floor := h.acked[shard]
+		h.mu.Unlock()
+		if floor == 0 {
+			continue
+		}
+		rctx, rcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		res, err := c.ReadLinearizable(rctx, keys[s])
+		rcancel()
+		if err != nil {
+			h.violatef("shard %d durability: final read of %s (acked seq %d) failed: %v", shard, keys[s], floor, err)
+			continue
+		}
+		if !res.Found {
+			h.violatef("shard %d durability: %s lost after seq %d was acked", shard, keys[s], floor)
+			continue
+		}
+		seq, perr := strconv.ParseUint(string(res.Value), 10, 64)
+		if perr != nil || seq < floor {
+			h.violatef("shard %d durability: %s = %q, below acked seq %d", shard, keys[s], res.Value, floor)
+		}
+	}
+}
+
+// checkIsolation is the cross-shard leakage invariant: a key written to
+// shard S must not be readable through any other shard's ring, and the
+// shared demux must never have delivered a frame to a shard a node does
+// not host — every envelope stayed inside its ring even while crashes
+// and partitions churned the shared endpoint.
+func (h *msHarness) checkIsolation(keys []string) {
+	for s, key := range keys {
+		h.mu.Lock()
+		floor := h.acked[wire.ShardID(s)]
+		h.mu.Unlock()
+		if floor == 0 {
+			continue // never acked; nothing to leak
+		}
+		for o := 0; o < h.cfg.Shards; o++ {
+			if o == s {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			res, err := h.rt.Shard(wire.ShardID(o)).ReadLinearizable(ctx, key)
+			cancel()
+			if err == nil && res.Found {
+				h.violatef("isolation: shard %d key %q leaked into shard %d (value %q)", s, key, o, res.Value)
+			}
+		}
+	}
+	for _, id := range h.rt.Nodes() {
+		if drops := h.rt.Demux(id).Stats().UnknownShardDrops; drops != 0 {
+			h.violatef("isolation: node %s demux saw %d frames for shards it does not host", id, drops)
+		}
+	}
+}
+
+// checkElectionSafety asserts at most one leader per term per shard —
+// shard rings share a transport but must never share an election.
+func (h *msHarness) checkElectionSafety() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for shard, terms := range h.leaders {
+		for term, set := range terms {
+			if len(set) > 1 {
+				ids := make([]wire.NodeID, 0, len(set))
+				for id := range set {
+					ids = append(ids, id)
+				}
+				sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+				h.violations = append(h.violations,
+					fmt.Sprintf("election safety: shard %d term %d had %d leaders: %v", shard, term, len(set), ids))
+			}
+		}
+	}
+}

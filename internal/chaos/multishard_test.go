@@ -1,0 +1,38 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestChaosMultiShardSmoke is the fixed-seed multi-shard gate: 3 nodes ×
+// 4 shards over the shared coalescing transport, node-level crashes and
+// partitions, then per-shard election safety, log matching, durability,
+// and the cross-shard isolation invariant.
+func TestChaosMultiShardSmoke(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			cfg := MultiShardConfig{Seed: seed}
+			if testing.Verbose() {
+				cfg.Logf = t.Logf
+			}
+			rep, err := RunMultiShard(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: harness error: %v", seed, err)
+			}
+			if !rep.Passed() {
+				t.Errorf("seed %d: %d invariant violation(s):", seed, len(rep.Violations))
+				for _, v := range rep.Violations {
+					t.Errorf("  %s", v)
+				}
+			}
+			if rep.Writes == 0 {
+				t.Errorf("seed %d: workload never acknowledged a write (errs=%d)", seed, rep.WriteErrs)
+			}
+			if testing.Verbose() {
+				t.Logf("seed %d: writes=%d errs=%d crashes=%d partitions=%d",
+					seed, rep.Writes, rep.WriteErrs, rep.Crashes, rep.Partitions)
+			}
+		})
+	}
+}

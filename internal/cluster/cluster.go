@@ -79,6 +79,13 @@ type Options struct {
 	// and errors (logstore.Faulty). Called again on every restart of the
 	// member, so wrappers with mutable fault state start each life fresh.
 	WrapLogStore func(id wire.NodeID, s raft.LogStore) raft.LogStore
+	// Transport, when set, supplies each member's transport instead of
+	// registering a fresh endpoint on the shared network. The multi-shard
+	// runtime (internal/multiraft) uses it to hand every shard's members
+	// ports of one demultiplexed endpoint per node — calling Register per
+	// shard would replace that endpoint and orphan the demux. Called again
+	// on every restart of the member; WrapTransport still applies on top.
+	Transport func(id wire.NodeID, region wire.Region) transport.Transport
 	// WrapTransport, when set, wraps each member's network endpoint before
 	// it is handed to raft.NewNode. The chaos harness uses it to inject
 	// message drops, delays, duplication and asymmetric partitions
@@ -214,7 +221,12 @@ func BootConfig(specs []MemberSpec) wire.Config {
 // startMember builds the full stack for one member: server (or tailer),
 // plugin, raft node, network endpoint.
 func (c *Cluster) startMember(m *Member) error {
-	ep := c.net.Register(m.Spec.ID, m.Spec.Region)
+	var ep transport.Transport
+	if c.opts.Transport != nil {
+		ep = c.opts.Transport(m.Spec.ID, m.Spec.Region)
+	} else {
+		ep = c.net.Register(m.Spec.ID, m.Spec.Region)
+	}
 	rcfg := c.opts.Raft
 	rcfg.ID = m.Spec.ID
 	rcfg.Region = m.Spec.Region

@@ -1,0 +1,108 @@
+package metrics
+
+// registry.go adds the point-in-time instruments the multi-shard runtime
+// exposes: gauges (a value that goes up and down — shards hosted, leaders
+// held, heartbeat fan-out) and a named registry that snapshots every
+// registered instrument into one map, so a single scrape covers a whole
+// process without ad-hoc status structs.
+
+import (
+	"sort"
+	"sync"
+)
+
+// Gauge is a concurrent instantaneous value. Unlike Counter it can move
+// in both directions.
+type Gauge struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Registry is a named collection of gauges and counters with a one-call
+// Snapshot. Instruments are created on first use and live for the
+// registry's lifetime. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	gauges   map[string]*Gauge
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty instrument registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		gauges:   make(map[string]*Gauge),
+		counters: make(map[string]*Counter),
+	}
+}
+
+// Gauge returns the named gauge, creating it at zero on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns every registered instrument's current value by name.
+// Counter and gauge names share one namespace; a counter shadowing a
+// gauge of the same name is a caller bug, and the counter wins.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges)+len(r.counters))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Names returns the sorted instrument names, for stable rendering.
+func (r *Registry) Names() []string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge = %d", g.Value())
+	}
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("after Set(7)+Add(-3) = %d", g.Value())
+	}
+	g.Add(-10)
+	if g.Value() != -6 {
+		t.Fatalf("gauges must go negative: %d", g.Value())
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("shards_hosted").Set(16)
+	r.Gauge("leaders_held").Set(5)
+	r.Counter("coalesced_flushes").Add(42)
+	// Same name returns the same instrument.
+	r.Gauge("leaders_held").Add(1)
+
+	got := r.Snapshot()
+	want := map[string]int64{
+		"shards_hosted":     16,
+		"leaders_held":      6,
+		"coalesced_flushes": 42,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+	names := r.Names()
+	if !reflect.DeepEqual(names, []string{"coalesced_flushes", "leaders_held", "shards_hosted"}) {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Gauge("g").Add(1)
+				r.Counter("c").Inc()
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap["g"] != 8000 || snap["c"] != 8000 {
+		t.Fatalf("lost updates: %v", snap)
+	}
+}

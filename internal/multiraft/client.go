@@ -1,0 +1,75 @@
+package multiraft
+
+// client.go is the shard-aware client: every key is routed through the
+// runtime's Router to its owning shard, then served by that shard's
+// single-ring client — writes go to the shard primary via discovery, and
+// the PR 1 read levels (linearizable / lease / session) apply per shard
+// unchanged, because each shard is a full replicaset.
+
+import (
+	"context"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/readpath"
+	"myraft/internal/wire"
+)
+
+// Client routes keys to shards and shard traffic to shard primaries.
+type Client struct {
+	rt      *Runtime
+	clients []*cluster.Client
+}
+
+// NewClient creates a routed client with the given simulated client RTT
+// (applied per shard attempt, as in cluster.Client).
+func (rt *Runtime) NewClient(rtt time.Duration) *Client {
+	c := &Client{rt: rt}
+	for _, shard := range rt.shards {
+		c.clients = append(c.clients, shard.NewClient(rtt))
+	}
+	return c
+}
+
+// ShardFor reports which shard serves the key under the current table.
+func (c *Client) ShardFor(key string) wire.ShardID { return c.rt.router.ShardFor(key) }
+
+// shardClient routes one key.
+func (c *Client) shardClient(key string) *cluster.Client {
+	return c.clients[c.rt.router.ShardFor(key)]
+}
+
+// Write upserts key=value on the owning shard's primary, retrying across
+// failovers until ctx expires.
+func (c *Client) Write(ctx context.Context, key string, value []byte) (cluster.WriteResult, error) {
+	return c.shardClient(key).Write(ctx, key, value)
+}
+
+// TryWrite attempts one write on the owning shard without failover
+// retries.
+func (c *Client) TryWrite(ctx context.Context, key string, value []byte) (cluster.WriteResult, error) {
+	return c.shardClient(key).TryWrite(ctx, key, value)
+}
+
+// Read serves a default-level read from the owning shard.
+func (c *Client) Read(ctx context.Context, key string) ([]byte, bool, error) {
+	return c.shardClient(key).Read(ctx, key)
+}
+
+// ReadLinearizable serves a linearizable (ReadIndex) read from the owning
+// shard's leader.
+func (c *Client) ReadLinearizable(ctx context.Context, key string) (readpath.Result, error) {
+	return c.shardClient(key).ReadLinearizable(ctx, key)
+}
+
+// ReadLease serves a leader-lease read from the owning shard.
+func (c *Client) ReadLease(ctx context.Context, key string) (readpath.Result, error) {
+	return c.shardClient(key).ReadLease(ctx, key)
+}
+
+// ReadSession serves a session-consistent read for the key from the given
+// member of the owning shard, using the session token accumulated by this
+// client's writes to that shard.
+func (c *Client) ReadSession(ctx context.Context, id wire.NodeID, key string) (readpath.Result, error) {
+	return c.shardClient(key).ReadSession(ctx, id, key)
+}

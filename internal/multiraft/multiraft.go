@@ -1,0 +1,415 @@
+// Package multiraft hosts many raft rings (shards) in one process, the
+// way the paper's fleet runs MyRaft: each MySQL shard is an independent
+// replicaset, but a node carries dozens of them, so per-shard costs —
+// heartbeat timers, fsync schedules, purge scans, transport endpoints —
+// must be shared per node, not multiplied per ring.
+//
+// The runtime stacks four mechanisms on the single-ring cluster package:
+//
+//   - one transport endpoint per node, multiplexed across shards by a
+//     transport.Demux speaking the wire.ShardEnvelope frame;
+//   - heartbeat coalescing in that demux: one physical message per
+//     (node, peer) pair per interval carries every co-located shard
+//     leader's heartbeat, collapsing O(shards × peers) messages into
+//     O(peers);
+//   - a shared-resource layer per node: one SyncGroup funneling every
+//     shard's log-writer fsync, and one retention scheduler driving every
+//     shard's snapshot/purge cycle;
+//   - a Router mapping keys to shards over reloadable hash-range tables,
+//     and a leader balancer spreading shard leaders across up nodes.
+package multiraft
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"myraft/internal/clock"
+	"myraft/internal/cluster"
+	"myraft/internal/discovery"
+	"myraft/internal/metrics"
+	"myraft/internal/raft"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+// Options configures a multi-shard runtime.
+type Options struct {
+	// Shards is the number of raft rings hosted by the process set.
+	Shards int
+	// Specs is the per-shard member topology. Every shard gets the same
+	// node set — the paper's deployment unit is a host carrying one
+	// mysqld per shard — so node IDs here name processes, and each shard
+	// ring stretches across all of them.
+	Specs []cluster.MemberSpec
+	// Name prefixes shard replicaset names in service discovery
+	// (default "multiraft"; shard s registers as "<name>/shard-<s>").
+	Name string
+	// Dir is the root state directory (a subdirectory per shard). A temp
+	// directory is created when empty.
+	Dir string
+	// Raft is the per-node config template, applied to every shard.
+	Raft raft.Config
+	// NetConfig configures the shared network.
+	NetConfig transport.Config
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Seed seeds network jitter for reproducible runs.
+	Seed int64
+	// Table is the initial routing table (default UniformTable(Shards)).
+	Table Table
+	// DisableCoalescing turns off heartbeat coalescing: every shard
+	// heartbeat crosses in its own envelope (the per-shard fallback, and
+	// the baseline for the coalescing experiments).
+	DisableCoalescing bool
+	// OnRoleChange, when set, observes every role transition on every
+	// shard (the chaos harness checks election safety per shard with it).
+	OnRoleChange func(shard wire.ShardID, rc raft.RoleChange)
+	// WrapLogStore, when set, wraps each member's log store before the
+	// shared per-node SyncGroup does (fault injection, modeled device
+	// latency). The sync group always stays outermost so every shard's
+	// fsyncs still funnel through one worker per node.
+	WrapLogStore func(id wire.NodeID, store raft.LogStore) raft.LogStore
+}
+
+// Runtime is a running multi-shard process set.
+type Runtime struct {
+	opts     Options
+	net      *transport.Network
+	registry *discovery.Registry
+	clk      clock.Clock
+	demuxes  map[wire.NodeID]*transport.Demux
+	syncs    map[wire.NodeID]*SyncGroup
+	shards   []*cluster.Cluster
+	router   *Router
+	reg      *metrics.Registry
+
+	mu   sync.Mutex
+	down map[wire.NodeID]bool
+}
+
+// New builds and starts every shard ring. No leaders exist until
+// Bootstrap (or election timeouts) elect them.
+func New(opts Options) (*Runtime, error) {
+	if opts.Shards <= 0 {
+		return nil, fmt.Errorf("multiraft: Shards must be positive")
+	}
+	if len(opts.Specs) == 0 {
+		return nil, fmt.Errorf("multiraft: no member specs")
+	}
+	if opts.Name == "" {
+		opts.Name = "multiraft"
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.Real()
+	}
+	if opts.Dir == "" {
+		dir, err := os.MkdirTemp("", "myraft-multiraft-")
+		if err != nil {
+			return nil, fmt.Errorf("multiraft: %w", err)
+		}
+		opts.Dir = dir
+	}
+	if len(opts.Table.Ranges) == 0 {
+		opts.Table = UniformTable(opts.Shards)
+	}
+	router, err := NewRouter(opts.Table, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+
+	netCfg := opts.NetConfig
+	if netCfg.Seed == 0 {
+		netCfg.Seed = opts.Seed
+	}
+	rt := &Runtime{
+		opts:     opts,
+		net:      transport.New(netCfg, opts.Clock),
+		registry: discovery.NewRegistry(),
+		clk:      opts.Clock,
+		demuxes:  make(map[wire.NodeID]*transport.Demux),
+		syncs:    make(map[wire.NodeID]*SyncGroup),
+		router:   router,
+		reg:      metrics.NewRegistry(),
+		down:     make(map[wire.NodeID]bool),
+	}
+
+	// One endpoint + demux + fsync group per node, shared by every shard.
+	hb := opts.Raft.HeartbeatInterval
+	if hb == 0 {
+		hb = 500 * time.Millisecond
+	}
+	flush := hb
+	if opts.DisableCoalescing {
+		flush = 0
+	}
+	for _, spec := range opts.Specs {
+		if _, ok := rt.demuxes[spec.ID]; ok {
+			rt.Close()
+			return nil, fmt.Errorf("multiraft: duplicate member %s", spec.ID)
+		}
+		ep := rt.net.Register(spec.ID, spec.Region)
+		rt.demuxes[spec.ID] = transport.NewDemux(ep, opts.Clock, transport.DemuxConfig{FlushInterval: flush})
+		rt.syncs[spec.ID] = NewSyncGroup()
+	}
+
+	for s := 0; s < opts.Shards; s++ {
+		shard := wire.ShardID(s)
+		rcfg := opts.Raft
+		if opts.OnRoleChange != nil {
+			hook := opts.OnRoleChange
+			rcfg.OnRoleChange = func(rc raft.RoleChange) { hook(shard, rc) }
+		}
+		c, err := cluster.New(cluster.Options{
+			Name:     rt.ShardName(shard),
+			Dir:      filepath.Join(opts.Dir, fmt.Sprintf("shard-%d", s)),
+			Raft:     rcfg,
+			Net:      rt.net,
+			Registry: rt.registry,
+			Clock:    opts.Clock,
+			Seed:     opts.Seed,
+			Transport: func(id wire.NodeID, _ wire.Region) transport.Transport {
+				return rt.demuxes[id].Shard(shard)
+			},
+			WrapLogStore: func(id wire.NodeID, store raft.LogStore) raft.LogStore {
+				if opts.WrapLogStore != nil {
+					store = opts.WrapLogStore(id, store)
+				}
+				return rt.syncs[id].Wrap(store)
+			},
+		}, opts.Specs)
+		if err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("multiraft: shard %d: %w", s, err)
+		}
+		rt.shards = append(rt.shards, c)
+	}
+	rt.reg.Gauge("shards_hosted").Set(int64(opts.Shards))
+	return rt, nil
+}
+
+// Name returns the runtime's name prefix.
+func (rt *Runtime) Name() string { return rt.opts.Name }
+
+// ShardName returns the discovery name of one shard's replicaset.
+func (rt *Runtime) ShardName(shard wire.ShardID) string {
+	return fmt.Sprintf("%s/shard-%d", rt.opts.Name, shard)
+}
+
+// Shards returns the number of hosted shards.
+func (rt *Runtime) Shards() int { return len(rt.shards) }
+
+// Shard returns one shard's cluster (nil for unknown shards).
+func (rt *Runtime) Shard(id wire.ShardID) *cluster.Cluster {
+	if int(id) >= len(rt.shards) {
+		return nil
+	}
+	return rt.shards[id]
+}
+
+// Router returns the key→shard router.
+func (rt *Runtime) Router() *Router { return rt.router }
+
+// Net returns the shared network (fault injection, stats).
+func (rt *Runtime) Net() *transport.Network { return rt.net }
+
+// Registry returns the shared discovery registry.
+func (rt *Runtime) Registry() *discovery.Registry { return rt.registry }
+
+// Demux returns one node's shard demultiplexer (nil for unknown nodes).
+func (rt *Runtime) Demux(id wire.NodeID) *transport.Demux { return rt.demuxes[id] }
+
+// SyncGroup returns one node's shared fsync group (nil for unknown
+// nodes).
+func (rt *Runtime) SyncGroup(id wire.NodeID) *SyncGroup { return rt.syncs[id] }
+
+// Nodes returns the node IDs in spec order.
+func (rt *Runtime) Nodes() []wire.NodeID {
+	out := make([]wire.NodeID, 0, len(rt.opts.Specs))
+	for _, s := range rt.opts.Specs {
+		out = append(out, s.ID)
+	}
+	return out
+}
+
+// Bootstrap elects an initial leader for every shard, spreading them
+// round-robin across the MySQL voter nodes, and waits until each shard
+// has a published primary. Shards bootstrap concurrently — a 16-shard
+// process must not pay 16 sequential election waits.
+func (rt *Runtime) Bootstrap(ctx context.Context) error {
+	var voters []wire.NodeID
+	for _, s := range rt.opts.Specs {
+		if s.Kind == cluster.KindMySQL && s.Voter {
+			voters = append(voters, s.ID)
+		}
+	}
+	if len(voters) == 0 {
+		return fmt.Errorf("multiraft: no MySQL voters to bootstrap")
+	}
+	errs := make(chan error, len(rt.shards))
+	for s, c := range rt.shards {
+		go func(c *cluster.Cluster, at wire.NodeID) {
+			errs <- c.Bootstrap(ctx, at)
+		}(c, voters[s%len(voters)])
+	}
+	for range rt.shards {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardStatus is one shard's row in the /shards rollup.
+type ShardStatus struct {
+	Shard        wire.ShardID `json:"shard"`
+	Name         string       `json:"name"`
+	Leader       wire.NodeID  `json:"leader,omitempty"`
+	Term         uint64       `json:"term"`
+	CommitIndex  uint64       `json:"commit_index"`
+	DurableIndex uint64       `json:"durable_index"`
+	PurgeFloor   uint64       `json:"purge_floor"`
+}
+
+// ShardStatuses surveys every shard: its leader (empty while none is
+// claiming), term, commit/durable progress and purge floor.
+func (rt *Runtime) ShardStatuses() []ShardStatus {
+	out := make([]ShardStatus, 0, len(rt.shards))
+	for s, c := range rt.shards {
+		st := ShardStatus{
+			Shard:      wire.ShardID(s),
+			Name:       rt.ShardName(wire.ShardID(s)),
+			PurgeFloor: c.PurgeFloor(),
+		}
+		if leader := c.Leader(); leader != nil && leader.Node() != nil {
+			ns := leader.Node().Status()
+			st.Leader = ns.ID
+			st.Term = ns.Term
+			st.CommitIndex = ns.CommitIndex
+			st.DurableIndex = ns.DurableIndex
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// LeadersByNode groups shard leadership by hosting node. Leaderless
+// shards are absent.
+func (rt *Runtime) LeadersByNode() map[wire.NodeID][]wire.ShardID {
+	out := make(map[wire.NodeID][]wire.ShardID)
+	for _, st := range rt.ShardStatuses() {
+		if st.Leader != "" {
+			out[st.Leader] = append(out[st.Leader], st.Shard)
+		}
+	}
+	return out
+}
+
+// Metrics refreshes and returns the runtime's instrument registry:
+// per-node leaders-held gauges, coalesced-heartbeat traffic, and fsync
+// coalescing counters — one scrape covers the process.
+func (rt *Runtime) Metrics() *metrics.Registry {
+	byNode := rt.LeadersByNode()
+	for _, spec := range rt.opts.Specs {
+		id := spec.ID
+		rt.reg.Gauge("leaders_held:" + string(id)).Set(int64(len(byNode[id])))
+		if d := rt.demuxes[id]; d != nil {
+			st := d.Stats()
+			var flushes int64
+			for _, n := range st.CoalescedFlushes {
+				flushes += n
+			}
+			rt.reg.Gauge("hb_coalesced_flushes:" + string(id)).Set(flushes)
+			rt.reg.Gauge("hb_coalesced_items:" + string(id)).Set(st.CoalescedItems)
+			rt.reg.Gauge("shard_unknown_drops:" + string(id)).Set(st.UnknownShardDrops)
+		}
+		if g := rt.syncs[id]; g != nil {
+			st := g.Stats()
+			rt.reg.Gauge("fsync_requests:" + string(id)).Set(st.Requests)
+			rt.reg.Gauge("fsync_physical:" + string(id)).Set(st.Syncs)
+		}
+	}
+	return rt.reg
+}
+
+// Crash takes a node down across every shard it hosts — one process
+// death kills all co-located rings.
+func (rt *Runtime) Crash(id wire.NodeID) error {
+	for s, c := range rt.shards {
+		if err := c.Crash(id); err != nil {
+			return fmt.Errorf("multiraft: crash %s on shard %d: %w", id, s, err)
+		}
+	}
+	rt.mu.Lock()
+	rt.down[id] = true
+	rt.mu.Unlock()
+	return nil
+}
+
+// Restart brings a crashed node back on every shard.
+func (rt *Runtime) Restart(id wire.NodeID) error {
+	for s, c := range rt.shards {
+		if err := c.Restart(id); err != nil {
+			return fmt.Errorf("multiraft: restart %s on shard %d: %w", id, s, err)
+		}
+	}
+	rt.mu.Lock()
+	delete(rt.down, id)
+	rt.mu.Unlock()
+	return nil
+}
+
+// UpNodes returns the nodes not currently crashed, in spec order.
+func (rt *Runtime) UpNodes() []wire.NodeID {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []wire.NodeID
+	for _, s := range rt.opts.Specs {
+		if !rt.down[s.ID] {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// RunRetention drives one snapshot/purge scheduler for the whole
+// process: a single goroutine round-robining the purge protocol over
+// every shard, instead of a timer per ring. Blocks until ctx is done.
+func (rt *Runtime) RunRetention(ctx context.Context, opts cluster.RetentionOptions) {
+	interval := opts.Interval
+	if interval == 0 {
+		interval = time.Second
+	}
+	tk := rt.clk.NewTicker(interval)
+	defer tk.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tk.C():
+			for _, c := range rt.shards {
+				// Purge errors (no leader mid-failover) are transient;
+				// the next round retries.
+				_, _ = c.PurgeOnce(opts.RetentionEntries)
+			}
+		}
+	}
+}
+
+// Close tears the whole process set down: every shard ring, then the
+// shared demuxes, fsync groups and network.
+func (rt *Runtime) Close() {
+	for _, c := range rt.shards {
+		c.Close()
+	}
+	for _, d := range rt.demuxes {
+		d.Close()
+	}
+	for _, g := range rt.syncs {
+		g.Close()
+	}
+	rt.net.Close()
+}

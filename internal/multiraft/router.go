@@ -1,0 +1,171 @@
+package multiraft
+
+// router.go maps client keys to shards. The paper's fleet shards MySQL by
+// key range with automation moving ranges between replicasets; here the
+// routing table is a versioned list of hash ranges over a 32-bit ring —
+// static hash partitioning to start, but the table format already allows
+// several ranges per shard, so a future shard split is a table reload
+// (one range handed to a new shard), not a format change.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"myraft/internal/wire"
+)
+
+// Range assigns the keys hashing into [Start, End] (inclusive) to Shard.
+type Range struct {
+	Start uint32
+	End   uint32
+	Shard wire.ShardID
+}
+
+// Table is one immutable routing-table version: an exhaustive,
+// non-overlapping partition of the 32-bit hash ring. Higher versions
+// replace lower ones on Reload.
+type Table struct {
+	Version uint64
+	Ranges  []Range
+}
+
+// UniformTable builds version-1 static hash partitioning: n contiguous
+// equal ranges, one per shard.
+func UniformTable(n int) Table {
+	if n <= 0 {
+		return Table{}
+	}
+	width := uint64(math.MaxUint32)/uint64(n) + 1
+	t := Table{Version: 1}
+	for i := 0; i < n; i++ {
+		start := uint64(i) * width
+		end := start + width - 1
+		if i == n-1 || end > math.MaxUint32 {
+			end = math.MaxUint32
+		}
+		t.Ranges = append(t.Ranges, Range{Start: uint32(start), End: uint32(end), Shard: wire.ShardID(i)})
+	}
+	return t
+}
+
+// Validate checks that the table partitions the full hash ring: complete
+// coverage, no overlap, no inverted ranges. When shards > 0 every range
+// must also target a shard below that bound. Several ranges may target
+// the same shard (split-ready).
+func (t Table) Validate(shards int) error {
+	if len(t.Ranges) == 0 {
+		return fmt.Errorf("multiraft: empty routing table")
+	}
+	rs := append([]Range(nil), t.Ranges...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	if rs[0].Start != 0 {
+		return fmt.Errorf("multiraft: routing table starts at %d, not 0", rs[0].Start)
+	}
+	for i, r := range rs {
+		if r.End < r.Start {
+			return fmt.Errorf("multiraft: inverted range [%d, %d]", r.Start, r.End)
+		}
+		if shards > 0 && int(r.Shard) >= shards {
+			return fmt.Errorf("multiraft: range [%d, %d] targets unknown shard %d", r.Start, r.End, r.Shard)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := rs[i-1]
+		if r.Start <= prev.End {
+			return fmt.Errorf("multiraft: ranges [%d, %d] and [%d, %d] overlap", prev.Start, prev.End, r.Start, r.End)
+		}
+		if r.Start != prev.End+1 {
+			return fmt.Errorf("multiraft: gap between %d and %d", prev.End, r.Start)
+		}
+	}
+	if rs[len(rs)-1].End != math.MaxUint32 {
+		return fmt.Errorf("multiraft: routing table ends at %d, leaving a gap", rs[len(rs)-1].End)
+	}
+	return nil
+}
+
+// hashKey positions a key on the ring: FNV-1a (the repo's standard
+// non-cryptographic hash) followed by an avalanche finalizer. Range
+// partitioning splits the space by the hash's HIGH bits, and raw FNV-1a
+// barely moves them between near-identical keys ("user:0".."user:4"
+// would all land on one shard); the fmix32-style finalizer spreads every
+// input bit across the word.
+func hashKey(key string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	x := h.Sum32()
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// lookup returns the shard owning the hash point. The table is assumed
+// validated (exhaustive), so a miss cannot happen; the zero shard is
+// returned defensively.
+func (t Table) lookup(point uint32) wire.ShardID {
+	i := sort.Search(len(t.Ranges), func(i int) bool { return t.Ranges[i].End >= point })
+	if i < len(t.Ranges) && t.Ranges[i].Start <= point {
+		return t.Ranges[i].Shard
+	}
+	return 0
+}
+
+// ShardFor returns the shard owning the key under this table.
+func (t Table) ShardFor(key string) wire.ShardID { return t.lookup(hashKey(key)) }
+
+// Router is the concurrent-safe holder of the current routing table.
+// Reload swaps in a newer version atomically; in-flight lookups see
+// either the old or the new table, never a mix.
+type Router struct {
+	shards int
+	mu     sync.RWMutex
+	table  Table
+}
+
+// NewRouter validates and installs the initial table. shards bounds the
+// shard IDs a table may target (0 disables the bound).
+func NewRouter(t Table, shards int) (*Router, error) {
+	if err := t.Validate(shards); err != nil {
+		return nil, err
+	}
+	sort.Slice(t.Ranges, func(i, j int) bool { return t.Ranges[i].Start < t.Ranges[j].Start })
+	return &Router{shards: shards, table: t}, nil
+}
+
+// Table returns the current table.
+func (r *Router) Table() Table {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return Table{Version: r.table.Version, Ranges: append([]Range(nil), r.table.Ranges...)}
+}
+
+// ShardFor routes one key under the current table.
+func (r *Router) ShardFor(key string) wire.ShardID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.table.lookup(hashKey(key))
+}
+
+// Reload swaps in a strictly newer table version. Stale reloads (same or
+// older version) are rejected, so concurrent reloaders converge on the
+// newest table no matter the arrival order.
+func (r *Router) Reload(t Table) error {
+	if err := t.Validate(r.shards); err != nil {
+		return err
+	}
+	sort.Slice(t.Ranges, func(i, j int) bool { return t.Ranges[i].Start < t.Ranges[j].Start })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t.Version <= r.table.Version {
+		return fmt.Errorf("multiraft: stale table version %d (have %d)", t.Version, r.table.Version)
+	}
+	r.table = t
+	return nil
+}

@@ -1,0 +1,177 @@
+package multiraft
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"myraft/internal/wire"
+)
+
+func TestUniformTableValid(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 100} {
+		tab := UniformTable(n)
+		if err := tab.Validate(n); err != nil {
+			t.Fatalf("UniformTable(%d) invalid: %v", n, err)
+		}
+		if len(tab.Ranges) != n {
+			t.Fatalf("UniformTable(%d) has %d ranges", n, len(tab.Ranges))
+		}
+	}
+}
+
+func TestTableValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  Table
+	}{
+		{"empty", Table{}},
+		{"gap at start", Table{Ranges: []Range{{Start: 1, End: math.MaxUint32}}}},
+		{"gap in middle", Table{Ranges: []Range{
+			{Start: 0, End: 99}, {Start: 200, End: math.MaxUint32, Shard: 1}}}},
+		{"overlap", Table{Ranges: []Range{
+			{Start: 0, End: 100}, {Start: 100, End: math.MaxUint32, Shard: 1}}}},
+		{"gap at end", Table{Ranges: []Range{{Start: 0, End: math.MaxUint32 - 1}}}},
+		{"inverted", Table{Ranges: []Range{
+			{Start: 0, End: math.MaxUint32}, {Start: 500, End: 400, Shard: 1}}}},
+		{"unknown shard", Table{Ranges: []Range{{Start: 0, End: math.MaxUint32, Shard: 9}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.tab.Validate(2); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.tab)
+		}
+	}
+}
+
+// Property: every key maps to exactly one shard — the routed shard's
+// range contains the key's hash point, and no other range does.
+func TestRouterEveryKeyExactlyOneShard(t *testing.T) {
+	const shards = 16
+	r, err := NewRouter(UniformTable(shards), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := r.Table()
+	f := func(key string) bool {
+		point := hashKey(key)
+		owners := 0
+		var owner wire.ShardID
+		for _, rg := range tab.Ranges {
+			if rg.Start <= point && point <= rg.End {
+				owners++
+				owner = rg.Shard
+			}
+		}
+		return owners == 1 && r.ShardFor(key) == owner
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a reload that bumps the version but keeps the mapping routes
+// every key identically — table reloads must not silently remap keys.
+func TestRouterReloadAgreement(t *testing.T) {
+	const shards = 8
+	r, err := NewRouter(UniformTable(shards), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[string]wire.ShardID)
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.ShardFor(k)
+	}
+	next := UniformTable(shards)
+	next.Version = 2
+	if err := r.Reload(next); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range before {
+		if got := r.ShardFor(k); got != want {
+			t.Fatalf("key %q remapped %d → %d across an equivalent reload", k, want, got)
+		}
+	}
+}
+
+// Sequential key patterns — the common real workload — must spread
+// across shards, not clump: range partitioning reads the hash's high
+// bits, which the finalizer must avalanche.
+func TestRouterSequentialKeysSpread(t *testing.T) {
+	const shards = 8
+	r, err := NewRouter(UniformTable(shards), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []string{"user:%d", "order-%d", "k%d"} {
+		counts := make(map[wire.ShardID]int)
+		const n = 1000
+		for i := 0; i < n; i++ {
+			counts[r.ShardFor(fmt.Sprintf(pattern, i))]++
+		}
+		if len(counts) != shards {
+			t.Fatalf("pattern %q: only %d/%d shards hit: %v", pattern, len(counts), shards, counts)
+		}
+		for s, c := range counts {
+			// Uniform expectation is n/shards = 125; allow a wide band.
+			if c < n/shards/3 || c > n/shards*3 {
+				t.Fatalf("pattern %q: shard %d got %d of %d keys: %v", pattern, s, c, n, counts)
+			}
+		}
+	}
+}
+
+func TestRouterReloadStaleRejected(t *testing.T) {
+	r, err := NewRouter(UniformTable(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := UniformTable(4) // version 1 again
+	if err := r.Reload(stale); err == nil {
+		t.Fatal("stale reload accepted")
+	}
+	if r.Table().Version != 1 {
+		t.Fatalf("version moved: %d", r.Table().Version)
+	}
+}
+
+// A split-ready reload: shard 0's range handed partly to a new shard.
+// Keys hashing into the moved range follow it; all others stay put.
+func TestRouterSplitReload(t *testing.T) {
+	base := Table{Version: 1, Ranges: []Range{
+		{Start: 0, End: math.MaxUint32 / 2, Shard: 0},
+		{Start: math.MaxUint32/2 + 1, End: math.MaxUint32, Shard: 1},
+	}}
+	r, err := NewRouter(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := Table{Version: 2, Ranges: []Range{
+		{Start: 0, End: math.MaxUint32 / 4, Shard: 0},
+		{Start: math.MaxUint32/4 + 1, End: math.MaxUint32 / 2, Shard: 2},
+		{Start: math.MaxUint32/2 + 1, End: math.MaxUint32, Shard: 1},
+	}}
+	if err := r.Reload(split); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("split-key-%d", i)
+		point := hashKey(k)
+		got := r.ShardFor(k)
+		switch {
+		case point <= math.MaxUint32/4:
+			if got != 0 {
+				t.Fatalf("key %q (low range) on shard %d", k, got)
+			}
+		case point <= math.MaxUint32/2:
+			if got != 2 {
+				t.Fatalf("key %q (split range) on shard %d", k, got)
+			}
+		default:
+			if got != 1 {
+				t.Fatalf("key %q (high range) on shard %d", k, got)
+			}
+		}
+	}
+}

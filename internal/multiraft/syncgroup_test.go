@@ -1,0 +1,116 @@
+package multiraft
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"myraft/internal/opid"
+	"myraft/internal/raft"
+	"myraft/internal/wire"
+)
+
+// slowStore is a LogStore stub whose Sync takes real time, so concurrent
+// requests pile up behind the group worker and coalesce.
+type slowStore struct {
+	syncs  atomic.Int64
+	delay  time.Duration
+	err    error
+	anchor opid.OpID
+}
+
+func (s *slowStore) Append(*wire.LogEntry) error                    { return nil }
+func (s *slowStore) Entry(uint64) (*wire.LogEntry, error)           { return nil, errors.New("empty") }
+func (s *slowStore) LastOpID() opid.OpID                            { return opid.Zero }
+func (s *slowStore) FirstIndex() uint64                             { return 0 }
+func (s *slowStore) TruncateAfter(uint64) ([]*wire.LogEntry, error) { return nil, nil }
+func (s *slowStore) Sync() error {
+	s.syncs.Add(1)
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	return s.err
+}
+func (s *slowStore) SnapshotAnchor() opid.OpID { return s.anchor }
+func (s *slowStore) ScanFrom(from uint64, fn func(*wire.LogEntry) bool) error {
+	return nil
+}
+
+func TestSyncGroupCoalesces(t *testing.T) {
+	g := NewSyncGroup()
+	defer g.Close()
+	stores := []*slowStore{{delay: 2 * time.Millisecond}, {delay: 2 * time.Millisecond}}
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		st := stores[i%2]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if err := g.Sync(st); err != nil {
+					t.Errorf("Sync: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats := g.Stats()
+	if stats.Requests != callers*10 {
+		t.Fatalf("requests = %d, want %d", stats.Requests, callers*10)
+	}
+	physical := stores[0].syncs.Load() + stores[1].syncs.Load()
+	if physical != stats.Syncs {
+		t.Fatalf("stats.Syncs = %d but stores saw %d", stats.Syncs, physical)
+	}
+	if physical >= stats.Requests {
+		t.Fatalf("no coalescing: %d physical syncs for %d requests", physical, stats.Requests)
+	}
+}
+
+func TestSyncGroupPropagatesErrors(t *testing.T) {
+	g := NewSyncGroup()
+	defer g.Close()
+	boom := errors.New("fsync: device lost")
+	st := &slowStore{err: boom}
+	if err := g.Sync(st); !errors.Is(err, boom) {
+		t.Fatalf("Sync = %v, want %v", err, boom)
+	}
+}
+
+func TestSyncGroupClosedFallsBack(t *testing.T) {
+	g := NewSyncGroup()
+	g.Close()
+	st := &slowStore{}
+	if err := g.Sync(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.syncs.Load() != 1 {
+		t.Fatalf("closed group did not fall back to direct sync: %d", st.syncs.Load())
+	}
+}
+
+// The wrapper must keep satisfying the optional interfaces raft probes
+// for at Start — hiding ScanFrom or SnapshotAnchor would silently break
+// recovery and the snapshot boundary.
+func TestWrapForwardsOptionalInterfaces(t *testing.T) {
+	g := NewSyncGroup()
+	defer g.Close()
+	anchor := opid.OpID{Term: 3, Index: 77}
+	wrapped := g.Wrap(&slowStore{anchor: anchor})
+	a, ok := wrapped.(interface{ SnapshotAnchor() opid.OpID })
+	if !ok {
+		t.Fatal("wrapper hides SnapshotAnchor")
+	}
+	if got := a.SnapshotAnchor(); got != anchor {
+		t.Fatalf("SnapshotAnchor = %+v, want %+v", got, anchor)
+	}
+	if _, ok := wrapped.(interface {
+		ScanFrom(from uint64, fn func(*wire.LogEntry) bool) error
+	}); !ok {
+		t.Fatal("wrapper hides ScanFrom")
+	}
+	var _ raft.LogStore = wrapped
+}

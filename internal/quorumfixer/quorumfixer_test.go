@@ -107,6 +107,14 @@ func TestFixRefusesWhenRingHealthy(t *testing.T) {
 	c, err := cluster.New(cluster.Options{
 		Dir:  t.TempDir(),
 		Raft: raft.Config{HeartbeatInterval: 10 * time.Millisecond},
+		// A 10ms-heartbeat ring over the default 30ms WAN links puts the
+		// vote RTT at the election timeout — two symmetric voters can
+		// split-vote for tens of seconds. Use fast links like the other
+		// tests in this file.
+		NetConfig: transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: 2 * time.Millisecond,
+		},
 	}, cluster.PaperTopology(1, 0))
 	if err != nil {
 		t.Fatal(err)
@@ -128,6 +136,10 @@ func TestConservativeModeRefusesDataLoss(t *testing.T) {
 		Raft: raft.Config{
 			HeartbeatInterval: 10 * time.Millisecond,
 			Strategy:          quorum.SingleRegionDynamic{},
+		},
+		NetConfig: transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: 2 * time.Millisecond,
 		},
 	}, cluster.PaperTopology(1, 0))
 	if err != nil {

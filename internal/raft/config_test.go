@@ -1,0 +1,53 @@
+package raft
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+// Start must reject configs whose timing parameters would wedge the
+// tickers, with a diagnosable error instead of a stuck node. Zero values
+// are fine — NewNode defaults them — so the hostile cases are negatives.
+func TestStartRejectsInvalidConfig(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative heartbeat interval", func(c *Config) { c.HeartbeatInterval = -time.Second }},
+		{"negative election ticks", func(c *Config) { c.ElectionTimeoutTicks = -3 }},
+	}
+	boot := wire.Config{Members: []wire.Member{{ID: "n1", Region: "r1", Voter: true}}}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := transport.New(transport.Config{}, nil)
+			defer net.Close()
+			cfg := Config{ID: "n1", Region: "r1", StateDir: t.TempDir()}
+			tc.mutate(&cfg)
+			node, err := NewNode(cfg, &memLog{}, nil, net.Register("n1", "r1"), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := node.Start(boot); !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("Start = %v, want ErrInvalidConfig", err)
+			}
+		})
+	}
+
+	t.Run("zero values are defaulted", func(t *testing.T) {
+		net := transport.New(transport.Config{}, nil)
+		defer net.Close()
+		cfg := Config{ID: "n1", Region: "r1", StateDir: t.TempDir()}
+		node, err := NewNode(cfg, &memLog{}, nil, net.Register("n1", "r1"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(boot); err != nil {
+			t.Fatalf("defaulted config rejected: %v", err)
+		}
+		node.Stop()
+	})
+}

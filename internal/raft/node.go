@@ -188,6 +188,9 @@ func hashID(id wire.NodeID) uint32 {
 // over the bootstrap config. Start also rebuilds the membership history
 // and tail state from the log.
 func (n *Node) Start(bootstrap wire.Config) error {
+	if err := n.cfg.validate(); err != nil {
+		return err
+	}
 	n.members = bootstrap.Clone()
 	n.confHistory = []confVersion{{index: 0, cfg: n.members.Clone()}}
 	n.lastOpID = n.log.LastOpID()

@@ -13,6 +13,7 @@ package raft
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"myraft/internal/opid"
@@ -65,6 +66,9 @@ var (
 	ErrUnknownMember = errors.New("raft: unknown member")
 	// ErrTransferFailed reports an unsuccessful leadership transfer.
 	ErrTransferFailed = errors.New("raft: leadership transfer failed")
+	// ErrInvalidConfig rejects, at Start, a Config whose timing
+	// parameters would wedge the node's tickers instead of driving them.
+	ErrInvalidConfig = errors.New("raft: invalid config")
 	// ErrLeaseExpired rejects a LeaseRead when the leader lease is not
 	// currently valid; callers fall back to ReadIndex.
 	ErrLeaseExpired = errors.New("raft: leader lease expired")
@@ -310,6 +314,21 @@ type RoleChange struct {
 	Term   uint64
 	Role   Role
 	Leader wire.NodeID
+}
+
+// validate rejects configs that cannot drive the event loop. It runs on
+// the defaulted config (NewNode fills zero values), so what it catches in
+// practice are explicitly negative settings: a non-positive heartbeat
+// interval would panic the ticker, and a non-positive election timeout
+// would depose every leader on its first tick.
+func (c Config) validate() error {
+	if c.HeartbeatInterval <= 0 {
+		return fmt.Errorf("%w: HeartbeatInterval %v must be positive", ErrInvalidConfig, c.HeartbeatInterval)
+	}
+	if c.ElectionTimeoutTicks <= 0 {
+		return fmt.Errorf("%w: ElectionTimeoutTicks %d must be positive", ErrInvalidConfig, c.ElectionTimeoutTicks)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {

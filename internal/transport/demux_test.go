@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"myraft/internal/opid"
+	"myraft/internal/wire"
+)
+
+func newDemuxPair(t *testing.T, cfg DemuxConfig) (*Network, *Demux, *Demux) {
+	t.Helper()
+	net := New(Config{IntraRegion: time.Microsecond, Jitter: 0}, nil)
+	t.Cleanup(net.Close)
+	a := NewDemux(net.Register("a", "r1"), nil, cfg)
+	b := NewDemux(net.Register("b", "r1"), nil, cfg)
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	return net, a, b
+}
+
+func recvShard(t *testing.T, p *ShardPort) Envelope {
+	t.Helper()
+	select {
+	case env := <-p.Recv():
+		return env
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for delivery")
+		return Envelope{}
+	}
+}
+
+func TestDemuxRoutesByShard(t *testing.T) {
+	_, a, b := newDemuxPair(t, DemuxConfig{})
+	a0, a1 := a.Shard(0), a.Shard(1)
+	b0, b1 := b.Shard(0), b.Shard(1)
+	_ = a0
+
+	if err := a1.Send("b", &wire.RequestVoteReq{Term: 5, Candidate: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvShard(t, b1)
+	if env.From != "a" || env.Msg.(*wire.RequestVoteReq).Term != 5 {
+		t.Fatalf("wrong delivery: %+v", env)
+	}
+	select {
+	case leaked := <-b0.Recv():
+		t.Fatalf("shard 0 received shard 1 traffic: %+v", leaked)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestDemuxUnknownShardDrops(t *testing.T) {
+	_, a, b := newDemuxPair(t, DemuxConfig{})
+	a9 := a.Shard(9)
+	b.Shard(0) // shard 9 not hosted on b
+
+	if err := a9.Send("b", &wire.RequestVoteReq{Term: 1, Candidate: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.Stats().UnknownShardDrops == 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("unknown-shard drop not counted: %+v", b.Stats())
+}
+
+// Pure heartbeats from many shards to one peer must leave as ONE physical
+// message per flush; entries-bearing appends must bypass the buffer.
+func TestDemuxCoalescesHeartbeats(t *testing.T) {
+	// FlushInterval set but huge: the test drives Flush manually.
+	_, a, b := newDemuxPair(t, DemuxConfig{FlushInterval: time.Hour})
+	const shards = 8
+	for s := wire.ShardID(0); s < shards; s++ {
+		b.Shard(s)
+		port := a.Shard(s)
+		hb := &wire.AppendEntriesReq{Term: 2, LeaderID: "a", ReadSeq: uint64(s) + 1}
+		if err := port.Send("b", hb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush()
+
+	for s := wire.ShardID(0); s < shards; s++ {
+		env := recvShard(t, b.Shard(s))
+		req, ok := env.Msg.(*wire.AppendEntriesReq)
+		if !ok || req.ReadSeq != uint64(s)+1 {
+			t.Fatalf("shard %d got %+v", s, env.Msg)
+		}
+	}
+	st := a.Stats()
+	if st.CoalescedFlushes["b"] != 1 {
+		t.Fatalf("expected 1 physical flush, got %d", st.CoalescedFlushes["b"])
+	}
+	if st.CoalescedItems != shards {
+		t.Fatalf("expected %d piggybacked items, got %d", shards, st.CoalescedItems)
+	}
+	if st.DirectSends != 0 {
+		t.Fatalf("heartbeats leaked past the coalescer: %d direct sends", st.DirectSends)
+	}
+
+	// An entries-bearing append crosses immediately, no flush needed.
+	full := &wire.AppendEntriesReq{
+		Term: 2, LeaderID: "a",
+		Entries: []wire.LogEntry{{OpID: opid.OpID{Term: 2, Index: 1}}},
+	}
+	if err := a.Shard(3).Send("b", full); err != nil {
+		t.Fatal(err)
+	}
+	env := recvShard(t, b.Shard(3))
+	if len(env.Msg.(*wire.AppendEntriesReq).Entries) != 1 {
+		t.Fatalf("entries lost: %+v", env.Msg)
+	}
+	if a.Stats().DirectSends != 1 {
+		t.Fatalf("entries-bearing append should be a direct send: %+v", a.Stats())
+	}
+}
+
+// Latest-wins buffering: two heartbeats for the same (peer, shard) slot
+// between flushes collapse to the newest one.
+func TestDemuxHeartbeatLatestWins(t *testing.T) {
+	_, a, b := newDemuxPair(t, DemuxConfig{FlushInterval: time.Hour})
+	b.Shard(0)
+	port := a.Shard(0)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := port.Send("b", &wire.AppendEntriesReq{Term: 1, LeaderID: "a", ReadSeq: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush()
+	env := recvShard(t, b.Shard(0))
+	if env.Msg.(*wire.AppendEntriesReq).ReadSeq != 3 {
+		t.Fatalf("expected newest heartbeat (seq 3), got %+v", env.Msg)
+	}
+	if st := a.Stats(); st.CoalescedItems != 1 {
+		t.Fatalf("expected 1 item after latest-wins, got %d", st.CoalescedItems)
+	}
+}
+
+// The periodic flusher ships buffered heartbeats without manual Flush.
+func TestDemuxFlusherRuns(t *testing.T) {
+	_, a, b := newDemuxPair(t, DemuxConfig{FlushInterval: 5 * time.Millisecond})
+	b.Shard(0)
+	if err := a.Shard(0).Send("b", &wire.AppendEntriesReq{Term: 1, LeaderID: "a", ReadSeq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvShard(t, b.Shard(0))
+	if env.Msg.(*wire.AppendEntriesReq).ReadSeq != 1 {
+		t.Fatalf("wrong heartbeat: %+v", env.Msg)
+	}
+}

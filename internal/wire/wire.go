@@ -34,6 +34,8 @@ const (
 	MsgMockElectionResult  MsgType = 6
 	MsgInstallSnapshotReq  MsgType = 7
 	MsgInstallSnapshotResp MsgType = 8
+	MsgShardEnvelope       MsgType = 9
+	MsgCoalescedHeartbeat  MsgType = 10
 )
 
 // Message is implemented by every RPC payload.
@@ -266,12 +268,48 @@ type InstallSnapshotResp struct {
 
 func (*InstallSnapshotResp) Type() MsgType { return MsgInstallSnapshotResp }
 
+// ShardID identifies one raft ring (shard) inside a multi-shard process.
+// Shard 0 is a valid shard; single-ring deployments never emit shard
+// frames at all, so the tag space stays backward compatible.
+type ShardID uint32
+
+// ShardEnvelope wraps an encoded inner message with the shard it belongs
+// to, so one transport endpoint per node can carry the traffic of every
+// ring hosted by the process. Inner holds Marshal-encoded bytes rather
+// than a Message so the envelope's metered size accounts for the real
+// payload and the demux layer can route without re-encoding.
+type ShardEnvelope struct {
+	Shard ShardID
+	Inner []byte
+}
+
+func (*ShardEnvelope) Type() MsgType { return MsgShardEnvelope }
+
+// ShardHeartbeat is one shard's piggybacked heartbeat inside a
+// CoalescedHeartbeat: the Marshal-encoded empty AppendEntriesReq that the
+// shard's leader would have sent on its own timer.
+type ShardHeartbeat struct {
+	Shard ShardID
+	Req   []byte
+}
+
+// CoalescedHeartbeat carries the heartbeats of every shard whose leader
+// lives on the sending node and replicates to the receiving peer, in one
+// physical message — collapsing O(shards × peers) heartbeat traffic into
+// O(peers) (multiraft coalescing, DESIGN.md §8).
+type CoalescedHeartbeat struct {
+	Items []ShardHeartbeat
+}
+
+func (*CoalescedHeartbeat) Type() MsgType { return MsgCoalescedHeartbeat }
+
 // --- binary codec ---
 
 type encoder struct{ buf []byte }
 
 func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
 func (e *encoder) bool(v bool)  { e.u8(b2u(v)) }
+func (e *encoder) u32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
 func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
 func (e *encoder) opid(o opid.OpID) {
 	e.u64(o.Term)
@@ -318,6 +356,16 @@ func (d *decoder) u8() uint8 {
 }
 
 func (d *decoder) bool() bool { return d.u8() == 1 }
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.buf) < 4 {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
 
 func (d *decoder) u64() uint64 {
 	if d.err != nil || len(d.buf) < 8 {
@@ -521,6 +569,15 @@ func Marshal(m Message) ([]byte, error) {
 		e.bool(msg.Success)
 		e.u64(msg.NextOffset)
 		e.bool(msg.Installed)
+	case *ShardEnvelope:
+		e.u32(uint32(msg.Shard))
+		e.bytes(msg.Inner)
+	case *CoalescedHeartbeat:
+		e.u32(uint32(len(msg.Items)))
+		for _, it := range msg.Items {
+			e.u32(uint32(it.Shard))
+			e.bytes(it.Req)
+		}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %T", m)
 	}
@@ -620,6 +677,24 @@ func Unmarshal(data []byte) (Message, error) {
 		msg.Success = d.bool()
 		msg.NextOffset = d.u64()
 		msg.Installed = d.bool()
+		m = msg
+	case MsgShardEnvelope:
+		msg := &ShardEnvelope{}
+		msg.Shard = ShardID(d.u32())
+		msg.Inner = d.bytes()
+		m = msg
+	case MsgCoalescedHeartbeat:
+		msg := &CoalescedHeartbeat{}
+		n := d.u32()
+		if n > 1<<16 {
+			d.fail("coalesced heartbeat count")
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			var it ShardHeartbeat
+			it.Shard = ShardID(d.u32())
+			it.Req = d.bytes()
+			msg.Items = append(msg.Items, it)
+		}
 		m = msg
 	default:
 		return nil, fmt.Errorf("wire: unknown message tag %d", data[0])

@@ -355,6 +355,49 @@ func TestInstallSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+func TestShardEnvelopeRoundTrip(t *testing.T) {
+	inner, err := Marshal(&RequestVoteReq{Term: 3, Candidate: "mysql-1", LastOpID: opid.OpID{Term: 2, Index: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &ShardEnvelope{Shard: 12, Inner: inner}
+	got := roundTrip(t, m).(*ShardEnvelope)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("mismatch:\n%+v\n%+v", m, got)
+	}
+	innerMsg, err := Unmarshal(got.Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if innerMsg.(*RequestVoteReq).Candidate != "mysql-1" {
+		t.Fatalf("inner message corrupted: %+v", innerMsg)
+	}
+}
+
+func TestCoalescedHeartbeatRoundTrip(t *testing.T) {
+	mkReq := func(shard uint64) []byte {
+		data, err := Marshal(&AppendEntriesReq{Term: shard, LeaderID: "n0", CommitIndex: 10 * shard, ReadSeq: shard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	m := &CoalescedHeartbeat{Items: []ShardHeartbeat{
+		{Shard: 0, Req: mkReq(1)},
+		{Shard: 3, Req: mkReq(2)},
+		{Shard: 7, Req: mkReq(3)},
+	}}
+	got := roundTrip(t, m).(*CoalescedHeartbeat)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("mismatch:\n%+v\n%+v", m, got)
+	}
+	// Empty coalesced heartbeat (no buffered shards) must survive too.
+	empty := roundTrip(t, &CoalescedHeartbeat{}).(*CoalescedHeartbeat)
+	if len(empty.Items) != 0 {
+		t.Fatalf("empty coalesced heartbeat gained items: %+v", empty)
+	}
+}
+
 func TestInstallSnapshotFinalChunk(t *testing.T) {
 	// Empty trailing chunk with Done=true (pure "install now" signal) and
 	// empty GTID set / config must survive the codec.

@@ -13,8 +13,10 @@ cd "$(dirname "$0")/.."
 # transport carries the fault-injection wrapper whose delayed-delivery
 # goroutines and Heal() flush are cross-goroutine handoffs too; storage
 # and logstore joined with the bounded-log lifecycle (checkpoint encode
-# under a live applier, purge/snapshot-reset against concurrent appends).
-RACE_PKGS="./internal/raft ./internal/readpath ./internal/cluster ./internal/mysql ./internal/binlog ./internal/transport ./internal/storage ./internal/logstore"
+# under a live applier, purge/snapshot-reset against concurrent appends);
+# multiraft runs many rings over one shared demux/fsync-group per node —
+# the heaviest cross-goroutine surface in the repo.
+RACE_PKGS="./internal/raft ./internal/readpath ./internal/cluster ./internal/mysql ./internal/binlog ./internal/transport ./internal/storage ./internal/logstore ./internal/multiraft"
 
 stage_lint() {
 	echo "== gofmt -l"
@@ -62,6 +64,21 @@ stage_bench() {
 	go test -run '^$' -bench=BenchmarkDurabilityPipeline -benchtime=1x .
 }
 
+stage_multiraft() {
+	echo "== multiraft (multi-shard runtime slice)"
+	# The multi-shard slice across its layers: shard-envelope framing and
+	# demux coalescing, router/sync-group/runtime units, the 3x16
+	# acceptance scenario with the leader balancer, the multi-shard admin
+	# rollup, and the fixed-seed multi-shard chaos smoke.
+	go test ./internal/wire -run 'Shard|Coalesced'
+	go test ./internal/transport -run 'Demux'
+	go test ./internal/multiraft
+	go test ./internal/adminapi -run 'TestMulti'
+	go test ./internal/chaos -run 'TestChaosMultiShardSmoke'
+	echo "== multi-shard scaling bench (1 iteration)"
+	go test -run '^$' -bench=BenchmarkMultiRaftShards -benchtime=1x .
+}
+
 stage_compaction() {
 	echo "== compaction (bounded-log lifecycle)"
 	# The log-lifecycle slice across every layer it touches: binlog purge
@@ -78,7 +95,7 @@ stage_compaction() {
 }
 
 case "${1:-all}" in
-lint | build | tests | race | chaos | bench | compaction)
+lint | build | tests | race | chaos | bench | compaction | multiraft)
 	stage_"$1"
 	;;
 all)
@@ -87,10 +104,11 @@ all)
 	stage_tests
 	stage_race
 	stage_compaction
+	stage_multiraft
 	stage_bench
 	;;
 *)
-	echo "usage: $0 [lint|build|tests|race|chaos|bench|compaction]" >&2
+	echo "usage: $0 [lint|build|tests|race|chaos|bench|compaction|multiraft]" >&2
 	exit 2
 	;;
 esac
