@@ -24,6 +24,7 @@ func usage() {
 
 commands:
   status                                 show replicaset status
+  apply-status                           per-member replica apply lag and fallback rate
   promote <target>                       graceful leadership transfer
   crash <id> | restart <id>              fault injection
   partition <a> <b> | heal               network fault injection
@@ -72,6 +73,27 @@ func run(c *adminapi.Client, args []string) error {
 		for _, m := range st.Members {
 			fmt.Printf("%-12s %-10s %-10s %-6v %-10s %-8d %-10d %s\n",
 				m.ID, m.Region, m.Kind, m.Down, m.Role, m.Term, m.CommitIndex, m.LastOpID)
+		}
+		return nil
+	case "apply-status":
+		st, err := c.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-8s %-10s %-10s %-8s %-6s %-10s %-10s %s\n",
+			"ID", "WORKERS", "POSITION", "COMMIT", "LAG", "BUSY", "APPLIED", "FALLBACK", "ERROR")
+		for _, m := range st.Members {
+			if m.Apply == nil {
+				continue // logtailers and crashed members have no applier
+			}
+			a := m.Apply
+			errStr := a.LastError
+			if errStr == "" {
+				errStr = "-"
+			}
+			fmt.Printf("%-12s %-8d %-10d %-10d %-8d %-6d %-10d %-10s %s\n",
+				m.ID, a.Workers, a.Position, a.CommitIndex, a.Lag, a.BusyWorkers,
+				a.AppliedTxns, fmt.Sprintf("%.1f%%", a.FallbackRate*100), errStr)
 		}
 		return nil
 	case "promote":

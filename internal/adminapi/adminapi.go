@@ -57,6 +57,31 @@ type MemberStatus struct {
 	// fsync has progressed, how it is batching, and how far acks lag
 	// appends (§3.4 group commit observability).
 	Durability *DurabilityStatus `json:"durability,omitempty"`
+	// Apply reports the replica applier's progress and parallel-apply
+	// scheduling outcomes (§3.5): apply lag, worker occupancy, and how
+	// often writeset tracking fell back to serial ordering.
+	Apply *ApplyStatus `json:"apply,omitempty"`
+}
+
+// ApplyStatus is the /status view of one member's replica applier
+// (mysql.ApplyStatus).
+type ApplyStatus struct {
+	Running     bool   `json:"running"`
+	Workers     int    `json:"workers"`
+	Position    uint64 `json:"position"`
+	CommitIndex uint64 `json:"commit_index"`
+	Lag         uint64 `json:"lag"`
+	BusyWorkers int    `json:"busy_workers,omitempty"`
+	AppliedTxns int64  `json:"applied_txns,omitempty"`
+	// TrackedTxns / ConflictFallbacks / FallbackRate describe writeset
+	// dependency tracking: how many transactions were scheduled through
+	// the tracker and what fraction forced a serial barrier.
+	TrackedTxns       int64   `json:"tracked_txns,omitempty"`
+	ConflictFallbacks int64   `json:"conflict_fallbacks,omitempty"`
+	FallbackRate      float64 `json:"fallback_rate,omitempty"`
+	ParallelBatches   int64   `json:"parallel_batches,omitempty"`
+	SerialBatches     int64   `json:"serial_batches,omitempty"`
+	LastError         string  `json:"last_error,omitempty"`
 }
 
 // DurabilityStatus is the /status view of one member's async log writer.
@@ -206,6 +231,22 @@ func (s *Server) Status() ClusterStatus {
 			ro := srv.IsReadOnly()
 			ms.ReadOnly = &ro
 			ms.GTIDs = srv.GTIDExecuted().String()
+			as := srv.ApplyStatus()
+			ms.Apply = &ApplyStatus{
+				Running:           as.Running,
+				Workers:           as.Workers,
+				Position:          as.Position,
+				CommitIndex:       as.CommitIndex,
+				Lag:               as.Lag,
+				BusyWorkers:       as.BusyWorkers,
+				AppliedTxns:       as.AppliedTxns,
+				TrackedTxns:       as.TrackedTxns,
+				ConflictFallbacks: as.ConflictFallbacks,
+				FallbackRate:      as.FallbackRate,
+				ParallelBatches:   as.ParallelBatches,
+				SerialBatches:     as.SerialBatches,
+				LastError:         as.LastError,
+			}
 			for _, f := range srv.BinlogFiles() {
 				ms.BinlogFiles = append(ms.BinlogFiles, FileEntry{Name: f.Name, Size: f.Size})
 				ms.BinlogBytes += f.Size

@@ -369,3 +369,42 @@ func TestStatusReportsDurability(t *testing.T) {
 	}
 	t.Fatal("no leader in status")
 }
+
+func TestStatusReportsApply(t *testing.T) {
+	_, client := testStack(t)
+	if _, err := client.Write("user:1", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMySQL := false
+	for _, m := range st.Members {
+		if m.Kind != "mysql" || m.Down {
+			continue
+		}
+		sawMySQL = true
+		a := m.Apply
+		if a == nil {
+			t.Fatalf("mysql member %s missing apply status: %+v", m.ID, m)
+		}
+		if a.Workers < 1 {
+			t.Fatalf("%s applier has no workers: %+v", m.ID, a)
+		}
+		// The applier runs on replicas; a promoted leader drains and
+		// stops it (§3.3), so Running is only required of followers.
+		if m.Role == "follower" && !a.Running {
+			t.Fatalf("%s follower applier not running: %+v", m.ID, a)
+		}
+		if a.Lag > a.CommitIndex {
+			t.Fatalf("%s apply lag %d exceeds commit index %d", m.ID, a.Lag, a.CommitIndex)
+		}
+		if a.LastError != "" {
+			t.Fatalf("%s applier unhealthy: %s", m.ID, a.LastError)
+		}
+	}
+	if !sawMySQL {
+		t.Fatal("no mysql member in status")
+	}
+}

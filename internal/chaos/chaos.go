@@ -33,12 +33,14 @@ import (
 	"sync"
 	"time"
 
+	"myraft/internal/binlog"
 	"myraft/internal/clock"
 	"myraft/internal/cluster"
 	"myraft/internal/gtid"
 	"myraft/internal/logstore"
 	"myraft/internal/raft"
 	"myraft/internal/readpath"
+	"myraft/internal/storage"
 	"myraft/internal/transport"
 	"myraft/internal/wire"
 )
@@ -66,6 +68,11 @@ type Config struct {
 	MaxClockSkew time.Duration
 	// ConvergeTimeout bounds the post-heal convergence wait (default 30s).
 	ConvergeTimeout time.Duration
+	// ApplyWorkers sets every MySQL member's replica-apply concurrency
+	// (cluster.Options.ApplyWorkers): 0 keeps the mysql default, 1 forces
+	// serial apply. The parallel-apply equivalence checker judges the
+	// result either way.
+	ApplyWorkers int
 	// Logf, when set, receives a trace of applied actions and checker
 	// progress (testing.T.Logf fits).
 	Logf func(format string, args ...any)
@@ -326,6 +333,7 @@ func Run(cfg Config) (*Report, error) {
 		WrapLogStore:  h.wrapLogStore,
 		WrapClock:     h.wrapClock,
 		ReadWitness:   h,
+		ApplyWorkers:  cfg.ApplyWorkers,
 	}, cluster.PaperTopology(cfg.FollowerRegions, 0))
 	if err != nil {
 		return nil, fmt.Errorf("chaos: build cluster: %w", err)
@@ -371,6 +379,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	h.checkConvergence()
+	h.checkParallelApplyEquivalence()
 	h.checkDurability()
 	h.checkGTIDFinal()
 	h.checkPurgeCatchup()
@@ -692,6 +701,84 @@ func (h *harness) checkConvergence() {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+// checkParallelApplyEquivalence re-derives every full-history member's
+// engine state by replaying its relay log serially, in strict index
+// order, and compares row checksums: whatever interleaving the parallel
+// applier chose, the result must equal the canonical serial order
+// (§3.5 writeset-scheduling safety). Members whose log no longer starts
+// at index 1 (snapshot-installed after purge) cannot be replayed from
+// an empty state and are skipped with a trace line.
+func (h *harness) checkParallelApplyEquivalence() {
+	for _, m := range h.c.Members() {
+		srv := m.Server()
+		if srv == nil || m.IsDown() {
+			continue
+		}
+		if first := srv.Log().FirstIndex(); first > 1 {
+			h.cfg.logf("chaos: parallel-apply equivalence: skip %s (log starts at %d)", m.Spec.ID, first)
+			continue
+		}
+		// The workload has stopped and convergence held, but the applier
+		// may still be draining its tail: only judge a replay whose
+		// engine position held still while it ran.
+		deadline := time.Now().Add(h.cfg.ConvergeTimeout)
+		for {
+			through := srv.Engine().LastCommitted().Index
+			sum, err := h.serialReplayChecksum(srv.Log(), through)
+			if err != nil {
+				h.violatef("parallel apply: %s: serial replay: %v", m.Spec.ID, err)
+				break
+			}
+			if srv.Engine().LastCommitted().Index == through {
+				if got := srv.Engine().Checksum(); got != sum {
+					h.violatef("parallel apply: %s: engine checksum %08x != serial replay %08x through index %d",
+						m.Spec.ID, got, sum, through)
+				} else {
+					h.cfg.logf("chaos: parallel-apply equivalence: %s ok (%08x through %d)", m.Spec.ID, sum, through)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				h.violatef("parallel apply: %s: engine position would not settle for replay", m.Spec.ID)
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// serialReplayChecksum folds the data entries of [1, through] into a
+// fresh row map one at a time and returns the content checksum a
+// hypothetical engine holding that state would report.
+func (h *harness) serialReplayChecksum(l *binlog.Log, through uint64) (uint32, error) {
+	rows := make(map[string][]byte)
+	const chunk = 512
+	for from := uint64(1); from <= through; from += chunk {
+		to := min(from+chunk-1, through)
+		entries, err := l.Entries(from, to)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range entries {
+			if e.Type != binlog.EntryNormal {
+				continue
+			}
+			changes, _, err := storage.DecodeTxnPayload(e.Payload)
+			if err != nil {
+				return 0, fmt.Errorf("entry %d: %w", e.OpID.Index, err)
+			}
+			for _, c := range changes {
+				if c.IsDelete() {
+					delete(rows, c.Key)
+				} else {
+					rows[c.Key] = c.After
+				}
+			}
+		}
+	}
+	return storage.ChecksumRows(rows), nil
 }
 
 // statusLines renders every member's raft status for convergence

@@ -72,6 +72,34 @@ func TestChaosSmoke(t *testing.T) {
 	}
 }
 
+// TestChaosParallelApplySmoke runs the fixed-seed smoke with the
+// replica appliers forced wide (8 workers), so the parallel scheduler —
+// writeset dependency tracking, out-of-order staging, in-order commit —
+// faces the full fault schedule, and the serial-replay equivalence
+// checker judges what it produced.
+func TestChaosParallelApplySmoke(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			cfg := Config{Seed: seed, ApplyWorkers: 8}
+			if testing.Verbose() {
+				cfg.Logf = t.Logf
+			}
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: harness error: %v", seed, err)
+			}
+			if !rep.Passed() {
+				t.Errorf("seed %d: %d invariant violation(s):", seed, len(rep.Violations))
+				for _, v := range rep.Violations {
+					t.Errorf("  %s", v)
+				}
+				t.Errorf("repro: go test -run TestChaosParallelApplySmoke ./internal/chaos")
+			}
+		})
+	}
+}
+
 // TestScheduleDeterminism pins the property the repro workflow depends
 // on: the schedule is a pure function of the config.
 func TestScheduleDeterminism(t *testing.T) {

@@ -98,6 +98,10 @@ type Options struct {
 	// ReadWitness, when set, observes every successful read served through
 	// the cluster's readers (readpath.Witness).
 	ReadWitness readpath.Witness
+	// ApplyWorkers sets every MySQL member's replica-apply concurrency
+	// (mysql.Options.ApplyWorkers): 0 keeps the mysql default, 1 forces
+	// serial apply.
+	ApplyWorkers int
 }
 
 // Member is one running replicaset member.
@@ -246,7 +250,7 @@ func (c *Cluster) startMember(m *Member) error {
 	var cb raft.Callbacks
 	switch m.Spec.Kind {
 	case KindMySQL:
-		srv, err := mysql.NewServer(mysql.Options{ID: m.Spec.ID, Dir: m.dir})
+		srv, err := mysql.NewServer(mysql.Options{ID: m.Spec.ID, Dir: m.dir, ApplyWorkers: c.opts.ApplyWorkers})
 		if err != nil {
 			return err
 		}

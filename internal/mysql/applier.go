@@ -4,21 +4,32 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"myraft/internal/binlog"
 	"myraft/internal/storage"
 )
 
-// applier is the replica-side applier thread (§3.5): it picks consensus-
+// applier is the replica-side applier (§3.5): it picks consensus-
 // committed transactions out of the relay log and applies them to the
 // storage engine through the same prepare/commit cycle as the primary.
 // Its gate is the Raft commit marker, forwarded by the plugin through
 // Server.OnCommitAdvance; its starting cursor comes from the engine's
 // last committed transaction (the online recovery protocol of §3.3
 // demotion step 5 and §A.2).
+//
+// With Options.ApplyWorkers > 1 the applier runs the parallel replication
+// scheme of parallel.go: a coordinator reads committed entries in order,
+// a writeset dependency tracker computes each transaction's last
+// conflicting predecessor, a worker pool stages and prepares
+// non-conflicting transactions concurrently, and a commit sequencer
+// releases engine commits strictly in OpID order — so the engine commit
+// sequence stays gap-free no matter how applies interleave, which is the
+// invariant the restart cursor and GTID bookkeeping depend on.
 type applier struct {
-	s *Server
+	s       *Server
+	workers int
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -26,13 +37,36 @@ type applier struct {
 	stopRequest bool
 	commitIdx   uint64
 	applied     uint64
-	waiters     []chan struct{}
+	waiters     []applyWaiter
 	done        chan struct{}
 	lastErr     error // most recent apply failure (diagnostics)
+
+	tracker  *depTracker // owned by the applier goroutine
+	curBatch *applyBatch // in-flight parallel batch, for stop() to abort
+
+	// Counters (atomics: read by Status() without taking mu).
+	appliedTxns     atomic.Int64 // data transactions engine-committed by this applier
+	trackedTxns     atomic.Int64 // data transactions routed through the dependency tracker
+	fallbackTxns    atomic.Int64 // tracked transactions that fell back to serial ordering
+	parallelBatches atomic.Int64
+	serialBatches   atomic.Int64
+	busyWorkers     atomic.Int32 // workers currently staging a transaction
 }
 
-func newApplier(s *Server) *applier {
-	a := &applier{s: s}
+// applyWaiter is one blocked WaitForApplied/catch-up caller. Waiters are
+// indexed so progress signals drain exactly the satisfied ones: the slice
+// stays bounded by the number of outstanding waiters instead of churning
+// a full close-and-reregister cycle on every applied entry.
+type applyWaiter struct {
+	index uint64
+	ch    chan struct{}
+}
+
+func newApplier(s *Server, workers int) *applier {
+	if workers < 1 {
+		workers = 1
+	}
+	a := &applier{s: s, workers: workers}
 	a.cond = sync.NewCond(&a.mu)
 	return a
 }
@@ -48,8 +82,42 @@ func (a *applier) start() {
 	a.running = true
 	a.stopRequest = false
 	a.applied = a.s.engine.LastCommitted().Index
+	a.tracker = newDepTracker(depHistorySize, a.applied)
+	// A recovered engine cursor may sit below the log's retention window
+	// when purge advanced over trailing non-data entries the engine
+	// cursor never covers; reposition before the loop starts reading.
+	a.skipPurgedGapLocked()
 	a.done = make(chan struct{})
 	go a.run(a.done)
+}
+
+// skipPurgedGapLocked advances the apply cursor over entries purged from
+// the local log, returning whether it moved. Purge safety
+// (Server.safePurgeLimit) only deletes history whose data entries are
+// already in the engine's flushed WAL, so a cursor below the retention
+// window means the purged gap above it holds only non-data entries
+// (no-ops, rotates, config changes): skipping them loses nothing, while
+// waiting for the read to succeed would spin forever — the entries will
+// never reappear. Covers both the crash-restart path (the engine
+// recovers below a purge floor that had advanced over a non-data tail)
+// and in-process purges that empty the log entirely, where FirstIndex
+// reports 0 and the tail OpID bounds the gap instead. Caller holds a.mu.
+func (a *applier) skipPurgedGapLocked() bool {
+	target := a.applied
+	if first := a.s.log.FirstIndex(); first > 0 {
+		if a.applied+1 < first {
+			target = first - 1
+		}
+	} else if last := a.s.log.LastOpID().Index; last > a.applied {
+		target = last
+	}
+	if target == a.applied {
+		return false
+	}
+	a.applied = target
+	a.tracker.reset(target)
+	a.signalWaitersLocked()
+	return true
 }
 
 // stop terminates the applier goroutine and waits for it to exit.
@@ -61,18 +129,23 @@ func (a *applier) stop() {
 	}
 	a.stopRequest = true
 	done := a.done
+	if b := a.curBatch; b != nil {
+		b.abort()
+	}
 	a.cond.Broadcast()
 	a.mu.Unlock()
 	<-done
 }
 
-// notify advances the commit gate.
+// notify advances the commit gate. Signaling is latest-wins: a burst of
+// commit advances coalesces into one wakeup of the (single) apply loop,
+// and stale or duplicate notifications don't wake anyone.
 func (a *applier) notify(commitIdx uint64) {
 	a.mu.Lock()
 	if commitIdx > a.commitIdx {
 		a.commitIdx = commitIdx
+		a.cond.Broadcast()
 	}
-	a.cond.Broadcast()
 	a.mu.Unlock()
 }
 
@@ -90,6 +163,17 @@ func (a *applier) lastApplied() uint64 {
 	return a.applied
 }
 
+// lag reports how far apply trails the commit gate (commitIdx - applied),
+// the §3.5 number that bounds failover catch-up time.
+func (a *applier) lag() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.commitIdx <= a.applied {
+		return 0
+	}
+	return a.commitIdx - a.applied
+}
+
 // catchUpTo blocks until the applier has applied everything up to index
 // (promotion step 2, §3.3).
 func (a *applier) catchUpTo(ctx context.Context, index uint64) error {
@@ -103,28 +187,8 @@ func (a *applier) catchUpTo(ctx context.Context, index uint64) error {
 		}
 		return fmt.Errorf("mysql: applier not running, cannot catch up to %d", index)
 	}
-	ch := make(chan struct{})
-	a.waiters = append(a.waiters, ch)
 	a.mu.Unlock()
-
-	for {
-		a.mu.Lock()
-		done := a.applied >= index || a.appliedThroughIndexLocked(index)
-		a.mu.Unlock()
-		if done {
-			return nil
-		}
-		select {
-		case <-ch:
-			// progress was made; loop and re-check
-			a.mu.Lock()
-			ch = make(chan struct{})
-			a.waiters = append(a.waiters, ch)
-			a.mu.Unlock()
-		case <-ctx.Done():
-			return ctx.Err()
-		}
-	}
+	return a.waitApplied(ctx, index)
 }
 
 // appliedThroughIndexLocked also treats non-data entries at the tail as
@@ -164,7 +228,7 @@ func (a *applier) waitApplied(ctx context.Context, index uint64) error {
 		var ch chan struct{}
 		if !done {
 			ch = make(chan struct{})
-			a.waiters = append(a.waiters, ch)
+			a.waiters = append(a.waiters, applyWaiter{index: index, ch: ch})
 		}
 		a.mu.Unlock()
 		if done {
@@ -172,27 +236,76 @@ func (a *applier) waitApplied(ctx context.Context, index uint64) error {
 		}
 		select {
 		case <-ch:
-			// progress was made; loop and re-check
+			// Woken either because the waiter was satisfied or because the
+			// applier stopped/restarted; loop and re-check.
 		case <-ctx.Done():
+			a.removeWaiter(ch)
 			return ctx.Err()
 		}
 	}
+}
+
+// removeWaiter unregisters a cancelled waiter so abandoned waits do not
+// accumulate in the slice.
+func (a *applier) removeWaiter(ch chan struct{}) {
+	a.mu.Lock()
+	for i, w := range a.waiters {
+		if w.ch == ch {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			break
+		}
+	}
+	a.mu.Unlock()
 }
 
 // progress wakes applied-index waiters after out-of-band apply progress
 // (pipeline stage 3 engine commits on the primary).
 func (a *applier) progress() {
 	a.mu.Lock()
-	a.signalWaiters()
+	a.signalWaitersLocked()
 	a.mu.Unlock()
 }
 
-// signalWaiters wakes catch-up waiters after progress.
-func (a *applier) signalWaiters() {
-	for _, ch := range a.waiters {
-		close(ch)
+// signalWaitersLocked drains exactly the satisfied waiters after
+// progress; unsatisfied waiters stay registered, so the slice never
+// exceeds the number of outstanding waits.
+func (a *applier) signalWaitersLocked() {
+	if len(a.waiters) == 0 {
+		return
+	}
+	progress := a.applied
+	if ec := a.s.engine.LastCommitted().Index; ec > progress {
+		progress = ec
+	}
+	kept := a.waiters[:0]
+	for _, w := range a.waiters {
+		if w.index <= progress || a.appliedThroughIndexLocked(w.index) {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	// Zero the dropped tail so satisfied channels are collectable.
+	for i := len(kept); i < len(a.waiters); i++ {
+		a.waiters[i] = applyWaiter{}
+	}
+	a.waiters = kept
+}
+
+// releaseAllWaitersLocked wakes every waiter regardless of progress (stop
+// path); they re-check their condition and re-register if still behind.
+func (a *applier) releaseAllWaitersLocked() {
+	for _, w := range a.waiters {
+		close(w.ch)
 	}
 	a.waiters = nil
+}
+
+// waiterCount reports the registered waiters (tests).
+func (a *applier) waiterCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.waiters)
 }
 
 // run is the applier loop.
@@ -205,7 +318,7 @@ func (a *applier) run(done chan struct{}) {
 		}
 		if a.stopRequest {
 			a.running = false
-			a.signalWaiters()
+			a.releaseAllWaitersLocked()
 			a.mu.Unlock()
 			return
 		}
@@ -218,8 +331,8 @@ func (a *applier) run(done chan struct{}) {
 		if applied > a.applied {
 			a.applied = applied
 		}
-		a.signalWaiters()
-		if !ok && !a.stopRequest {
+		a.signalWaitersLocked()
+		if !ok && !a.stopRequest && !a.skipPurgedGapLocked() {
 			// Transient failure (entry not readable yet, lock conflict,
 			// engine hiccup): back off briefly, then retry. The timer
 			// self-wakes the loop so a failure at the tail — with no
@@ -237,23 +350,61 @@ func (a *applier) run(done chan struct{}) {
 	}
 }
 
-// applyRange applies entries [from, to] to the engine, returning the last
-// index applied and whether the whole range succeeded.
+// applyRange applies entries [from, to] to the engine in bounded chunks,
+// returning the last index applied and whether the whole range succeeded.
+// Each chunk is read with one sequential log scan (per-entry reads open
+// the log file per call, which would serialize the whole applier behind
+// file I/O); multi-entry chunks then go through the parallel scheduler
+// when workers are configured, while a chunk of one (the steady-state
+// shape when a caught-up replica sees entries trickle in) skips the
+// scheduling machinery entirely.
 func (a *applier) applyRange(from, to uint64) (uint64, bool) {
 	last := from - 1
-	for idx := from; idx <= to; idx++ {
-		e, err := a.s.log.Entry(idx)
+	for last < to {
+		chunkFrom, chunkTo := last+1, min(last+maxApplyBatch, to)
+		entries, err := a.readEntries(chunkFrom, chunkTo)
 		if err != nil {
-			a.setErr(fmt.Errorf("read %d: %w", idx, err))
-			return last, false
-		}
-		if err := a.applyEntry(e); err != nil {
 			a.setErr(err)
 			return last, false
 		}
-		last = idx
+		if a.workers > 1 && len(entries) > 1 {
+			var ok bool
+			last, ok = a.applyBatch(chunkFrom, entries)
+			if !ok {
+				// Footprints recorded for uncommitted entries are garbage;
+				// restart tracking from a clean barrier at the floor.
+				a.tracker.reset(last)
+				return last, false
+			}
+		} else {
+			a.serialBatches.Add(1)
+			for i, e := range entries {
+				if err := a.applyEntry(e); err != nil {
+					a.setErr(err)
+					return last, false
+				}
+				last = chunkFrom + uint64(i)
+			}
+		}
 	}
 	return last, true
+}
+
+// readEntries fetches [from, to] from the relay log: a single sequential
+// scan for ranges, one point read for a single entry.
+func (a *applier) readEntries(from, to uint64) ([]*binlog.Entry, error) {
+	if to == from {
+		e, err := a.s.log.Entry(from)
+		if err != nil {
+			return nil, fmt.Errorf("read %d: %w", from, err)
+		}
+		return []*binlog.Entry{e}, nil
+	}
+	entries, err := a.s.log.Entries(from, to)
+	if err != nil {
+		return nil, fmt.Errorf("read [%d,%d]: %w", from, to, err)
+	}
+	return entries, nil
 }
 
 func (a *applier) setErr(err error) {
@@ -277,16 +428,30 @@ func (a *applier) applyEntry(e *binlog.Entry) error {
 	if e.Type != binlog.EntryNormal {
 		return nil // No-Ops, config changes and rotates don't touch the engine.
 	}
-	// Idempotence across restarts: the engine cursor may trail entries
-	// already applied before a crash that the WAL replayed.
-	if a.s.engine.LastCommitted().AtLeast(e.OpID) && !a.s.engine.LastCommitted().IsZero() {
-		if e.OpID.Index <= a.s.engine.LastCommitted().Index {
-			return nil
-		}
+	// Idempotence across restarts: the engine cursor may be ahead of the
+	// applier's starting index for entries the WAL already replayed.
+	if e.OpID.Index <= a.s.engine.LastCommitted().Index {
+		return nil
 	}
+	txn, err := a.stagePrepare(e)
+	if err != nil {
+		return err
+	}
+	if err := txn.Commit(e.OpID); err != nil {
+		return fmt.Errorf("mysql: applier commit %s: %w", e.OpID, err)
+	}
+	a.appliedTxns.Add(1)
+	return nil
+}
+
+// stagePrepare runs the parallelizable half of one transaction apply:
+// decode the RBR payload, stage the row changes, write the prepare
+// marker. The returned transaction holds its row locks and awaits its
+// sequenced engine commit.
+func (a *applier) stagePrepare(e *binlog.Entry) (*storage.Txn, error) {
 	changes, err := storage.DecodeChanges(e.Payload)
 	if err != nil {
-		return fmt.Errorf("mysql: applier decode %s: %w", e.OpID, err)
+		return nil, fmt.Errorf("mysql: applier decode %s: %w", e.OpID, err)
 	}
 	txn := a.s.engine.Begin()
 	for _, c := range changes {
@@ -297,15 +462,77 @@ func (a *applier) applyEntry(e *binlog.Entry) error {
 		}
 		if err != nil {
 			txn.Rollback()
-			return fmt.Errorf("mysql: applier stage %s: %w", e.OpID, err)
+			return nil, fmt.Errorf("mysql: applier stage %s: %w", e.OpID, err)
 		}
 	}
 	if err := txn.Prepare(); err != nil {
 		txn.Rollback()
-		return fmt.Errorf("mysql: applier prepare %s: %w", e.OpID, err)
+		return nil, fmt.Errorf("mysql: applier prepare %s: %w", e.OpID, err)
 	}
-	if err := txn.Commit(e.OpID); err != nil {
-		return fmt.Errorf("mysql: applier commit %s: %w", e.OpID, err)
+	return txn, nil
+}
+
+// ApplyStatus is the externally visible state of the (parallel) applier:
+// apply lag, worker occupancy and conflict-fallback accounting, surfaced
+// through Server.Status and adminapi /status.
+type ApplyStatus struct {
+	// Running reports whether the applier thread is active.
+	Running bool
+	// Workers is the configured apply concurrency (1 = serial).
+	Workers int
+	// Position is the highest log index applied to the engine.
+	Position uint64
+	// CommitIndex is the applier's view of the consensus commit gate.
+	CommitIndex uint64
+	// Lag is CommitIndex - Position: committed transactions not yet
+	// applied (what a promotion would have to drain, §3.3 step 2).
+	Lag uint64
+	// BusyWorkers is the number of workers currently staging a
+	// transaction (instantaneous occupancy).
+	BusyWorkers int
+	// AppliedTxns counts data transactions engine-committed by the
+	// applier since server start.
+	AppliedTxns int64
+	// TrackedTxns counts transactions routed through the writeset
+	// dependency tracker (parallel batches only).
+	TrackedTxns int64
+	// ConflictFallbacks counts tracked transactions that fell back to
+	// serial ordering (missing/oversized writeset or history overflow).
+	ConflictFallbacks int64
+	// FallbackRate is ConflictFallbacks / TrackedTxns (0 when nothing was
+	// tracked).
+	FallbackRate float64
+	// ParallelBatches / SerialBatches count scheduling decisions.
+	ParallelBatches int64
+	SerialBatches   int64
+	// LastError is the most recent apply failure ("" when healthy).
+	LastError string
+}
+
+// status snapshots the applier's observable state.
+func (a *applier) status() ApplyStatus {
+	a.mu.Lock()
+	st := ApplyStatus{
+		Running:     a.running,
+		Workers:     a.workers,
+		Position:    a.applied,
+		CommitIndex: a.commitIdx,
 	}
-	return nil
+	if a.commitIdx > a.applied {
+		st.Lag = a.commitIdx - a.applied
+	}
+	if a.lastErr != nil {
+		st.LastError = a.lastErr.Error()
+	}
+	a.mu.Unlock()
+	st.BusyWorkers = int(a.busyWorkers.Load())
+	st.AppliedTxns = a.appliedTxns.Load()
+	st.TrackedTxns = a.trackedTxns.Load()
+	st.ConflictFallbacks = a.fallbackTxns.Load()
+	if st.TrackedTxns > 0 {
+		st.FallbackRate = float64(st.ConflictFallbacks) / float64(st.TrackedTxns)
+	}
+	st.ParallelBatches = a.parallelBatches.Load()
+	st.SerialBatches = a.serialBatches.Load()
+	return st
 }

@@ -128,6 +128,115 @@ func TestPurgeLogsToGuardCommitIndex(t *testing.T) {
 	}
 }
 
+// TestPurgeFlushesEngineWAL: purge safety must be measured against
+// crash-durable engine state, not the in-memory commit cursor. The
+// engine buffers WAL records in user space; if purge trusted the
+// unflushed cursor, a crash right after would rewind the engine below
+// the purge floor with the replay window already deleted, and the
+// applier would retry "entry not found" forever (wedging promotion).
+func TestPurgeFlushesEngineWAL(t *testing.T) {
+	dir := t.TempDir()
+	r := newReplicaAt(t, dir)
+	// Files: [1-4][5-8][9-10 active], rotates at 4 and 8.
+	for i := 0; i < 3; i++ {
+		r.feed(t, []storage.RowChange{{Key: fmt.Sprintf("a%d", r.next), After: []byte("v")}})
+	}
+	r.feedRotate(t) // 4
+	for i := 0; i < 3; i++ {
+		r.feed(t, []storage.RowChange{{Key: fmt.Sprintf("a%d", r.next), After: []byte("v")}})
+	}
+	r.feedRotate(t) // 8
+	for i := 0; i < 2; i++ {
+		r.feed(t, []storage.RowChange{{Key: fmt.Sprintf("a%d", r.next), After: []byte("v")}})
+	}
+	r.f.release(10)
+	waitApplied(t, r.s, 10)
+
+	// Every applied WAL record is still in the user-space buffer here
+	// (nothing has synced). Purging must flush them first.
+	if err := r.s.PurgeLogsTo(100); err != nil {
+		t.Fatal(err)
+	}
+	if fi := r.s.Log().FirstIndex(); fi != 9 {
+		t.Fatalf("FirstIndex after purge = %d, want 9", fi)
+	}
+	r.s.Crash()
+
+	r2 := newReplicaAt(t, dir)
+	if got := r2.s.Engine().LastCommitted().Index; got != 10 {
+		t.Fatalf("engine recovered to %d, want 10: purge deleted the replay window without flushing the WAL", got)
+	}
+	for _, k := range []string{"a1", "a7", "a10"} {
+		if _, ok := r2.s.Read(k); !ok {
+			t.Fatalf("row %s lost across purge+crash", k)
+		}
+	}
+	// And the applier resumes cleanly from the recovered position.
+	r2.next = 11
+	r2.feed(t, []storage.RowChange{{Key: "a11", After: []byte("v")}})
+	r2.f.release(11)
+	waitApplied(t, r2.s, 11)
+	if _, ok := r2.s.Read("a11"); !ok {
+		t.Fatal("post-restart entry not applied")
+	}
+}
+
+// TestApplierSkipsPurgedNonDataTail: the purge floor may pass trailing
+// non-data entries (rotates, no-ops) the engine cursor never covers.
+// After the purge — and after a crash that rewinds the engine to its
+// last data entry — the applier must skip the purged non-data gap
+// instead of retrying an unreadable index forever.
+func TestApplierSkipsPurgedNonDataTail(t *testing.T) {
+	dir := t.TempDir()
+	r := newReplicaAt(t, dir)
+	for i := 0; i < 3; i++ {
+		r.feed(t, []storage.RowChange{{Key: fmt.Sprintf("a%d", r.next), After: []byte("v")}})
+	}
+	r.feedRotate(t) // 4: trailing non-data entry; engine cursor stays at 3.
+	r.f.release(4)
+	waitApplied(t, r.s, 4)
+	if err := r.s.PurgeLogsTo(100); err != nil {
+		t.Fatal(err)
+	}
+	// The rotate holds no engine state, so the floor passes it and the
+	// log is down to the empty active file.
+	if fi := r.s.Log().FirstIndex(); fi != 0 {
+		t.Fatalf("FirstIndex after purge = %d, want 0 (all entries purged)", fi)
+	}
+
+	// In-process applier restart (the demotion path): the cursor comes
+	// back from the engine (3), below the fully-purged window whose tail
+	// OpID is 4. start() must reposition to 4, not spin on entry 4.
+	r.s.applier.stop()
+	r.s.applier.start()
+	if got := r.s.ApplierLastApplied(); got != 4 {
+		t.Fatalf("applier restarted at %d, want 4 (skip over purged non-data tail)", got)
+	}
+
+	r.s.Crash()
+
+	// Crash-restart: the reopened log is empty (tail OpID metadata gone
+	// with it), the engine recovers to 3. Once replication resumes above
+	// the gap, the applier must skip to the retention window and apply.
+	r2 := newReplicaAt(t, dir)
+	r2.next = 5
+	r2.f.mu.Lock()
+	r2.f.next = 5
+	r2.f.commit = 4
+	r2.f.mu.Unlock()
+	r2.feed(t, []storage.RowChange{{Key: "b5", After: []byte("v")}})
+	r2.f.release(5)
+	waitApplied(t, r2.s, 5)
+	if _, ok := r2.s.Read("b5"); !ok {
+		t.Fatal("entry above the purged gap not applied")
+	}
+	for _, k := range []string{"a1", "a2", "a3"} {
+		if _, ok := r2.s.Read(k); !ok {
+			t.Fatalf("row %s lost across purge+crash", k)
+		}
+	}
+}
+
 // TestCheckpointExcludesUnappliedGTIDs: the checkpoint's GTID set matches
 // its row state, not the log tail.
 func TestCheckpointExcludesUnappliedGTIDs(t *testing.T) {

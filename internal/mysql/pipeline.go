@@ -128,7 +128,10 @@ func (p *pipeline) processGroup(repl Replicator, group []*pendingTxn) {
 	flushed := group[:0]
 	for _, pt := range group {
 		g := p.s.nextGTID()
-		payload := storage.EncodeChanges(pt.txn.Changes())
+		// The payload carries the transaction's writeset ahead of the row
+		// changes so replica appliers can schedule non-conflicting
+		// transactions in parallel without decoding the rows.
+		payload := storage.EncodeTxnPayload(pt.txn.Changes())
 		op, err := repl.ProposeTransaction(payload, g)
 		if err != nil {
 			p.abort(pt, err)

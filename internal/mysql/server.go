@@ -77,7 +77,18 @@ type Options struct {
 	StartAsPrimary bool
 	// EngineOptions tunes the storage engine.
 	Engine storage.Options
+	// ApplyWorkers is the replica applier's concurrency: the number of
+	// worker threads staging non-conflicting transactions in parallel
+	// (writeset dependency tracking, §3.5). 0 picks the default; 1 forces
+	// serial apply. Engine commits are sequenced in log order regardless.
+	ApplyWorkers int
 }
+
+// defaultApplyWorkers is the apply concurrency when Options.ApplyWorkers
+// is zero. Parallel apply is on by default: the commit sequencer keeps the
+// engine commit sequence identical to serial apply, so concurrency is a
+// pure latency knob.
+const defaultApplyWorkers = 4
 
 // Server is one simulated MySQL instance.
 type Server struct {
@@ -122,7 +133,11 @@ func NewServer(opts Options) (*Server, error) {
 	s := &Server{opts: opts, log: log, engine: engine}
 	s.readOnly.Store(!opts.StartAsPrimary)
 	s.pipeline = newPipeline(s)
-	s.applier = newApplier(s)
+	workers := opts.ApplyWorkers
+	if workers == 0 {
+		workers = defaultApplyWorkers
+	}
+	s.applier = newApplier(s, workers)
 	if !opts.StartAsPrimary {
 		s.applier.start()
 	}
@@ -287,14 +302,31 @@ func (s *Server) PurgeLogsTo(index uint64) error {
 // PurgeTo(i) removes entries strictly below i, so the limit is one past
 // the newest entry that is both applied to the engine and consensus
 // committed: min(applied, commitIndex) + 1.
+//
+// "Applied" must be crash-durable, not merely in-memory: after a crash
+// the engine recovers to at most its flushed WAL cursor and the applier
+// restarts from wherever the engine landed, so any data entry above the
+// flushed cursor may still need to be replayed from the log. Purging by
+// an unflushed cursor deletes exactly that replay window — a crash then
+// rewinds the engine below the purge floor and the applier retries
+// "entry not found" forever, wedging promotion (§3.3) with it. The bound
+// is therefore the engine's flushed cursor, extended by the applier
+// position sampled BEFORE the flush: every data entry at or below that
+// sample has committed to the engine and is covered by the flush, so the
+// indexes between the two cursors are all non-data entries (no-ops,
+// rotates, config) that recovery skips without loss (see applier.start).
 func (s *Server) safePurgeLimit() uint64 {
-	applied := s.applier.lastApplied()
-	// On a primary the applier is stopped and pipeline stage 3 commits
-	// directly to the engine; the engine cursor is then the live one.
-	if ec := s.engine.LastCommitted().Index; ec > applied {
-		applied = ec
+	applierPos := s.applier.lastApplied()
+	flushed, err := s.engine.FlushWAL()
+	if err != nil {
+		// Engine closed mid-shutdown (or flush failed): nothing is
+		// provably recoverable, so allow no purge at all.
+		return 0
 	}
-	limit := applied
+	limit := flushed.Index
+	if applierPos > limit {
+		limit = applierPos
+	}
 	s.mu.Lock()
 	repl := s.repl
 	s.mu.Unlock()
@@ -445,6 +477,9 @@ type ReplicaStatus struct {
 	ApplierPosition uint64
 	// ApplierError is the applier's most recent failure message, if any.
 	ApplierError string
+	// ApplierLag is the number of consensus-committed transactions the
+	// applier has not yet applied (commit index - applier position).
+	ApplierLag uint64
 	// EngineCommitted is the OpID of the last engine-committed
 	// transaction (the recovery cursor of §3.3 step 5).
 	EngineCommitted opid.OpID
@@ -461,6 +496,7 @@ func (s *Server) Status() ReplicaStatus {
 		Persona:         s.log.Persona().String(),
 		ApplierRunning:  s.applier.isRunning(),
 		ApplierPosition: s.applier.lastApplied(),
+		ApplierLag:      s.applier.lag(),
 		EngineCommitted: s.engine.LastCommitted(),
 		GTIDExecuted:    s.log.GTIDSet().String(),
 		LogTail:         s.log.LastOpID(),
@@ -473,6 +509,10 @@ func (s *Server) Status() ReplicaStatus {
 
 // ApplierLastError reports the applier's most recent failure, if any.
 func (s *Server) ApplierLastError() error { return s.applier.LastError() }
+
+// ApplyStatus reports the parallel applier's detailed state: lag, worker
+// occupancy and conflict-fallback accounting (adminapi /status).
+func (s *Server) ApplyStatus() ApplyStatus { return s.applier.status() }
 
 // Checksum summarizes engine contents for cross-member comparison.
 func (s *Server) Checksum() uint32 { return s.engine.Checksum() }

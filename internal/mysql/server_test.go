@@ -344,7 +344,14 @@ type replicaHarness struct {
 
 func newReplica(t *testing.T) *replicaHarness {
 	t.Helper()
-	s, err := NewServer(Options{ID: "replica-1", Dir: t.TempDir()})
+	return newReplicaAt(t, t.TempDir())
+}
+
+// newReplicaAt builds the replica in a caller-owned directory so crash
+// tests can reopen the same state.
+func newReplicaAt(t *testing.T, dir string) *replicaHarness {
+	t.Helper()
+	s, err := NewServer(Options{ID: "replica-1", Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -103,7 +103,10 @@ func (n *Node) setCommitIndex(index uint64) {
 	n.commitIndex = index
 	n.notifyWaiters()
 	n.completeReadWaiters()
-	go n.cb.OnCommitAdvance(index)
+	// Coalesced, latest-wins: a burst of commit advances (a follower
+	// draining a backlog) collapses into few callback deliveries instead
+	// of one goroutine per advance.
+	n.notifier.post(index)
 }
 
 // Propose appends a client transaction to the replicated log. It returns

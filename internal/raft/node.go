@@ -85,6 +85,10 @@ type Node struct {
 	durableWaiters []commitWaiter
 	pendingAck     *durableAck
 
+	// notifier delivers OnCommitAdvance callbacks off the event loop with
+	// latest-wins coalescing (notify.go).
+	notifier *commitNotifier
+
 	// Snapshot catch-up state (snapshot.go): snapOp is the anchor the log
 	// was last reset to (termAt answers for it even though no entry exists
 	// at that index); snapCache/snapFetching are the leader's cached
@@ -172,6 +176,7 @@ func NewNode(cfg Config, log LogStore, cb Callbacks, tr Transport, clk clock.Clo
 		lease:    leaseTracker{duration: cfg.LeaseDuration, maxSkew: cfg.MaxClockSkew},
 	}
 	n.writer = newLogWriter(log, cfg, newDurMetrics())
+	n.notifier = newCommitNotifier(n.cb)
 	return n, nil
 }
 
@@ -253,6 +258,7 @@ func (n *Node) Start(bootstrap wire.Config) error {
 	n.writer.init(n.lastOpID.Index)
 	n.selfMatch = n.lastOpID.Index
 	go n.writer.run()
+	go n.notifier.run()
 	go n.run()
 	return nil
 }
@@ -281,9 +287,10 @@ const (
 // run is the event loop.
 func (n *Node) run() {
 	defer func() {
-		// Drain the log writer (final group fsync) before reporting the
-		// node fully stopped.
+		// Drain the log writer (final group fsync) and flush the last
+		// commit notification before reporting the node fully stopped.
 		n.writer.stop()
+		n.notifier.stop()
 		close(n.done)
 	}()
 	tickEvery := n.cfg.HeartbeatInterval / 2

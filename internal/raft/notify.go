@@ -1,0 +1,77 @@
+package raft
+
+import "sync"
+
+// commitNotifier delivers Callbacks.OnCommitAdvance off the event loop
+// with latest-wins coalescing. Advancing the commit marker entry by entry
+// (a catching-up follower can move it thousands of times in a burst) used
+// to spawn one callback goroutine per advance; the consumer (the mysql
+// applier) only cares about the newest value, so intermediate indexes are
+// skipped: a burst of advances collapses into at most one in-flight
+// delivery plus one pending. Delivered indexes are strictly increasing.
+type commitNotifier struct {
+	cb Callbacks
+
+	mu        sync.Mutex
+	latest    uint64 // highest posted index
+	delivered uint64 // highest index handed to the callback
+	stopped   bool
+
+	wake chan struct{} // 1-buffered doorbell
+	done chan struct{}
+}
+
+func newCommitNotifier(cb Callbacks) *commitNotifier {
+	return &commitNotifier{cb: cb, wake: make(chan struct{}, 1), done: make(chan struct{})}
+}
+
+// post records a new commit index and rings the doorbell. Never blocks,
+// so it is safe to call from the event loop.
+func (cn *commitNotifier) post(index uint64) {
+	cn.mu.Lock()
+	if index > cn.latest {
+		cn.latest = index
+	}
+	cn.mu.Unlock()
+	select {
+	case cn.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the delivery goroutine: wake, deliver the newest index, repeat
+// until drained. The callback runs outside any lock, so a slow consumer
+// only delays its own notifications.
+func (cn *commitNotifier) run() {
+	defer close(cn.done)
+	for range cn.wake {
+		for {
+			cn.mu.Lock()
+			idx := cn.latest
+			stopped := cn.stopped
+			if idx <= cn.delivered {
+				cn.mu.Unlock()
+				if stopped {
+					return
+				}
+				break
+			}
+			cn.delivered = idx
+			cn.mu.Unlock()
+			cn.cb.OnCommitAdvance(idx)
+		}
+	}
+}
+
+// stop flushes any pending notification and waits for the delivery
+// goroutine to exit.
+func (cn *commitNotifier) stop() {
+	cn.mu.Lock()
+	cn.stopped = true
+	cn.mu.Unlock()
+	select {
+	case cn.wake <- struct{}{}:
+	default:
+	}
+	<-cn.done
+}

@@ -1,0 +1,97 @@
+package raft
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingCallbacks records OnCommitAdvance deliveries, optionally
+// stalling each one to force coalescing upstream.
+type blockingCallbacks struct {
+	NopCallbacks
+	mu    sync.Mutex
+	calls []uint64
+	stall time.Duration
+}
+
+func (b *blockingCallbacks) OnCommitAdvance(index uint64) {
+	if b.stall > 0 {
+		time.Sleep(b.stall)
+	}
+	b.mu.Lock()
+	b.calls = append(b.calls, index)
+	b.mu.Unlock()
+}
+
+func (b *blockingCallbacks) snapshot() []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]uint64{}, b.calls...)
+}
+
+func TestCommitNotifierCoalesces(t *testing.T) {
+	cb := &blockingCallbacks{stall: 2 * time.Millisecond}
+	cn := newCommitNotifier(cb)
+	go cn.run()
+
+	const n = 100
+	for i := uint64(1); i <= n; i++ {
+		cn.post(i)
+	}
+	cn.stop() // flushes the pending notification before returning
+
+	calls := cb.snapshot()
+	if len(calls) == 0 {
+		t.Fatal("no deliveries")
+	}
+	if last := calls[len(calls)-1]; last != n {
+		t.Fatalf("last delivery = %d, want %d", last, n)
+	}
+	// With a consumer slower than the post rate, the burst must coalesce:
+	// far fewer deliveries than posts (each delivery skips ahead to the
+	// newest index).
+	if len(calls) >= n/2 {
+		t.Fatalf("%d deliveries for %d posts; expected coalescing", len(calls), n)
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i] <= calls[i-1] {
+			t.Fatalf("deliveries not strictly increasing: %v", calls)
+		}
+	}
+}
+
+func TestCommitNotifierDropsStaleAndDuplicate(t *testing.T) {
+	cb := &blockingCallbacks{}
+	cn := newCommitNotifier(cb)
+	go cn.run()
+
+	cn.post(5)
+	cn.post(3) // stale: must not be delivered
+	cn.post(5) // duplicate: must not re-deliver
+	cn.stop()
+
+	for _, c := range cb.snapshot() {
+		if c != 5 {
+			t.Fatalf("unexpected delivery %d (calls %v)", c, cb.snapshot())
+		}
+	}
+	if calls := cb.snapshot(); len(calls) != 1 {
+		t.Fatalf("calls = %v, want exactly one delivery of 5", calls)
+	}
+}
+
+func TestCommitNotifierStopFlushesPending(t *testing.T) {
+	cb := &blockingCallbacks{stall: 5 * time.Millisecond}
+	cn := newCommitNotifier(cb)
+	go cn.run()
+
+	cn.post(1) // consumer stalls in the callback
+	cn.post(9) // pending when stop arrives
+	cn.stop()
+
+	calls := cb.snapshot()
+	if len(calls) == 0 || calls[len(calls)-1] != 9 {
+		t.Fatalf("calls = %v, want final delivery of 9", calls)
+	}
+}

@@ -194,6 +194,9 @@ func (e *Engine) InstallCheckpoint(cp *Checkpoint) error {
 	}
 	e.wal.Close()
 	e.wal = wal
+	// Drop any buffered appends for the replaced WAL; they belong to
+	// history the checkpoint supersedes.
+	e.walw.Reset(wal)
 
 	e.rows = make(map[string][]byte, len(cp.Rows))
 	for k, v := range cp.Rows {

@@ -136,8 +136,12 @@ func TestInstallCheckpointReplacesState(t *testing.T) {
 		t.Fatalf("LastCommitted = %v", e.LastCommitted())
 	}
 
-	// Commits after install land on the new WAL and survive recovery.
+	// Commits after install land on the new WAL and, once synced, survive
+	// recovery (the WAL buffers appends; a crash loses the unsynced tail).
 	mustCommit(t, e, opid.OpID{Term: 5, Index: 101}, map[string]string{"after": "yes"})
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
 	e.Crash()
 	re := openTestEngine(t, dir)
 	if _, ok := re.Get("old"); ok {

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -45,6 +46,15 @@ type Options struct {
 	// LockWaitTimeout bounds row-lock waits. Zero means a generous
 	// default (1s) suitable for tests.
 	LockWaitTimeout time.Duration
+	// PrepareLatency simulates the storage I/O a real engine performs
+	// while staging a transaction for commit (page reads, doublewrite):
+	// Prepare sleeps this long before its WAL append, outside the engine
+	// mutex but with the transaction's row locks held — exactly the
+	// blocking profile the parallel applier's worker pool exists to
+	// overlap. Zero (the default) disables it; benchmarks use it to model
+	// an I/O-bound replica on hosts whose core count cannot show CPU
+	// overlap.
+	PrepareLatency time.Duration
 }
 
 // Engine is a transactional key-value storage engine.
@@ -59,9 +69,20 @@ type Engine struct {
 
 	walPath string
 	wal     *os.File
+	// walw buffers WAL appends in user space: records become durable only
+	// at the next Sync (group fsync) anyway, so per-record write syscalls
+	// buy nothing — and under parallel apply they would serialize every
+	// prepare/commit behind the engine mutex. A crash loses buffered
+	// records exactly as it would lose unsynced page-cache bytes; recovery
+	// treats both as the torn tail.
+	walw *bufio.Writer
 
 	lockWait time.Duration
+	prepLat  time.Duration // simulated staging I/O (Options.PrepareLatency)
 }
+
+// walBufSize is the engine WAL's user-space buffer.
+const walBufSize = 1 << 18
 
 // rowLock is an exclusive row lock with a waiter count.
 type rowLock struct {
@@ -83,6 +104,7 @@ func Open(opts Options) (*Engine, error) {
 		prepared: make(map[uint64]*Txn),
 		walPath:  filepath.Join(opts.Dir, "engine.wal"),
 		lockWait: opts.LockWaitTimeout,
+		prepLat:  opts.PrepareLatency,
 		nextTxn:  1,
 	}
 	if e.lockWait == 0 {
@@ -96,6 +118,7 @@ func Open(opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
 	e.wal = wal
+	e.walw = bufio.NewWriterSize(wal, walBufSize)
 	return e, nil
 }
 
@@ -203,10 +226,45 @@ func decodeWALRecord(data []byte) (*walRecord, []byte, bool) {
 }
 
 func (e *Engine) writeWAL(rec *walRecord) error {
-	if _, err := e.wal.Write(encodeWALRecord(rec)); err != nil {
+	return e.writeWALBytes(encodeWALRecord(rec))
+}
+
+// writeWALBytes appends a pre-encoded record. Callers on the parallel
+// apply path encode off-lock (encodeWALRecord walks and re-serializes the
+// whole change list, which is the expensive half of a WAL append) and
+// only take the engine mutex for the write itself.
+func (e *Engine) writeWALBytes(buf []byte) error {
+	if _, err := e.walw.Write(buf); err != nil {
 		return fmt.Errorf("storage: wal append: %w", err)
 	}
 	return nil
+}
+
+// WALCommitOps reads the engine WAL in dir and returns the OpIDs of its
+// commit records in on-disk order. Diagnostics and tests use it to verify
+// the gap-free engine commit sequence the recovery cursor depends on: the
+// parallel applier's commit sequencer must keep this list strictly
+// increasing with no data entry skipped.
+func WALCommitOps(dir string) ([]opid.OpID, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "engine.wal"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: read wal: %w", err)
+	}
+	var ops []opid.OpID
+	for len(data) > 0 {
+		rec, rest, ok := decodeWALRecord(data)
+		if !ok {
+			break // torn tail
+		}
+		data = rest
+		if rec.typ == walCommit || rec.typ == walCheckpoint {
+			ops = append(ops, rec.op)
+		}
+	}
+	return ops, nil
 }
 
 func (e *Engine) applyChange(c RowChange) {
@@ -235,6 +293,24 @@ func (e *Engine) LastCommitted() opid.OpID {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.lastOp
+}
+
+// FlushWAL pushes buffered WAL records to the OS and returns the commit
+// cursor the flush covers. A cursor obtained here survives a process
+// crash (Crash drops only the user-space buffer), unlike LastCommitted,
+// whose tail records may still be buffered. Purge safety must use this
+// bound: log history may only be deleted below a position the engine is
+// guaranteed to recover to.
+func (e *Engine) FlushWAL() (opid.OpID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return opid.OpID{}, ErrClosed
+	}
+	if err := e.walw.Flush(); err != nil {
+		return opid.OpID{}, err
+	}
+	return e.lastOp, nil
 }
 
 // PreparedCount returns the number of transactions currently in the
@@ -268,15 +344,22 @@ func (e *Engine) RollbackPrepared() error {
 func (e *Engine) Checksum() uint32 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	keys := make([]string, 0, len(e.rows))
-	for k := range e.rows {
+	return ChecksumRows(e.rows)
+}
+
+// ChecksumRows is the engine content checksum as a pure function, so
+// external checkers (the chaos harness's serial-replay invariant) can
+// compute the checksum a hypothetical engine holding rows would report.
+func ChecksumRows(rows map[string][]byte) uint32 {
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	var sum uint32
 	for _, k := range keys {
 		sum = crc32.Update(sum, castagnoli, []byte(k))
-		sum = crc32.Update(sum, castagnoli, e.rows[k])
+		sum = crc32.Update(sum, castagnoli, rows[k])
 	}
 	return sum
 }
@@ -308,6 +391,9 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	if err := e.walw.Flush(); err != nil {
+		return err
+	}
 	if err := e.wal.Sync(); err != nil {
 		return err
 	}
@@ -321,6 +407,8 @@ func (e *Engine) Crash() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.closed = true
+	// The buffered tail is deliberately NOT flushed: those records are the
+	// unsynced bytes a real crash would lose.
 	e.wal.Close()
 	// Wake any lock waiters so goroutines don't leak; their transactions
 	// will fail on the closed engine.
@@ -476,6 +564,18 @@ func (t *Txn) Changes() []RowChange {
 // finish the same transaction and exactly one wins.
 func (t *Txn) Prepare() error {
 	e := t.engine
+	// Encode the record before taking the engine mutex: the prepare record
+	// carries the full change list, and serializing it is the bulk of the
+	// work. Concurrent parallel-apply workers would otherwise serialize
+	// their whole prepare, not just the WAL write. The transaction is
+	// owned by this goroutine, so its buffered writes are stable; the
+	// state checks still happen under the lock.
+	rec := encodeWALRecord(&walRecord{typ: walPrepare, txnID: t.id, changes: t.Changes()})
+	if e.prepLat > 0 {
+		// Simulated staging I/O: blocks this transaction (row locks held)
+		// without serializing concurrent preparers. See Options.
+		time.Sleep(e.prepLat)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if t.done {
@@ -487,7 +587,7 @@ func (t *Txn) Prepare() error {
 	if e.closed {
 		return ErrClosed
 	}
-	if err := e.writeWAL(&walRecord{typ: walPrepare, txnID: t.id, changes: t.Changes()}); err != nil {
+	if err := e.writeWALBytes(rec); err != nil {
 		return err
 	}
 	t.prepared = true
@@ -500,6 +600,11 @@ func (t *Txn) Prepare() error {
 // locks. This is stage 3 of the commit pipeline (§3.4).
 func (t *Txn) Commit(op opid.OpID) error {
 	e := t.engine
+	// Commit records are small, but the change-list snapshot walks
+	// txn-local state only; take both off-lock so the commit sequencer's
+	// critical section is just the WAL write and the row-map update.
+	rec := encodeWALRecord(&walRecord{typ: walCommit, txnID: t.id, op: op})
+	changes := t.Changes()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if t.done {
@@ -511,10 +616,10 @@ func (t *Txn) Commit(op opid.OpID) error {
 	if e.closed {
 		return ErrClosed
 	}
-	if err := e.writeWAL(&walRecord{typ: walCommit, txnID: t.id, op: op}); err != nil {
+	if err := e.writeWALBytes(rec); err != nil {
 		return err
 	}
-	for _, c := range t.Changes() {
+	for _, c := range changes {
 		e.applyChange(c)
 	}
 	if e.lastOp.Less(op) {
@@ -550,6 +655,9 @@ func (e *Engine) Sync() error {
 	defer e.mu.Unlock()
 	if e.closed {
 		return ErrClosed
+	}
+	if err := e.walw.Flush(); err != nil {
+		return err
 	}
 	return e.wal.Sync()
 }

@@ -64,8 +64,20 @@ func EncodeChanges(changes []RowChange) []byte {
 	return buf
 }
 
-// DecodeChanges parses a payload produced by EncodeChanges.
+// DecodeChanges parses a transaction payload into its row changes. Both
+// framings are accepted: the legacy change list of EncodeChanges and the
+// writeset-bearing payload of EncodeTxnPayload (the writeset section is
+// skipped; use DecodeTxnPayload to get it).
 func DecodeChanges(data []byte) ([]RowChange, error) {
+	_, rest, err := splitPayload(data)
+	if err != nil {
+		return nil, err
+	}
+	return decodeChangeList(rest)
+}
+
+// decodeChangeList parses the v1 change-list framing.
+func decodeChangeList(data []byte) ([]RowChange, error) {
 	if len(data) < 4 {
 		return nil, fmt.Errorf("storage: short change list")
 	}

@@ -79,6 +79,22 @@ stage_multiraft() {
 	go test -run '^$' -bench=BenchmarkMultiRaftShards -benchtime=1x .
 }
 
+stage_parallelapply() {
+	echo "== parallel apply (writeset-scheduled replica applier slice)"
+	# The parallel-apply slice across its layers: writeset extraction and
+	# payload framing, dependency tracking and batch scheduling (the
+	# serial-equivalence property tests), the coalesced commit notifier,
+	# the range read the batch applier leans on, and the fixed-seed chaos
+	# smoke that runs the whole fault schedule with appliers forced wide.
+	go test ./internal/storage -run 'Writeset|TxnPayload'
+	go test ./internal/mysql -run 'Parallel|Waiters|ApplyStatus'
+	go test ./internal/raft -run 'CommitNotifier'
+	go test ./internal/binlog -run 'Entries'
+	go test ./internal/chaos -run 'TestChaosParallelApplySmoke'
+	echo "== parallel apply bench (1 iteration)"
+	go test ./internal/mysql -run '^$' -bench=BenchmarkParallelApply -benchtime=1x
+}
+
 stage_compaction() {
 	echo "== compaction (bounded-log lifecycle)"
 	# The log-lifecycle slice across every layer it touches: binlog purge
@@ -95,7 +111,7 @@ stage_compaction() {
 }
 
 case "${1:-all}" in
-lint | build | tests | race | chaos | bench | compaction | multiraft)
+lint | build | tests | race | chaos | bench | compaction | multiraft | parallelapply)
 	stage_"$1"
 	;;
 all)
@@ -105,10 +121,11 @@ all)
 	stage_race
 	stage_compaction
 	stage_multiraft
+	stage_parallelapply
 	stage_bench
 	;;
 *)
-	echo "usage: $0 [lint|build|tests|race|chaos|bench|compaction|multiraft]" >&2
+	echo "usage: $0 [lint|build|tests|race|chaos|bench|compaction|multiraft|parallelapply]" >&2
 	exit 2
 	;;
 esac
