@@ -1,4 +1,4 @@
-.PHONY: check lint test build vet race chaos bench
+.PHONY: check lint test build vet race chaos bench obs
 
 # Full gate: lint + build + tests (incl. the 20-seed chaos campaign) +
 # race detector + bench smoke. This is what CI runs.
@@ -29,3 +29,8 @@ chaos:
 
 bench:
 	go test -bench=. -benchtime=1x -run '^$$' .
+
+# Observability slice: write-path tracing, metrics registries, and the
+# admin /metrics + /trace scrapes, race detector on.
+obs:
+	./scripts/check.sh obs

@@ -35,6 +35,8 @@ commands:
   fix-quorum [allow-data-loss]           Quorum Fixer remediation
   shards                                 per-shard rollup (multi-shard endpoints)
   balance                                run one leader-balancing pass
+  top [interval|once]                    live write-path stage breakdown (default 2s refresh)
+  metrics                                dump the Prometheus exposition
 `)
 	os.Exit(2)
 }
@@ -166,6 +168,19 @@ func run(c *adminapi.Client, args []string) error {
 			return err
 		}
 		fmt.Printf("balanced: %d leadership transfer(s)\n", moves)
+		return nil
+	case "top":
+		arg := ""
+		if len(args) > 1 {
+			arg = args[1]
+		}
+		return runTop(c, arg)
+	case "metrics":
+		body, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Print(body)
 		return nil
 	case "flush-binlogs":
 		return c.FlushBinlogs()

@@ -36,6 +36,8 @@ func main() {
 		proxy     = flag.Bool("proxy", true, "enable region-proxy replication (§4.2)")
 		heartbeat = flag.Duration("heartbeat", 100*time.Millisecond, "raft heartbeat interval (paper: 500ms)")
 		crossRTT  = flag.Duration("cross-region", 10*time.Millisecond, "simulated cross-region one-way latency")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the admin listener")
+		traceEach = flag.Int("trace-sample", 0, "write-path trace sampling: 0=every txn, n>1=every nth, negative=off")
 	)
 	flag.Parse()
 
@@ -50,6 +52,8 @@ func main() {
 		Name: "myraftd",
 		Dir:  *dir,
 		Raft: rcfg,
+
+		TraceSampleEvery: *traceEach,
 		NetConfig: transport.Config{
 			IntraRegion: 150 * time.Microsecond,
 			CrossRegion: *crossRTT,
@@ -69,7 +73,12 @@ func main() {
 	log.Printf("replicaset up: %d members, strategy=%s proxy=%v, primary=mysql-0",
 		3*(*followers+1)+*learners, *strategy, *proxy)
 
-	srv := &http.Server{Addr: *listen, Handler: adminapi.NewServer(c)}
+	api := adminapi.NewServer(c)
+	if *pprofOn {
+		api.EnablePprof()
+		log.Printf("pprof enabled at http://%s/debug/pprof/", *listen)
+	}
+	srv := &http.Server{Addr: *listen, Handler: api}
 	go func() {
 		log.Printf("admin API listening on http://%s (try: myraftctl -addr http://%s status)", *listen, *listen)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

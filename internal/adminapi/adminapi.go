@@ -149,6 +149,8 @@ func NewServer(c *cluster.Cluster) *Server {
 	s.mux.HandleFunc("POST /flush-binlogs", s.handleFlush)
 	s.mux.HandleFunc("POST /purge", s.handlePurge)
 	s.mux.HandleFunc("POST /fix-quorum", s.handleFixQuorum)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /trace", s.handleTrace)
 	return s
 }
 

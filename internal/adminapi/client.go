@@ -195,6 +195,31 @@ func (c *Client) Balance() (int, error) {
 	return out["moves"], err
 }
 
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("adminapi: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return string(data), nil
+}
+
+// Trace fetches the per-member write-path stage summaries and slow-op
+// journals (the myraftctl top feed).
+func (c *Client) Trace() (TraceStatus, error) {
+	var st TraceStatus
+	err := c.do(http.MethodGet, "/trace", nil, &st)
+	return st, err
+}
+
 // FixQuorum runs the Quorum Fixer remediation.
 func (c *Client) FixQuorum(allowDataLoss bool) (string, error) {
 	var out map[string]string

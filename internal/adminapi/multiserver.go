@@ -53,6 +53,8 @@ func NewMultiServer(rt *multiraft.Runtime) *MultiServer {
 	s.mux.HandleFunc("POST /balance", s.handleBalance)
 	s.mux.HandleFunc("POST /write", s.handleWrite)
 	s.mux.HandleFunc("GET /read", s.handleRead)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /trace", s.handleTrace)
 	return s
 }
 

@@ -1,0 +1,180 @@
+package adminapi
+
+// observability.go is the scrape-and-drill-down surface: GET /metrics
+// renders every up member's registry — write-path stage histograms,
+// raft/binlog/applier gauges — as Prometheus text (one family per
+// metric, one series per member), GET /trace returns the per-member
+// stage summaries and slow-op journals as JSON for myraftctl top, and
+// EnablePprof mounts the runtime profiler behind an explicit opt-in.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"myraft/internal/metrics"
+	"myraft/internal/trace"
+)
+
+// TraceStage is one write-path stage's latency summary. Durations are
+// integer nanoseconds: the payload is for tooling, not eyeballs.
+type TraceStage struct {
+	Count  int   `json:"count"`
+	MinNS  int64 `json:"min_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P95NS  int64 `json:"p95_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	MeanNS int64 `json:"mean_ns"`
+}
+
+// TraceSlowOp is one journaled slow operation with its per-stage
+// breakdown (stages the operation never reached are absent).
+type TraceSlowOp struct {
+	Op      string           `json:"op,omitempty"`
+	Role    string           `json:"role"`
+	TotalNS int64            `json:"total_ns"`
+	At      string           `json:"at"`
+	Stages  map[string]int64 `json:"stages_ns"`
+}
+
+// MemberTrace is one member's view in the GET /trace payload.
+type MemberTrace struct {
+	ID string `json:"id"`
+	// Shard is set in multi-shard payloads only.
+	Shard   string                `json:"shard,omitempty"`
+	Stages  map[string]TraceStage `json:"stages"`
+	SlowOps []TraceSlowOp         `json:"slow_ops,omitempty"`
+}
+
+// TraceStatus is the GET /trace payload.
+type TraceStatus struct {
+	Members []MemberTrace `json:"members"`
+}
+
+func traceStages(sums map[trace.Stage]metrics.Summary) map[string]TraceStage {
+	out := make(map[string]TraceStage, len(sums))
+	for s, sum := range sums {
+		out[s.String()] = TraceStage{
+			Count:  sum.Count,
+			MinNS:  sum.Min.Nanoseconds(),
+			P50NS:  sum.Median.Nanoseconds(),
+			P95NS:  sum.P95.Nanoseconds(),
+			P99NS:  sum.P99.Nanoseconds(),
+			MaxNS:  sum.Max.Nanoseconds(),
+			MeanNS: sum.Mean.Nanoseconds(),
+		}
+	}
+	return out
+}
+
+func traceSlowOps(j *trace.Journal) []TraceSlowOp {
+	if j == nil {
+		return nil
+	}
+	ops := j.Top()
+	out := make([]TraceSlowOp, 0, len(ops))
+	for _, op := range ops {
+		stages := make(map[string]int64)
+		for name, d := range op.StageBreakdown() {
+			stages[name] = d.Nanoseconds()
+		}
+		out = append(out, TraceSlowOp{
+			Op:      op.Op,
+			Role:    op.Role,
+			TotalNS: op.Total.Nanoseconds(),
+			At:      op.At.Format(time.RFC3339Nano),
+			Stages:  stages,
+		})
+	}
+	return out
+}
+
+// handleMetrics renders every up member's refreshed registry as
+// Prometheus text, each series labeled with its member ID.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var groups []metrics.LabeledRegistry
+	for _, mr := range s.c.MemberRegistries() {
+		groups = append(groups, metrics.LabeledRegistry{
+			Labels: map[string]string{"member": string(mr.ID)},
+			Reg:    mr.Reg,
+		})
+	}
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	metrics.WritePrometheus(w, groups...)
+}
+
+// handleTrace returns per-member write-path stage summaries and slow-op
+// journals.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var st TraceStatus
+	for _, mr := range s.c.MemberRegistries() {
+		if mr.Tracer == nil {
+			continue
+		}
+		st.Members = append(st.Members, MemberTrace{
+			ID:      string(mr.ID),
+			Stages:  traceStages(mr.Tracer.StageSummaries()),
+			SlowOps: traceSlowOps(mr.Tracer.Journal()),
+		})
+	}
+	writeJSON(w, st)
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+// default: profiling endpoints leak memory contents and cost CPU, so
+// exposure is an explicit operator decision (myraftd -pprof).
+func (s *Server) EnablePprof() {
+	mountPprof(s.mux)
+}
+
+// handleMetrics renders the runtime's shared registry (coalescing,
+// shared-fsync, leader-placement state) plus every (shard, member)
+// registry, labeled with both dimensions.
+func (s *MultiServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	groups := []metrics.LabeledRegistry{{
+		Labels: map[string]string{"scope": "runtime"},
+		Reg:    s.rt.Metrics(),
+	}}
+	for _, mr := range s.rt.MemberRegistries() {
+		groups = append(groups, metrics.LabeledRegistry{
+			Labels: map[string]string{"shard": strconv.FormatUint(uint64(mr.Shard), 10), "member": string(mr.ID)},
+			Reg:    mr.Reg,
+		})
+	}
+	w.Header().Set("Content-Type", metrics.PromContentType)
+	metrics.WritePrometheus(w, groups...)
+}
+
+// handleTrace returns stage summaries and slow ops for every (shard,
+// member) pair hosting a tracer.
+func (s *MultiServer) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var st TraceStatus
+	for _, mr := range s.rt.MemberRegistries() {
+		if mr.Tracer == nil {
+			continue
+		}
+		st.Members = append(st.Members, MemberTrace{
+			ID:      string(mr.ID),
+			Shard:   strconv.FormatUint(uint64(mr.Shard), 10),
+			Stages:  traceStages(mr.Tracer.StageSummaries()),
+			SlowOps: traceSlowOps(mr.Tracer.Journal()),
+		})
+	}
+	writeJSON(w, st)
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ (see
+// Server.EnablePprof).
+func (s *MultiServer) EnablePprof() {
+	mountPprof(s.mux)
+}
+
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,204 @@
+package adminapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"myraft/internal/metrics"
+	"myraft/internal/trace"
+)
+
+var (
+	promTypeLine   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (gauge|counter|summary)$`)
+	promSampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+-]+$`)
+)
+
+// checkPromText validates Prometheus text-format invariants: every line
+// is a TYPE comment or a sample, and each family announces its type
+// exactly once.
+func checkPromText(t *testing.T, body string) {
+	t.Helper()
+	types := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case promTypeLine.MatchString(line):
+			name := strings.Fields(line)[2]
+			if types[name] {
+				t.Fatalf("duplicate TYPE line for %s", name)
+			}
+			types[name] = true
+		case promSampleLine.MatchString(line):
+		default:
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+	if len(types) == 0 {
+		t.Fatal("no metric families in exposition")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, client := testStack(t)
+	for i := 0; i < 5; i++ {
+		if _, err := client.Write(fmt.Sprintf("m%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(client.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.PromContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, metrics.PromContentType)
+	}
+
+	// All seven write-path stage families appear once the replica applier
+	// has caught up; poll until then.
+	deadline := time.Now().Add(10 * time.Second)
+	var body string
+	for {
+		body, err = client.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		missing := ""
+		for _, s := range trace.Stages() {
+			fam := trace.HistogramName(s)
+			if !strings.Contains(body, "# TYPE "+fam+" summary") ||
+				!strings.Contains(body, fam+"_count{") {
+				missing = fam
+				break
+			}
+		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stage family %s never appeared; body:\n%s", missing, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	checkPromText(t, body)
+
+	// The primary's propose histogram has nonzero observations.
+	proposeCount := regexp.MustCompile(`writepath_propose_seconds_count\{member="mysql-0"\} ([0-9]+)`)
+	m := proposeCount.FindStringSubmatch(body)
+	if m == nil || m[1] == "0" {
+		t.Fatalf("no propose observations for mysql-0; body:\n%s", body)
+	}
+	// Every up member exports the raft gauge set.
+	for _, id := range []string{"mysql-0", "mysql-1", "lt-0-0"} {
+		if !strings.Contains(body, fmt.Sprintf(`raft_commit_index{member=%q}`, id)) {
+			t.Fatalf("member %s missing raft_commit_index", id)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, client := testStack(t)
+	for i := 0; i < 3; i++ {
+		if _, err := client.Write(fmt.Sprintf("t%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := client.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) == 0 {
+		t.Fatal("no members in trace payload")
+	}
+	var primary *MemberTrace
+	for i := range st.Members {
+		if st.Members[i].ID == "mysql-0" {
+			primary = &st.Members[i]
+		}
+	}
+	if primary == nil {
+		t.Fatal("primary missing from trace payload")
+	}
+	if ps := primary.Stages["propose"]; ps.Count == 0 {
+		t.Fatalf("primary propose stage empty: %+v", primary.Stages)
+	}
+	if len(primary.SlowOps) == 0 {
+		t.Fatal("primary journaled no slow ops")
+	}
+	for _, op := range primary.SlowOps {
+		if op.TotalNS <= 0 || op.Role != "primary" {
+			t.Fatalf("bad slow op: %+v", op)
+		}
+		if len(op.Stages) == 0 {
+			t.Fatalf("slow op has no stage breakdown: %+v", op)
+		}
+	}
+}
+
+func TestPprofGatedByOptIn(t *testing.T) {
+	c, client := testStack(t)
+	resp, err := http.Get(client.base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without opt-in: HTTP %d", resp.StatusCode)
+	}
+
+	// A server with the opt-in serves the index.
+	srv := NewServer(c)
+	srv.EnablePprof()
+	req, _ := http.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof index after EnablePprof: HTTP %d", rec.Code)
+	}
+}
+
+func TestMultiMetricsAndTrace(t *testing.T) {
+	_, client := multiStack(t)
+	for i := 0; i < 8; i++ {
+		if _, err := client.Write(fmt.Sprintf("mm%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPromText(t, body)
+	if !strings.Contains(body, `scope="runtime"`) {
+		t.Fatal("runtime-scope series missing")
+	}
+	if !regexp.MustCompile(`writepath_propose_seconds_count\{member="n[0-9]",shard="[0-9]"\} [1-9]`).MatchString(body) {
+		t.Fatalf("no nonzero propose count with shard+member labels; body:\n%s", body)
+	}
+
+	st, err := client.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 shards × 3 members, every one traced.
+	if len(st.Members) != 12 {
+		t.Fatalf("trace members = %d, want 12", len(st.Members))
+	}
+	sawPropose := false
+	for _, m := range st.Members {
+		if m.Shard == "" {
+			t.Fatalf("multi trace member %s missing shard label", m.ID)
+		}
+		if m.Stages["propose"].Count > 0 {
+			sawPropose = true
+		}
+	}
+	if !sawPropose {
+		t.Fatal("no shard member observed a propose stage")
+	}
+}

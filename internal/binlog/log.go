@@ -97,6 +97,36 @@ type Log struct {
 
 	dirty    bool  // writes since the last successful fsync
 	unsynced int64 // bytes appended since the last successful fsync
+
+	// Lifetime I/O accounting, surfaced by Stats for the /metrics scrape.
+	statAppends     int64 // entries appended
+	statAppendBytes int64 // encoded bytes appended
+	statSyncs       int64 // fsyncs that actually hit the disk
+	statNoopSyncs   int64 // Sync calls coalesced away by the dirty check
+}
+
+// Stats is a point-in-time snapshot of the log's lifetime I/O counters.
+type Stats struct {
+	// Appends is the number of entries appended since Open.
+	Appends int64
+	// AppendBytes is the encoded bytes appended since Open.
+	AppendBytes int64
+	// Syncs counts fsyncs that reached the disk.
+	Syncs int64
+	// NoopSyncs counts Sync calls coalesced into no-ops by group commit.
+	NoopSyncs int64
+}
+
+// Stats returns the lifetime I/O counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appends:     l.statAppends,
+		AppendBytes: l.statAppendBytes,
+		Syncs:       l.statSyncs,
+		NoopSyncs:   l.statNoopSyncs,
+	}
 }
 
 // ErrNotFound is returned when a requested entry index is not on disk
@@ -423,6 +453,8 @@ func (l *Log) Append(e *Entry) error {
 	}
 	l.dirty = true
 	l.unsynced += int64(len(buf))
+	l.statAppends++
+	l.statAppendBytes += int64(len(buf))
 	l.offsets[e.OpID.Index] = entryLoc{file: l.active, offset: l.active.size, length: int64(len(buf))}
 	if l.active.firstIndex == 0 {
 		l.active.firstIndex = e.OpID.Index
@@ -464,6 +496,7 @@ func (l *Log) syncLocked() error {
 	if !l.dirty {
 		// Nothing written since the last fsync: group commit coalesces
 		// redundant Sync calls into a no-op instead of a disk flush.
+		l.statNoopSyncs++
 		return nil
 	}
 	if err := l.flushLocked(); err != nil {
@@ -472,6 +505,7 @@ func (l *Log) syncLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("binlog: sync: %w", err)
 	}
+	l.statSyncs++
 	l.dirty = false
 	l.unsynced = 0
 	return nil

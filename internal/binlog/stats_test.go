@@ -1,0 +1,45 @@
+package binlog
+
+import (
+	"testing"
+
+	"myraft/internal/opid"
+)
+
+// TestStatsCountsAppendsAndSyncs checks the lifetime I/O counters the
+// /metrics scrape exports: appends with byte totals, real fsyncs, and
+// Sync calls coalesced into no-ops by the dirty check.
+func TestStatsCountsAppendsAndSyncs(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Persona: PersonaBinlog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := uint64(1); i <= 3; i++ {
+		e := &Entry{OpID: opid.OpID{Term: 1, Index: i}, Type: EntryNormal, Payload: []byte("payload")}
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil { // nothing dirty: must coalesce
+		t.Fatal(err)
+	}
+
+	st := l.Stats()
+	if st.Appends != 3 {
+		t.Fatalf("appends = %d, want 3", st.Appends)
+	}
+	if st.AppendBytes <= 0 {
+		t.Fatalf("append bytes = %d, want > 0", st.AppendBytes)
+	}
+	if st.Syncs != 1 {
+		t.Fatalf("syncs = %d, want 1", st.Syncs)
+	}
+	if st.NoopSyncs != 1 {
+		t.Fatalf("noop syncs = %d, want 1", st.NoopSyncs)
+	}
+}

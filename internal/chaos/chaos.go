@@ -948,6 +948,26 @@ func (h *harness) finalizeStats() {
 			h.stats.SnapshotChunks.Add(ss.ChunksSent)
 		}
 	}
+	// Fold every member tracer's stage summaries into one per-stage
+	// rollup, so a failing seed's report shows where write-path time
+	// went under the faults (a fat fsync p99 next to fsync-stall counts
+	// tells the story at a glance).
+	for _, mr := range h.c.MemberRegistries() {
+		if mr.Tracer == nil {
+			continue
+		}
+		for st, sum := range mr.Tracer.StageSummaries() {
+			agg := h.stats.WritePath[st.String()]
+			agg.Count += sum.Count
+			if sum.P99 > agg.P99 {
+				agg.P99 = sum.P99
+			}
+			if sum.Max > agg.Max {
+				agg.Max = sum.Max
+			}
+			h.stats.WritePath[st.String()] = agg
+		}
+	}
 }
 
 func allEqual[K comparable](m map[K]uint32) bool {

@@ -3,6 +3,9 @@ package chaos
 import (
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -12,6 +15,34 @@ var seedFlag = flag.Int64("chaos.seed", -1, "run only this chaos seed (repro mod
 
 // -chaos.seeds sizes the local campaign.
 var seedsFlag = flag.Int("chaos.seeds", 20, "number of distinct seeds in the chaos campaign")
+
+// -chaos.artifacts names a directory where failing seeds leave a repro
+// bundle (repro command, violations, stats, op journal). CI uploads it.
+var artifactsFlag = flag.String("chaos.artifacts", "", "directory for failing-seed repro artifacts")
+
+// writeArtifact drops a failing seed's full report where CI can pick it
+// up: everything needed to reproduce and triage without rerunning.
+func writeArtifact(t *testing.T, rep *Report) {
+	if *artifactsFlag == "" {
+		return
+	}
+	if err := os.MkdirAll(*artifactsFlag, 0o755); err != nil {
+		t.Logf("chaos: artifacts dir: %v", err)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "repro: %s\n\nviolations (%d):\n", rep.ReproCommand(), len(rep.Violations))
+	for _, v := range rep.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	fmt.Fprintf(&b, "\nstats:\n%s\n\nop journal (schedule):\n%s\n", rep.Stats, rep.Schedule)
+	path := filepath.Join(*artifactsFlag, fmt.Sprintf("seed-%d.txt", rep.Seed))
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Logf("chaos: write artifact: %v", err)
+		return
+	}
+	t.Logf("chaos artifact written: %s", path)
+}
 
 func runSeed(t *testing.T, seed int64) {
 	t.Helper()
@@ -31,6 +62,7 @@ func runSeed(t *testing.T, seed int64) {
 		t.Errorf("stats:\n%s", rep.Stats)
 		t.Errorf("schedule:\n%s", rep.Schedule)
 		t.Errorf("repro: %s", rep.ReproCommand())
+		writeArtifact(t, rep)
 		return
 	}
 	if testing.Verbose() {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"myraft/internal/metrics"
+	"myraft/internal/trace"
 )
 
 // Stats aggregates one chaos run's fault-injection and workload
@@ -52,12 +53,19 @@ type Stats struct {
 	LinReads     metrics.Counter // linearizable-level reads witnessed
 	FallbackObs  metrics.Counter // lease reads that fell back to ReadIndex
 	WriteLatency *metrics.Histogram
+
+	// WritePath aggregates the write-path stage histograms across every
+	// member tracer at run end (final lives only; restarts keep the
+	// member registry, so counts span the whole run). Keyed by stage
+	// name, in the internal/trace taxonomy.
+	WritePath map[string]metrics.Summary
 }
 
 func newStats() *Stats {
 	return &Stats{
 		DropsPerLife: metrics.NewIntHistogram(),
 		WriteLatency: metrics.NewHistogram(),
+		WritePath:    make(map[string]metrics.Summary),
 	}
 }
 
@@ -74,5 +82,15 @@ func (s *Stats) String() string {
 	fmt.Fprintf(&b, "workload : writes=%d write-errs=%d reads=%d read-errs=%d lin=%d lease=%d fallbacks=%d write-latency=%s",
 		s.Writes.Value(), s.WriteErrors.Value(), s.Reads.Value(), s.ReadErrors.Value(),
 		s.LinReads.Value(), s.LeaseReads.Value(), s.FallbackObs.Value(), s.WriteLatency)
+	if len(s.WritePath) > 0 {
+		b.WriteString("\ntracing  :")
+		for _, st := range trace.Stages() {
+			sum, ok := s.WritePath[st.String()]
+			if !ok || sum.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, " %s=%d/p99=%s", st, sum.Count, sum.P99)
+		}
+	}
 	return b.String()
 }

@@ -18,10 +18,12 @@ import (
 	"myraft/internal/clock"
 	"myraft/internal/discovery"
 	"myraft/internal/logtailer"
+	"myraft/internal/metrics"
 	"myraft/internal/mysql"
 	"myraft/internal/plugin"
 	"myraft/internal/raft"
 	"myraft/internal/readpath"
+	"myraft/internal/trace"
 	"myraft/internal/transport"
 	"myraft/internal/wire"
 )
@@ -102,6 +104,11 @@ type Options struct {
 	// (mysql.Options.ApplyWorkers): 0 keeps the mysql default, 1 forces
 	// serial apply.
 	ApplyWorkers int
+	// TraceSampleEvery sets write-path trace sampling for every member: 0
+	// samples every transaction (the per-stage histograms are capped, so
+	// always-on tracing stays bounded), n > 1 samples every nth, and a
+	// negative value disables tracing entirely.
+	TraceSampleEvery int
 }
 
 // Member is one running replicaset member.
@@ -114,6 +121,12 @@ type Member struct {
 	plug   *plugin.Plugin       // nil for logtailers
 	node   *raft.Node
 	down   bool
+
+	// reg and tracer are created once per member and survive crash/restart,
+	// so latency history and slow-op journals span the member's whole
+	// lifetime rather than one process incarnation.
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 }
 
 // Server returns the member's MySQL server (nil for logtailers).
@@ -131,6 +144,14 @@ func (m *Member) Tailer() *logtailer.Logtailer { return m.tailer }
 
 // IsDown reports whether the member is currently crashed.
 func (m *Member) IsDown() bool { return m.down }
+
+// Metrics returns the member's instrument registry. It is created at first
+// start and survives crash/restart.
+func (m *Member) Metrics() *metrics.Registry { return m.reg }
+
+// Tracer returns the member's write-path tracer (nil when tracing is
+// disabled via Options.TraceSampleEvery < 0).
+func (m *Member) Tracer() *trace.Tracer { return m.tracer }
 
 // Cluster is a running replicaset.
 type Cluster struct {
@@ -231,10 +252,22 @@ func (c *Cluster) startMember(m *Member) error {
 	} else {
 		ep = c.net.Register(m.Spec.ID, m.Spec.Region)
 	}
+	// Observability state is member-lifetime, not process-lifetime: keep
+	// histories and the slow-op journal across crash/restart cycles.
+	if m.reg == nil {
+		m.reg = metrics.NewRegistry()
+		if c.opts.TraceSampleEvery >= 0 {
+			m.tracer = trace.New(m.reg)
+			if c.opts.TraceSampleEvery > 1 {
+				m.tracer.SetSampleEvery(uint64(c.opts.TraceSampleEvery))
+			}
+		}
+	}
 	rcfg := c.opts.Raft
 	rcfg.ID = m.Spec.ID
 	rcfg.Region = m.Spec.Region
 	rcfg.StateDir = filepath.Join(m.dir, "raft")
+	rcfg.Tracer = m.tracer
 	if m.Spec.Kind == KindMySQL && rcfg.ElectionTimeoutBias == 0 {
 		// Let logtailers campaign first on failover (§4.1: the witness
 		// holds the longest log and wins cleanly, then transfers to a
@@ -250,7 +283,7 @@ func (c *Cluster) startMember(m *Member) error {
 	var cb raft.Callbacks
 	switch m.Spec.Kind {
 	case KindMySQL:
-		srv, err := mysql.NewServer(mysql.Options{ID: m.Spec.ID, Dir: m.dir, ApplyWorkers: c.opts.ApplyWorkers})
+		srv, err := mysql.NewServer(mysql.Options{ID: m.Spec.ID, Dir: m.dir, ApplyWorkers: c.opts.ApplyWorkers, Tracer: m.tracer})
 		if err != nil {
 			return err
 		}

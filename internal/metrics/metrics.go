@@ -27,9 +27,10 @@ type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
-	cap     int    // 0 = unbounded (exact percentiles)
-	seen    int64  // total Observe calls, including evicted samples
-	rng     uint64 // xorshift state for reservoir replacement
+	cap     int           // 0 = unbounded (exact percentiles)
+	seen    int64         // total Observe calls, including evicted samples
+	sum     time.Duration // running total over every sample ever observed
+	rng     uint64        // xorshift state for reservoir replacement
 }
 
 // NewHistogram returns an empty histogram keeping every sample.
@@ -60,6 +61,7 @@ func (h *Histogram) rand64() uint64 {
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
 	h.seen++
+	h.sum += d
 	switch {
 	case h.cap == 0 || len(h.samples) < h.cap:
 		h.samples = append(h.samples, d)
@@ -89,6 +91,15 @@ func (h *Histogram) Retained() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.samples)
+}
+
+// Sum returns the exact running total over every sample ever observed,
+// including samples evicted from a capped histogram's reservoir. Prometheus
+// summaries report it as the _sum series.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
 }
 
 // sortLocked sorts the sample slice if needed. Callers must hold mu.

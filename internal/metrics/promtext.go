@@ -1,0 +1,202 @@
+package metrics
+
+// promtext.go renders registries in the Prometheus text exposition format
+// (version 0.0.4) so the adminapi /metrics endpoint can be scraped by any
+// standard collector. A single scrape may cover several registries — one
+// per cluster member, or one per shard×member in the multi-shard runtime —
+// each distinguished by a constant label set. Families with the same
+// metric name across registries are grouped under a single # TYPE line,
+// which the format requires.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PromContentType is the Content-Type header value for the text format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// LabeledRegistry pairs a registry with the constant labels attached to
+// every series it contributes to a scrape.
+type LabeledRegistry struct {
+	Labels map[string]string
+	Reg    *Registry
+}
+
+// promFamily collects all series of one metric name across registries.
+type promFamily struct {
+	typ   string // "gauge", "counter", or "summary"
+	lines []string
+}
+
+// WritePrometheus renders the given registries as Prometheus text format.
+// Gauges render as gauge families, counters as counter families, and
+// duration histograms as summary families (quantile series plus _sum and
+// _count) with values in seconds. Metric names are sanitized to the
+// Prometheus charset; label values are escaped per the format spec.
+func WritePrometheus(w io.Writer, groups ...LabeledRegistry) error {
+	families := make(map[string]*promFamily)
+	order := []string{}
+	family := func(name, typ string) *promFamily {
+		f := families[name]
+		if f == nil {
+			f = &promFamily{typ: typ}
+			families[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, g := range groups {
+		if g.Reg == nil {
+			continue
+		}
+		labels := promLabels(g.Labels)
+		g.Reg.mu.Lock()
+		gauges := make(map[string]*Gauge, len(g.Reg.gauges))
+		for name, v := range g.Reg.gauges {
+			gauges[name] = v
+		}
+		counters := make(map[string]*Counter, len(g.Reg.counters))
+		for name, v := range g.Reg.counters {
+			counters[name] = v
+		}
+		hists := make(map[string]*Histogram, len(g.Reg.histograms))
+		for name, v := range g.Reg.histograms {
+			hists[name] = v
+		}
+		g.Reg.mu.Unlock()
+
+		for _, name := range sortedKeys(gauges) {
+			pn := PromName(name)
+			f := family(pn, "gauge")
+			f.lines = append(f.lines, fmt.Sprintf("%s%s %d", pn, labels, gauges[name].Value()))
+		}
+		for _, name := range sortedKeys(counters) {
+			pn := PromName(name)
+			f := family(pn, "counter")
+			f.lines = append(f.lines, fmt.Sprintf("%s%s %d", pn, labels, counters[name].Value()))
+		}
+		for _, name := range sortedKeys(hists) {
+			pn := PromName(name)
+			f := family(pn, "summary")
+			h := hists[name]
+			s := h.Summarize()
+			for _, q := range []struct {
+				q string
+				v time.Duration
+			}{{"0.5", s.Median}, {"0.95", s.P95}, {"0.99", s.P99}, {"1", s.Max}} {
+				f.lines = append(f.lines, fmt.Sprintf("%s%s %g",
+					pn, promLabelsWith(g.Labels, "quantile", q.q), seconds(q.v)))
+			}
+			f.lines = append(f.lines, fmt.Sprintf("%s_sum%s %g", pn, labels, seconds(h.Sum())))
+			f.lines = append(f.lines, fmt.Sprintf("%s_count%s %d", pn, labels, s.Count))
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := families[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PromName sanitizes an instrument name to the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*; every invalid rune becomes '_'.
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set as {k="v",...} with keys sorted, or the
+// empty string for an empty set.
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return promLabelsWith(labels, "", "")
+}
+
+// promLabelsWith renders labels plus an optional extra pair appended last
+// (used for the summary quantile label).
+func promLabelsWith(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, k := range sortedKeys(labels) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(PromName(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double-quote, and newline, per the
+// text-format spec.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrometheusGolden locks the exposition format byte-for-byte on a
+// small fixed registry pair: family grouping across registries under one
+// TYPE line, sorted families and labels, summary quantiles with _sum and
+// _count, name sanitization, and label-value escaping.
+func TestPrometheusGolden(t *testing.T) {
+	a := NewRegistry()
+	a.Gauge("raft_commit_index").Set(7)
+	a.Counter("fsyncs_total").Add(3)
+	h := a.Histogram("writepath_fsync_seconds")
+	h.Observe(1 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+
+	b := NewRegistry()
+	b.Gauge("raft_commit_index").Set(7)
+	b.Gauge("weird metric!name").Set(1)
+
+	var sb strings.Builder
+	err := WritePrometheus(&sb,
+		LabeledRegistry{Labels: map[string]string{"member": "mysql-0"}, Reg: a},
+		LabeledRegistry{Labels: map[string]string{"member": `quo"te\n`}, Reg: b},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# TYPE fsyncs_total counter
+fsyncs_total{member="mysql-0"} 3
+# TYPE raft_commit_index gauge
+raft_commit_index{member="mysql-0"} 7
+raft_commit_index{member="quo\"te\\n"} 7
+# TYPE weird_metric_name gauge
+weird_metric_name{member="quo\"te\\n"} 1
+# TYPE writepath_fsync_seconds summary
+writepath_fsync_seconds{member="mysql-0",quantile="0.5"} 0.002
+writepath_fsync_seconds{member="mysql-0",quantile="0.95"} 0.004
+writepath_fsync_seconds{member="mysql-0",quantile="0.99"} 0.004
+writepath_fsync_seconds{member="mysql-0",quantile="1"} 0.004
+writepath_fsync_seconds_sum{member="mysql-0"} 0.01
+writepath_fsync_seconds_count{member="mysql-0"} 4
+`
+	if sb.String() != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestPrometheusNoLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("shards").Set(4)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, LabeledRegistry{Reg: r}); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE shards gauge\nshards 4\n"
+	if sb.String() != want {
+		t.Fatalf("got %q, want %q", sb.String(), want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name:x9":  "ok_name:x9",
+		"9starts":     "_starts",
+		"a-b.c d":     "a_b_c_d",
+		"":            "_",
+		"writepath_0": "writepath_0",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Fatalf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestHistogramQuantilesKnownDistribution checks nearest-rank percentiles
+// and the running sum on distributions with known answers.
+func TestHistogramQuantilesKnownDistribution(t *testing.T) {
+	// 1..100ms uniform: nearest-rank p50 = 50th value, p95 = 95th, p99 = 99th.
+	h := NewHistogram()
+	var wantSum time.Duration
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i) * time.Millisecond
+		h.Observe(d)
+		wantSum += d
+	}
+	checks := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+		{1, 1 * time.Millisecond},
+	}
+	for _, c := range checks {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Fatalf("p%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v, want 50.5ms", got)
+	}
+
+	// Heavily skewed distribution: 99 fast samples, 1 slow outlier.
+	h2 := NewHistogram()
+	for i := 0; i < 99; i++ {
+		h2.Observe(time.Millisecond)
+	}
+	h2.Observe(time.Second)
+	if got := h2.Percentile(99); got != time.Millisecond {
+		t.Fatalf("skewed p99 = %v, want 1ms (nearest-rank over 100 samples)", got)
+	}
+	if got := h2.Max(); got != time.Second {
+		t.Fatalf("skewed max = %v, want 1s", got)
+	}
+
+	// Capped histogram: reservoir percentiles approximate, Count/Sum exact.
+	hc := NewHistogramCapped(64)
+	var capSum time.Duration
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		hc.Observe(d)
+		capSum += d
+	}
+	if got := hc.Count(); got != 1000 {
+		t.Fatalf("capped count = %d, want 1000", got)
+	}
+	if got := hc.Retained(); got != 64 {
+		t.Fatalf("capped retained = %d, want 64", got)
+	}
+	if got := hc.Sum(); got != capSum {
+		t.Fatalf("capped sum = %v, want %v", got, capSum)
+	}
+}
+
+// TestConcurrentSnapshotVsObserve hammers a registry with concurrent
+// observers while snapshotting and rendering it; run under -race this is
+// the registry's data-race regression test.
+func TestConcurrentSnapshotVsObserve(t *testing.T) {
+	r := NewRegistry()
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("writes_total").Inc()
+				r.Gauge("lag").Set(int64(i))
+				r.Histogram("latency_seconds").Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			snap := r.Snapshot()
+			if snap["writes_total"] < 0 {
+				t.Error("negative counter")
+				return
+			}
+			r.Histogram("latency_seconds").Summarize()
+			var sb strings.Builder
+			if err := WritePrometheus(&sb, LabeledRegistry{Reg: r}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("writes_total").Value(); got != 4*perWorker {
+		t.Fatalf("writes_total = %d, want %d", got, 4*perWorker)
+	}
+}

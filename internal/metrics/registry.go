@@ -43,16 +43,23 @@ func (g *Gauge) Value() int64 {
 // Snapshot. Instruments are created on first use and live for the
 // registry's lifetime. Safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
-	gauges   map[string]*Gauge
-	counters map[string]*Counter
+	mu         sync.Mutex
+	gauges     map[string]*Gauge
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
 }
+
+// registryHistogramCap bounds the reservoir of every registry-owned
+// histogram: the write-path tracer observes into these for the lifetime of
+// a member, so memory must stay flat no matter how long the process runs.
+const registryHistogramCap = 4096
 
 // NewRegistry returns an empty instrument registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		gauges:   make(map[string]*Gauge),
-		counters: make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -78,6 +85,33 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Histogram returns the named duration histogram, creating it (capped, so
+// long-lived registries stay bounded) on first use. Histograms live in
+// their own namespace: Snapshot does not fold them into the scalar map —
+// use Histograms or the Prometheus renderer to read them.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = NewHistogramCapped(registryHistogramCap)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Histograms returns the registered histograms by name. The histograms are
+// shared (live) instruments, not copies; the map itself is a snapshot.
+func (r *Registry) Histograms() map[string]*Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		out[name] = h
+	}
+	return out
 }
 
 // Snapshot returns every registered instrument's current value by name.

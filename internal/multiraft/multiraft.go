@@ -61,6 +61,11 @@ type Options struct {
 	Seed int64
 	// Table is the initial routing table (default UniformTable(Shards)).
 	Table Table
+	// TraceSampleEvery is each shard cluster's write-path trace sampling
+	// rate (see cluster.Options.TraceSampleEvery). A many-shard process
+	// usually wants n > 1: the per-txn cost is small but exists, and the
+	// histograms converge quickly even at 1-in-16.
+	TraceSampleEvery int
 	// DisableCoalescing turns off heartbeat coalescing: every shard
 	// heartbeat crosses in its own envelope (the per-shard fallback, and
 	// the baseline for the coalescing experiments).
@@ -171,6 +176,8 @@ func New(opts Options) (*Runtime, error) {
 			Registry: rt.registry,
 			Clock:    opts.Clock,
 			Seed:     opts.Seed,
+
+			TraceSampleEvery: opts.TraceSampleEvery,
 			Transport: func(id wire.NodeID, _ wire.Region) transport.Transport {
 				return rt.demuxes[id].Shard(shard)
 			},

@@ -1,0 +1,28 @@
+package multiraft
+
+import (
+	"myraft/internal/cluster"
+	"myraft/internal/wire"
+)
+
+// ShardMemberRegistry is one (shard, member) pair in the process-wide
+// scrape: the member's refreshed registry plus the shard it belongs to,
+// so a Prometheus render can label series with both dimensions.
+type ShardMemberRegistry struct {
+	Shard wire.ShardID
+	cluster.MemberRegistry
+}
+
+// MemberRegistries refreshes and returns every up member's registry
+// across every hosted shard, in (shard, spec) order. One scrape walks
+// the whole process: N shards × M members groups, each carrying its own
+// write-path stage histograms and raft/binlog/applier gauges.
+func (rt *Runtime) MemberRegistries() []ShardMemberRegistry {
+	out := make([]ShardMemberRegistry, 0, len(rt.shards)*len(rt.opts.Specs))
+	for s, c := range rt.shards {
+		for _, mr := range c.MemberRegistries() {
+			out = append(out, ShardMemberRegistry{Shard: wire.ShardID(s), MemberRegistry: mr})
+		}
+	}
+	return out
+}

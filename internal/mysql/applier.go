@@ -9,6 +9,7 @@ import (
 
 	"myraft/internal/binlog"
 	"myraft/internal/storage"
+	"myraft/internal/trace"
 )
 
 // applier is the replica-side applier (§3.5): it picks consensus-
@@ -433,12 +434,26 @@ func (a *applier) applyEntry(e *binlog.Entry) error {
 	if e.OpID.Index <= a.s.engine.LastCommitted().Index {
 		return nil
 	}
+	sp := a.s.tracer.Sample()
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	txn, err := a.stagePrepare(e)
 	if err != nil {
 		return err
 	}
+	if sp != nil {
+		sp.Observe(trace.StageApply, time.Since(t0))
+		sp.SetOp(e.OpID.String())
+		t0 = time.Now()
+	}
 	if err := txn.Commit(e.OpID); err != nil {
 		return fmt.Errorf("mysql: applier commit %s: %w", e.OpID, err)
+	}
+	if sp != nil {
+		sp.Observe(trace.StageEngineCommit, time.Since(t0))
+		sp.Finish("replica")
 	}
 	a.appliedTxns.Add(1)
 	return nil

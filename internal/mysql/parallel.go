@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"myraft/internal/binlog"
 	"myraft/internal/storage"
+	"myraft/internal/trace"
 )
 
 // Parallel replication applier (MySQL WRITESET-style).
@@ -115,6 +117,7 @@ type applyJob struct {
 	state jobState
 	txn   *storage.Txn // set when jobPrepared
 	err   error
+	span  *trace.Span // sampled write-path trace context, usually nil
 }
 
 // applyBatch is one scheduling round over a contiguous entry range.
@@ -155,6 +158,7 @@ func (a *applier) applyBatch(from uint64, entries []*binlog.Entry) (uint64, bool
 		j := &applyJob{idx: idx, entry: e, state: jobSkipped}
 		if e.Type == binlog.EntryNormal && idx > engineCursor {
 			j.state = jobPending
+			j.span = a.s.tracer.Sample()
 			runnable++
 			ws, _ := storage.PayloadWriteset(e.Payload)
 			var fb bool
@@ -210,12 +214,20 @@ func (b *applyBatch) sequence(floor uint64) (uint64, bool) {
 				break
 			}
 			b.mu.Unlock() // engine commit does WAL I/O; don't hold the batch lock
+			var t0 time.Time
+			if j.span != nil {
+				t0 = time.Now()
+			}
 			err := j.txn.Commit(j.entry.OpID)
 			b.mu.Lock()
 			if err != nil {
 				j.state = jobFailed
 				j.err = fmt.Errorf("mysql: applier commit %s: %w", j.entry.OpID, err)
 				break
+			}
+			if j.span != nil {
+				j.span.Observe(trace.StageEngineCommit, time.Since(t0))
+				j.span.Finish("replica")
 			}
 			j.state = jobCommitted
 			b.a.appliedTxns.Add(1)
@@ -308,7 +320,15 @@ func (b *applyBatch) worker() {
 		b.mu.Unlock()
 
 		b.a.busyWorkers.Add(1)
+		var t0 time.Time
+		if j.span != nil {
+			t0 = time.Now()
+		}
 		txn, err := b.a.stagePrepare(j.entry)
+		if j.span != nil && err == nil {
+			j.span.Observe(trace.StageApply, time.Since(t0))
+			j.span.SetOp(j.entry.OpID.String())
+		}
 		b.a.busyWorkers.Add(-1)
 
 		b.mu.Lock()

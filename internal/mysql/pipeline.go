@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"myraft/internal/opid"
 	"myraft/internal/storage"
+	"myraft/internal/trace"
 )
 
 // pipeline implements the 3-stage group commit of §3.4. Client threads
@@ -47,6 +49,10 @@ type pendingTxn struct {
 	txn  *storage.Txn
 	op   opid.OpID
 	done chan error
+	// Write-path tracing (nil when the transaction is unsampled): the span
+	// and the propose completion time the commit stage is measured from.
+	span       *trace.Span
+	proposedAt time.Time
 }
 
 func newPipeline(s *Server) *pipeline {
@@ -132,10 +138,25 @@ func (p *pipeline) processGroup(repl Replicator, group []*pendingTxn) {
 		// changes so replica appliers can schedule non-conflicting
 		// transactions in parallel without decoding the rows.
 		payload := storage.EncodeTxnPayload(pt.txn.Changes())
+		// Sampled transactions get a trace span. Arming it hands it to the
+		// raft propose path (which runs synchronously under this call) so
+		// the consensus layer can observe append/fsync/replicate without
+		// widening the Replicator interface.
+		sp := p.s.tracer.Sample()
+		var t0 time.Time
+		if sp != nil {
+			t0 = time.Now()
+			p.s.tracer.Arm(sp)
+		}
 		op, err := repl.ProposeTransaction(payload, g)
 		if err != nil {
 			p.abort(pt, err)
 			continue
+		}
+		if sp != nil {
+			sp.Observe(trace.StagePropose, time.Since(t0))
+			pt.span = sp
+			pt.proposedAt = time.Now()
 		}
 		pt.op = op
 		flushed = append(flushed, pt)
@@ -203,9 +224,20 @@ func (p *pipeline) abort(pt *pendingTxn, err error) {
 // engineCommit commits one transaction to the engine, reporting whether
 // the commit actually happened.
 func (p *pipeline) engineCommit(pt *pendingTxn) bool {
+	// Commit stage: proposal accepted → pipeline releases the transaction
+	// to the engine (consensus wait plus in-group commit sequencing).
+	var t0 time.Time
+	if pt.span != nil {
+		pt.span.Observe(trace.StageCommit, time.Since(pt.proposedAt))
+		t0 = time.Now()
+	}
 	if err := pt.txn.Commit(pt.op); err != nil {
 		pt.done <- err
 		return false
+	}
+	if pt.span != nil {
+		pt.span.Observe(trace.StageEngineCommit, time.Since(t0))
+		pt.span.Finish("primary")
 	}
 	pt.done <- nil
 	// The primary's applier is stopped; reads waiting in WaitForApplied

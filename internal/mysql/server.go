@@ -24,6 +24,7 @@ import (
 	"myraft/internal/gtid"
 	"myraft/internal/opid"
 	"myraft/internal/storage"
+	"myraft/internal/trace"
 	"myraft/internal/wire"
 )
 
@@ -82,6 +83,12 @@ type Options struct {
 	// (writeset dependency tracking, §3.5). 0 picks the default; 1 forces
 	// serial apply. Engine commits are sequenced in log order regardless.
 	ApplyWorkers int
+	// Tracer, when set, samples write-path transactions: the primary's
+	// commit pipeline observes propose/commit/engine-commit stages, the
+	// replica applier observes apply/engine-commit. Share it with the
+	// member's raft node (raft.Config.Tracer) for full-path spans. Nil
+	// disables tracing at the cost of a nil check per transaction.
+	Tracer *trace.Tracer
 }
 
 // defaultApplyWorkers is the apply concurrency when Options.ApplyWorkers
@@ -95,6 +102,7 @@ type Server struct {
 	opts   Options
 	log    *binlog.Log
 	engine *storage.Engine
+	tracer *trace.Tracer
 
 	mu       sync.Mutex
 	repl     Replicator
@@ -130,7 +138,7 @@ func NewServer(opts Options) (*Server, error) {
 		log.Close()
 		return nil, fmt.Errorf("mysql: open engine: %w", err)
 	}
-	s := &Server{opts: opts, log: log, engine: engine}
+	s := &Server{opts: opts, log: log, engine: engine, tracer: opts.Tracer}
 	s.readOnly.Store(!opts.StartAsPrimary)
 	s.pipeline = newPipeline(s)
 	workers := opts.ApplyWorkers

@@ -6,9 +6,11 @@ package raft
 
 import (
 	"context"
+	"time"
 
 	"myraft/internal/gtid"
 	"myraft/internal/opid"
+	"myraft/internal/trace"
 	"myraft/internal/wire"
 )
 
@@ -19,14 +21,23 @@ type commitWaiter struct {
 	ch    chan error
 }
 
+// proposedSpan is a sampled leader proposal awaiting its replicate-stage
+// observation: the span plus the proposal time the stage is measured from.
+type proposedSpan struct {
+	sp *trace.Span
+	at time.Time
+}
+
 // appendLocal hands an entry to the off-loop log writer (which appends it
 // via the plugin, §3.2, and covers it with a group fsync) and updates the
 // in-memory tail/cache/membership bookkeeping immediately. The entry is
 // replicatable and electable at once, but is not acked — by a follower's
 // MatchIndex or the leader's own commit vote — until the writer reports
-// it durable (durability.go).
-func (n *Node) appendLocal(e *wire.LogEntry) error {
-	if err := n.writer.enqueue(e); err != nil {
+// it durable (durability.go). The span, when non-nil, is a sampled
+// write-path trace context that rides the queued append so the writer can
+// observe the append and fsync stages.
+func (n *Node) appendLocal(e *wire.LogEntry, sp *trace.Span) error {
+	if err := n.writer.enqueue(e, sp); err != nil {
 		return err
 	}
 	n.lastOpID = e.OpID
@@ -61,6 +72,11 @@ func (n *Node) truncateTo(index uint64) error {
 		n.selfMatch = index
 	}
 	n.failDurableWaitersAbove(index)
+	for idx := range n.spans {
+		if idx > index {
+			delete(n.spans, idx)
+		}
+	}
 	n.cache.truncateAfter(index)
 	for len(n.confHistory) > 1 && n.confHistory[len(n.confHistory)-1].index > index {
 		n.confHistory = n.confHistory[:len(n.confHistory)-1]
@@ -101,6 +117,17 @@ func (n *Node) setCommitIndex(index uint64) {
 		return
 	}
 	n.commitIndex = index
+	// Replicate stage: proposal → quorum-covered commit marker, observed
+	// for every sampled proposal the new marker covers.
+	if len(n.spans) > 0 {
+		now := time.Now()
+		for idx, ps := range n.spans {
+			if idx <= index {
+				ps.sp.Observe(trace.StageReplicate, now.Sub(ps.at))
+				delete(n.spans, idx)
+			}
+		}
+	}
 	n.notifyWaiters()
 	n.completeReadWaiters()
 	// Coalesced, latest-wins: a burst of commit advances (a follower
@@ -126,6 +153,10 @@ func (n *Node) propose(payload []byte, g gtid.GTID, hasGTID bool, kind int) (opi
 	var op opid.OpID
 	var perr error
 	err := n.post(func() {
+		// Collect the span the pipeline armed just before calling in, even
+		// on the error paths: an armed span must never leak to an unrelated
+		// later proposal.
+		sp := n.tracer.TakeArmed()
 		if n.role != RoleLeader {
 			perr = ErrNotLeader
 			return
@@ -141,10 +172,14 @@ func (n *Node) propose(payload []byte, g gtid.GTID, hasGTID bool, kind int) (opi
 			GTID:    g,
 			Payload: payload,
 		}
-		if perr = n.appendLocal(e); perr != nil {
+		if perr = n.appendLocal(e, sp); perr != nil {
 			return
 		}
 		op = e.OpID
+		if sp != nil {
+			sp.SetOp(op.String())
+			n.spans[op.Index] = proposedSpan{sp: sp, at: time.Now()}
+		}
 		n.advanceLeaderCommit()
 		n.needsBroadcast = true
 	})

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"myraft/internal/metrics"
+	"myraft/internal/trace"
 	"myraft/internal/wire"
 )
 
@@ -92,6 +93,7 @@ type queuedAppend struct {
 	e        *wire.LogEntry
 	enqueued time.Time
 	bytes    int64
+	span     *trace.Span // sampled write-path trace context, usually nil
 }
 
 // logWriter is the off-loop log writer. The event loop is its only
@@ -146,7 +148,7 @@ func (w *logWriter) init(tail uint64) {
 // enqueue hands one entry to the writer. It blocks only when the
 // unsynced-bytes bound is exceeded (backpressure), which is recorded as
 // loop-blocked time. Called on the event loop.
-func (w *logWriter) enqueue(e *wire.LogEntry) error {
+func (w *logWriter) enqueue(e *wire.LogEntry, sp *trace.Span) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
@@ -169,7 +171,7 @@ func (w *logWriter) enqueue(e *wire.LogEntry) error {
 		}
 	}
 	b := int64(len(e.Payload)) + entryOverheadBytes
-	w.queue = append(w.queue, queuedAppend{e: e, enqueued: time.Now(), bytes: b})
+	w.queue = append(w.queue, queuedAppend{e: e, enqueued: time.Now(), bytes: b, span: sp})
 	w.unsyncedBytes += b
 	w.cond.Broadcast()
 	return nil
@@ -291,6 +293,7 @@ func (w *logWriter) processGrouped(batch []queuedAppend) {
 		if err = w.log.Append(q.e); err != nil {
 			break
 		}
+		q.span.Observe(trace.StageAppend, time.Since(q.enqueued))
 		n++
 	}
 	if err == nil && n > 0 {
@@ -308,6 +311,7 @@ func (w *logWriter) processSyncEvery(batch []queuedAppend) {
 	for i, q := range batch {
 		err := w.log.Append(q.e)
 		if err == nil {
+			q.span.Observe(trace.StageAppend, time.Since(q.enqueued))
 			err = w.log.Sync()
 		}
 		if err != nil {
@@ -337,6 +341,7 @@ func (w *logWriter) complete(batch []queuedAppend, through uint64) {
 	w.met.fsyncBatch.Observe(int64(len(batch)))
 	for _, q := range batch {
 		w.met.appendDurable.Observe(now.Sub(q.enqueued))
+		q.span.Observe(trace.StageFsync, now.Sub(q.enqueued))
 	}
 	w.cond.Broadcast()
 	w.signal()

@@ -96,12 +96,12 @@ func TestLogWriterCoalescesFsyncs(t *testing.T) {
 	entry := func(i uint64) *wire.LogEntry {
 		return &wire.LogEntry{OpID: opid.OpID{Term: 1, Index: i}, Payload: []byte("p")}
 	}
-	if err := lw.enqueue(entry(1)); err != nil {
+	if err := lw.enqueue(entry(1), nil); err != nil {
 		t.Fatal(err)
 	}
 	<-log.started // writer is now blocked inside Sync for entry 1
 	for i := uint64(2); i <= 10; i++ {
-		if err := lw.enqueue(entry(i)); err != nil {
+		if err := lw.enqueue(entry(i), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -136,7 +136,7 @@ func TestLogWriterSyncEveryAppend(t *testing.T) {
 	defer lw.stop()
 
 	for i := uint64(1); i <= 5; i++ {
-		if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: i}}); err != nil {
+		if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: i}}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -165,14 +165,14 @@ func TestLogWriterBackpressure(t *testing.T) {
 		lw.stop()
 	}()
 
-	if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}}); err != nil {
+	if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	<-log.started // entry 1's sync is gated; unsynced debt stays above the bound
 
 	second := make(chan error, 1)
 	go func() {
-		second <- lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 2}})
+		second <- lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 2}}, nil)
 	}()
 	select {
 	case err := <-second:
@@ -200,7 +200,7 @@ func TestLogWriterStickyError(t *testing.T) {
 	go lw.run()
 	defer lw.stop()
 
-	if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}}); err != nil {
+	if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 1}}, nil); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -213,7 +213,7 @@ func TestLogWriterStickyError(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 2}}); err == nil {
+	if err := lw.enqueue(&wire.LogEntry{OpID: opid.OpID{Term: 1, Index: 2}}, nil); err == nil {
 		t.Fatal("enqueue after failure succeeded")
 	}
 	if err := lw.drainAppends(); err == nil {

@@ -120,7 +120,7 @@ func (n *Node) changeMembership(mutate func(wire.Config) (wire.Config, error)) (
 			Kind:    entryConfigKind,
 			Payload: wire.EncodeConfig(newCfg),
 		}
-		if perr = n.appendLocal(e); perr != nil {
+		if perr = n.appendLocal(e, nil); perr != nil {
 			return
 		}
 		op = e.OpID

@@ -8,6 +8,7 @@ import (
 	"myraft/internal/clock"
 	"myraft/internal/opid"
 	"myraft/internal/quorum"
+	"myraft/internal/trace"
 	"myraft/internal/transport"
 	"myraft/internal/wire"
 )
@@ -88,6 +89,13 @@ type Node struct {
 	// notifier delivers OnCommitAdvance callbacks off the event loop with
 	// latest-wins coalescing (notify.go).
 	notifier *commitNotifier
+
+	// Write-path tracing (internal/trace): tracer is shared with the mysql
+	// server of the same member (nil when untraced); spans holds the
+	// sampled leader proposals still waiting for the commit marker, keyed
+	// by log index, so setCommitIndex can observe their replicate stage.
+	tracer *trace.Tracer
+	spans  map[uint64]proposedSpan
 
 	// Snapshot catch-up state (snapshot.go): snapOp is the anchor the log
 	// was last reset to (termAt answers for it even though no entry exists
@@ -174,6 +182,8 @@ func NewNode(cfg Config, log LogStore, cb Callbacks, tr Transport, clk clock.Clo
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		lease:    leaseTracker{duration: cfg.LeaseDuration, maxSkew: cfg.MaxClockSkew},
+		tracer:   cfg.Tracer,
+		spans:    make(map[uint64]proposedSpan),
 	}
 	n.writer = newLogWriter(log, cfg, newDurMetrics())
 	n.notifier = newCommitNotifier(n.cb)
@@ -525,6 +535,10 @@ func (n *Node) becomeFollower(term uint64, leader wire.NodeID) {
 		n.failWaiters(ErrLeadershipLost)
 		n.failReadWaiters(ErrLeadershipLost)
 		n.resetReadState()
+		// Sampled proposals of the lost leadership will never see this
+		// node's commit marker advance for them; drop their replicate
+		// tracking (other stages they already observed remain recorded).
+		clear(n.spans)
 		n.peers = make(map[wire.NodeID]*peerState)
 		n.snapCache = nil // per-leadership; an in-flight fetch self-voids
 		term := n.term
@@ -556,7 +570,7 @@ func (n *Node) becomeLeader() {
 		OpID: opid.OpID{Term: n.term, Index: n.lastOpID.Index + 1},
 		Kind: entryNoOpKind,
 	}
-	if err := n.appendLocal(noop); err != nil {
+	if err := n.appendLocal(noop, nil); err != nil {
 		// The log rejected our no-op; we cannot function as leader.
 		n.becomeFollower(n.term, "")
 		return

@@ -18,6 +18,7 @@ import (
 
 	"myraft/internal/opid"
 	"myraft/internal/quorum"
+	"myraft/internal/trace"
 	"myraft/internal/transport"
 	"myraft/internal/wire"
 )
@@ -305,6 +306,13 @@ type Config struct {
 	// the node. The chaos harness uses it to machine-check election safety
 	// — at most one leader per term — across a whole fault schedule.
 	OnRoleChange func(RoleChange)
+
+	// Tracer, when set, samples write-path transactions through this node:
+	// leader proposals observe the append/fsync/replicate stages, follower
+	// appends observe append/fsync. Share one tracer between a member's
+	// raft node and its mysql server so a sampled transaction's span spans
+	// both layers. Nil disables tracing at zero cost beyond a nil check.
+	Tracer *trace.Tracer
 }
 
 // RoleChange is the payload of the Config.OnRoleChange hook: the node's

@@ -219,7 +219,10 @@ func (n *Node) handleAppendReq(from wire.NodeID, req *wire.AppendEntriesReq) {
 				return
 			}
 		}
-		if err := n.appendLocal(e); err != nil {
+		// Followers sample their own append/fsync spans: the leader's trace
+		// context does not cross the wire, but the follower's local log
+		// writer is on the acked-write critical path and worth seeing.
+		if err := n.appendLocal(e, n.tracer.Sample()); err != nil {
 			resp.Success = false
 			resp.LastIndex = n.lastOpID.Index
 			n.sendResp(resp)

@@ -169,8 +169,22 @@ func (t *Tester) RunFunctional(ctx context.Context) (*Report, error) {
 				break
 			}
 		}
+		// A graceful transfer can time out transiently when the host is
+		// CPU-starved (the target's takeover election loses the race with
+		// the transfer deadline); production tooling retries, so the
+		// tester does too. A timed-out attempt may still complete after
+		// the error returns, so each retry first checks whether
+		// leadership already landed on the target.
 		start := time.Now()
-		if err := t.c.TransferLeadership(target); err != nil {
+		err = t.c.TransferLeadership(target)
+		for attempt := 0; err != nil && attempt < 2; attempt++ {
+			if p, perr := t.c.AnyPrimary(ctx); perr == nil && p.Spec.ID == target {
+				err = nil
+				break
+			}
+			err = t.c.TransferLeadership(target)
+		}
+		if err != nil {
 			return report, fmt.Errorf("shadow: round %d: transfer: %w", round, err)
 		}
 		if err := t.c.WaitForPrimary(ctx, target); err != nil {

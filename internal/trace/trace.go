@@ -1,0 +1,327 @@
+// Package trace threads a lightweight trace context through the write
+// path: propose → append → replicate → fsync → commit → apply → engine
+// commit. A Tracer samples transactions (every Nth, default every one) and
+// hands out Spans; each instrumented layer observes the duration of its
+// stage into the span, which simultaneously feeds a per-stage latency
+// histogram in a metrics.Registry (exported via the Prometheus /metrics
+// endpoint) and, at Finish, a bounded journal of the slowest operations.
+//
+// Every method on Tracer and Span is safe on a nil receiver, so
+// instrumented code needs no tracer-enabled branches: with tracing off (or
+// absent, as in unit benchmarks that build servers directly) the only cost
+// on the hot path is a nil check.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"myraft/internal/metrics"
+)
+
+// Stage identifies one leg of the write path.
+type Stage int
+
+// The seven write-path stages, in pipeline order. The first five are
+// observed on the primary (and append/fsync additionally on followers, for
+// their local log writers); apply and engine commit are observed where the
+// transaction is replayed.
+const (
+	StagePropose      Stage = iota // pipeline hands payload to raft, entry assigned
+	StageAppend                    // log-writer enqueue until binlog append returns
+	StageFsync                     // log-writer enqueue until the group fsync covers it
+	StageReplicate                 // proposal until the commit marker covers the entry
+	StageCommit                    // proposal until the pipeline releases engine commit
+	StageApply                     // replica begin/stage/prepare of the transaction
+	StageEngineCommit              // engine commit of the prepared transaction
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"propose", "append", "fsync", "replicate", "commit", "apply", "engine_commit",
+}
+
+// String returns the stage's snake_case name as used in metric names.
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// Stages returns all write-path stages in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// HistogramName returns the registry histogram name a stage observes into.
+func HistogramName(s Stage) string { return "writepath_" + s.String() + "_seconds" }
+
+// Tracer samples write-path transactions and aggregates their per-stage
+// latencies. One Tracer serves one cluster member and is shared by its
+// mysql server and raft node. The zero sampling rate disables tracing.
+type Tracer struct {
+	sampleEvery atomic.Uint64 // 0 = off, 1 = every txn, N = every Nth
+	counter     atomic.Uint64
+	armed       atomic.Pointer[Span]
+	hists       [numStages]*metrics.Histogram
+	journal     *Journal
+}
+
+// DefaultSlowOps is the journal capacity used by New.
+const DefaultSlowOps = 32
+
+// New returns a tracer observing into reg (one capped histogram per
+// stage, named writepath_<stage>_seconds) with sampling on for every
+// transaction and a journal of the DefaultSlowOps slowest operations.
+func New(reg *metrics.Registry) *Tracer {
+	t := &Tracer{journal: NewJournal(DefaultSlowOps)}
+	for _, s := range Stages() {
+		t.hists[s] = reg.Histogram(HistogramName(s))
+	}
+	t.sampleEvery.Store(1)
+	return t
+}
+
+// SetSampleEvery sets the sampling rate: 0 disables tracing, 1 samples
+// every transaction, n samples every nth.
+func (t *Tracer) SetSampleEvery(n uint64) {
+	if t == nil {
+		return
+	}
+	t.sampleEvery.Store(n)
+}
+
+// Enabled reports whether any sampling is active.
+func (t *Tracer) Enabled() bool {
+	return t != nil && t.sampleEvery.Load() != 0
+}
+
+// Sample returns a new span if this call is selected by the sampling rate,
+// else nil. Nil tracers never sample.
+func (t *Tracer) Sample() *Span {
+	if t == nil {
+		return nil
+	}
+	n := t.sampleEvery.Load()
+	if n == 0 {
+		return nil
+	}
+	if n > 1 && t.counter.Add(1)%n != 0 {
+		return nil
+	}
+	return &Span{t: t, start: time.Now()}
+}
+
+// Arm parks a span for pickup by the next raft proposal on this member.
+// The mysql pipeline arms the span immediately before calling
+// ProposeTransaction; the raft node's propose path (which runs
+// synchronously on the event loop before ProposeTransaction returns)
+// collects it with TakeArmed and ties it to the assigned log entry. This
+// rides the existing call chain instead of widening the Replicator
+// interface or the wire format.
+func (t *Tracer) Arm(sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	t.armed.Store(sp)
+}
+
+// TakeArmed returns the armed span, if any, and clears it.
+func (t *Tracer) TakeArmed() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.armed.Swap(nil)
+}
+
+// Journal returns the tracer's slow-op journal (nil for a nil tracer).
+func (t *Tracer) Journal() *Journal {
+	if t == nil {
+		return nil
+	}
+	return t.journal
+}
+
+// StageSummaries returns the per-stage histogram digests, in stage order.
+func (t *Tracer) StageSummaries() map[Stage]metrics.Summary {
+	if t == nil {
+		return nil
+	}
+	out := make(map[Stage]metrics.Summary, numStages)
+	for _, s := range Stages() {
+		out[s] = t.hists[s].Summarize()
+	}
+	return out
+}
+
+// Span is the trace context for one sampled transaction. A span may be
+// touched from several goroutines (pipeline worker, log writer, raft event
+// loop); stage bookkeeping is mutex-guarded and histogram observation is
+// independently safe.
+type Span struct {
+	t     *Tracer
+	start time.Time
+
+	mu     sync.Mutex
+	op     string
+	stages [numStages]time.Duration
+	seen   [numStages]bool
+	done   bool
+}
+
+// Observe records duration d for stage s into the span and the tracer's
+// stage histogram. Safe on a nil span (the unsampled case).
+func (sp *Span) Observe(s Stage, d time.Duration) {
+	if sp == nil || s < 0 || s >= numStages {
+		return
+	}
+	sp.t.hists[s].Observe(d)
+	sp.mu.Lock()
+	sp.stages[s] = d
+	sp.seen[s] = true
+	sp.mu.Unlock()
+}
+
+// SetOp labels the span with the operation's identity (its raft OpID).
+func (sp *Span) SetOp(op string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	sp.op = op
+	sp.mu.Unlock()
+}
+
+// Start returns the span's creation time.
+func (sp *Span) Start() time.Time {
+	if sp == nil {
+		return time.Time{}
+	}
+	return sp.start
+}
+
+// Finish closes the span with the given role ("primary" or "replica") and
+// offers it to the slow-op journal. Finishing twice is a no-op, as is
+// finishing a nil span. Stages observed after Finish still reach the
+// histograms but not the journal entry.
+func (sp *Span) Finish(role string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.done {
+		sp.mu.Unlock()
+		return
+	}
+	sp.done = true
+	op := SlowOp{
+		Op:    sp.op,
+		Role:  role,
+		Total: time.Since(sp.start),
+		At:    sp.start,
+	}
+	for _, s := range Stages() {
+		if sp.seen[s] {
+			op.Stages[s] = sp.stages[s]
+		}
+	}
+	sp.mu.Unlock()
+	sp.t.journal.offer(op)
+}
+
+// SlowOp is one journal entry: a finished sampled operation with its
+// per-stage latency breakdown. Stages the operation never reached hold
+// zero.
+type SlowOp struct {
+	Op     string
+	Role   string
+	Total  time.Duration
+	At     time.Time
+	Stages [numStages]time.Duration
+}
+
+// StageBreakdown returns the nonzero stage durations keyed by stage name.
+func (o SlowOp) StageBreakdown() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, s := range Stages() {
+		if o.Stages[s] != 0 {
+			out[s.String()] = o.Stages[s]
+		}
+	}
+	return out
+}
+
+// Journal keeps the top-K slowest finished operations in a bounded buffer.
+// Offers below the current floor are rejected in O(1) after the buffer
+// fills; replacements scan the K entries, which is fine for K ≈ tens at
+// sampled-operation rates.
+type Journal struct {
+	mu    sync.Mutex
+	k     int
+	ops   []SlowOp
+	floor time.Duration // min Total in ops once full
+}
+
+// NewJournal returns a journal retaining the k slowest operations.
+func NewJournal(k int) *Journal {
+	if k <= 0 {
+		k = 1
+	}
+	return &Journal{k: k}
+}
+
+func (j *Journal) offer(op SlowOp) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.ops) < j.k {
+		j.ops = append(j.ops, op)
+		if len(j.ops) == j.k {
+			j.refloorLocked()
+		}
+		return
+	}
+	if op.Total <= j.floor {
+		return
+	}
+	minIdx := 0
+	for i := 1; i < len(j.ops); i++ {
+		if j.ops[i].Total < j.ops[minIdx].Total {
+			minIdx = i
+		}
+	}
+	j.ops[minIdx] = op
+	j.refloorLocked()
+}
+
+// refloorLocked recomputes the admission floor; callers hold mu.
+func (j *Journal) refloorLocked() {
+	j.floor = j.ops[0].Total
+	for _, op := range j.ops[1:] {
+		if op.Total < j.floor {
+			j.floor = op.Total
+		}
+	}
+}
+
+// Top returns the journaled operations, slowest first.
+func (j *Journal) Top() []SlowOp {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	out := make([]SlowOp, len(j.ops))
+	copy(out, j.ops)
+	j.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Total > out[b].Total })
+	return out
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"myraft/internal/metrics"
+)
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if sp := tr.Sample(); sp != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	tr.Arm(&Span{})
+	if sp := tr.TakeArmed(); sp != nil {
+		t.Fatal("nil tracer returned armed span")
+	}
+	tr.SetSampleEvery(1)
+	if tr.Journal() != nil {
+		t.Fatal("nil tracer returned journal")
+	}
+	if tr.StageSummaries() != nil {
+		t.Fatal("nil tracer returned summaries")
+	}
+
+	var sp *Span
+	sp.Observe(StagePropose, time.Millisecond)
+	sp.SetOp("x")
+	sp.Finish("primary")
+	if !sp.Start().IsZero() {
+		t.Fatal("nil span start not zero")
+	}
+}
+
+func TestSamplingRates(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(reg)
+
+	tr.SetSampleEvery(0)
+	if tr.Enabled() {
+		t.Fatal("rate 0 reports enabled")
+	}
+	for i := 0; i < 10; i++ {
+		if sp := tr.Sample(); sp != nil {
+			t.Fatal("rate 0 sampled")
+		}
+	}
+
+	tr.SetSampleEvery(1)
+	for i := 0; i < 10; i++ {
+		if sp := tr.Sample(); sp == nil {
+			t.Fatal("rate 1 skipped a transaction")
+		}
+	}
+
+	tr.SetSampleEvery(4)
+	sampled := 0
+	for i := 0; i < 400; i++ {
+		if sp := tr.Sample(); sp != nil {
+			sampled++
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("rate 4 sampled %d of 400", sampled)
+	}
+}
+
+func TestSpanObservationsReachRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(reg)
+	sp := tr.Sample()
+	sp.SetOp("3.17")
+	sp.Observe(StagePropose, 2*time.Millisecond)
+	sp.Observe(StageFsync, 5*time.Millisecond)
+	sp.Finish("primary")
+
+	h := reg.Histogram(HistogramName(StageFsync))
+	if got := h.Count(); got != 1 {
+		t.Fatalf("fsync histogram count = %d, want 1", got)
+	}
+	if got := h.Max(); got != 5*time.Millisecond {
+		t.Fatalf("fsync histogram max = %v, want 5ms", got)
+	}
+	for _, s := range []Stage{StageAppend, StageReplicate, StageCommit, StageApply, StageEngineCommit} {
+		if got := reg.Histogram(HistogramName(s)).Count(); got != 0 {
+			t.Fatalf("stage %v count = %d, want 0", s, got)
+		}
+	}
+
+	sums := tr.StageSummaries()
+	if sums[StagePropose].Count != 1 || sums[StagePropose].Max != 2*time.Millisecond {
+		t.Fatalf("propose summary = %+v", sums[StagePropose])
+	}
+}
+
+func TestArmedSpanHandoff(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(reg)
+	if got := tr.TakeArmed(); got != nil {
+		t.Fatal("fresh tracer had an armed span")
+	}
+	sp := tr.Sample()
+	tr.Arm(sp)
+	if got := tr.TakeArmed(); got != sp {
+		t.Fatal("armed span not returned")
+	}
+	if got := tr.TakeArmed(); got != nil {
+		t.Fatal("armed span returned twice")
+	}
+	tr.Arm(nil) // arming nil must not clobber semantics
+	if got := tr.TakeArmed(); got != nil {
+		t.Fatal("arming nil produced a span")
+	}
+}
+
+func TestJournalKeepsTopK(t *testing.T) {
+	j := NewJournal(3)
+	for i := 1; i <= 10; i++ {
+		j.offer(SlowOp{Op: fmt.Sprintf("op-%d", i), Total: time.Duration(i) * time.Millisecond})
+	}
+	top := j.Top()
+	if len(top) != 3 {
+		t.Fatalf("journal holds %d ops, want 3", len(top))
+	}
+	want := []time.Duration{10 * time.Millisecond, 9 * time.Millisecond, 8 * time.Millisecond}
+	for i, op := range top {
+		if op.Total != want[i] {
+			t.Fatalf("top[%d] = %v, want %v", i, op.Total, want[i])
+		}
+	}
+	// An offer below the floor must be rejected.
+	j.offer(SlowOp{Op: "slowish", Total: 7 * time.Millisecond})
+	if got := j.Top(); got[2].Total != 8*time.Millisecond {
+		t.Fatalf("journal admitted a below-floor op: %v", got)
+	}
+}
+
+func TestFinishRecordsStageBreakdown(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(reg)
+	sp := tr.Sample()
+	sp.SetOp("5.42")
+	sp.Observe(StageApply, 3*time.Millisecond)
+	sp.Observe(StageEngineCommit, time.Millisecond)
+	sp.Finish("replica")
+	sp.Finish("replica") // double-finish is a no-op
+
+	top := tr.Journal().Top()
+	if len(top) != 1 {
+		t.Fatalf("journal holds %d ops, want 1", len(top))
+	}
+	op := top[0]
+	if op.Op != "5.42" || op.Role != "replica" {
+		t.Fatalf("journal entry = %+v", op)
+	}
+	br := op.StageBreakdown()
+	if br["apply"] != 3*time.Millisecond || br["engine_commit"] != time.Millisecond {
+		t.Fatalf("stage breakdown = %v", br)
+	}
+	if _, ok := br["propose"]; ok {
+		t.Fatal("unreached stage present in breakdown")
+	}
+}
+
+// TestConcurrentSpans exercises concurrent sampling, observation, and
+// journal reads; run under -race it verifies the locking story.
+func TestConcurrentSpans(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(reg)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Sample()
+				sp.Observe(StagePropose, time.Duration(i))
+				sp.Observe(StageCommit, time.Duration(i))
+				sp.Finish("primary")
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tr.Journal().Top()
+			tr.StageSummaries()
+		}
+	}()
+	wg.Wait()
+	if got := reg.Histogram(HistogramName(StagePropose)).Count(); got != 800 {
+		t.Fatalf("propose count = %d, want 800", got)
+	}
+}

@@ -1,0 +1,203 @@
+// Command benchdiff turns `go test -bench` output into a JSON artifact
+// and compares it against a checked-in baseline, emitting GitHub
+// workflow warnings for throughput regressions. It is deliberately
+// fail-soft: benchmark numbers from shared CI runners are noisy, so a
+// regression prints a ::warning:: annotation for a human to judge
+// instead of failing the build.
+//
+//	go test -bench 'BenchmarkParallelApply$' -benchtime=1x -run '^$' . ./internal/mysql | \
+//	  go run ./scripts/benchdiff.go -out BENCH.json -baseline scripts/bench_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed line.
+type Result struct {
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the artifact schema: benchmark name → result.
+type File struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// throughputKeys are the custom per-benchmark throughput metrics, in
+// preference order; a benchmark reporting none of them is compared by
+// inverse ns/op.
+var throughputKeys = []string{"txns/sec", "writes_per_s", "grouped_tput_per_s"}
+
+func main() {
+	in := flag.String("in", "-", "bench output to parse (- for stdin)")
+	out := flag.String("out", "", "write parsed results as JSON to this file")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against")
+	threshold := flag.Float64("threshold", 0.20, "throughput-drop fraction that triggers a warning")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	cur, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input"))
+	}
+	if *out != "" {
+		data, _ := json.MarshalIndent(cur, "", "  ")
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmark(s) to %s\n", len(cur.Benchmarks), *out)
+	}
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		// A missing baseline is not an error: the first run creates it.
+		fmt.Printf("benchdiff: no usable baseline (%v); skipping comparison\n", err)
+		return
+	}
+	compare(base, cur, *threshold)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}
+
+// parse extracts benchmark result lines:
+//
+//	BenchmarkFoo/case-8   3   123456 ns/op   789 txns/sec
+func parse(r io.Reader) (File, error) {
+	out := File{Benchmarks: make(map[string]Result)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		res := Result{Metrics: make(map[string]float64)}
+		ok := false
+		// fields[1] is the iteration count; the rest are (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+				ok = true
+			default:
+				res.Metrics[unit] = v
+				ok = true
+			}
+		}
+		if ok {
+			out.Benchmarks[fields[0]] = res
+		}
+	}
+	stripProcSuffix(out.Benchmarks)
+	return out, sc.Err()
+}
+
+// stripProcSuffix removes the -GOMAXPROCS name suffix so results
+// compare across runner shapes. The suffix is only stripped when every
+// benchmark in the run carries the same trailing -N: GOMAXPROCS is
+// uniform per run, while genuine sub-benchmark suffixes (shards-16)
+// vary — and when GOMAXPROCS is 1, go test appends nothing at all.
+func stripProcSuffix(benchmarks map[string]Result) {
+	common := ""
+	for name := range benchmarks {
+		i := strings.LastIndex(name, "-")
+		if i < 0 {
+			return
+		}
+		if _, err := strconv.Atoi(name[i+1:]); err != nil {
+			return
+		}
+		if common == "" {
+			common = name[i:]
+		} else if name[i:] != common {
+			return
+		}
+	}
+	for name, res := range benchmarks {
+		delete(benchmarks, name)
+		benchmarks[strings.TrimSuffix(name, common)] = res
+	}
+}
+
+func load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return File{}, fmt.Errorf("baseline %s has no benchmarks", path)
+	}
+	return f, nil
+}
+
+// throughput returns the benchmark's comparable ops-per-second figure.
+func throughput(r Result) float64 {
+	for _, k := range throughputKeys {
+		if v, ok := r.Metrics[k]; ok && v > 0 {
+			return v
+		}
+	}
+	if r.NsPerOp > 0 {
+		return 1e9 / r.NsPerOp
+	}
+	return 0
+}
+
+func compare(base, cur File, threshold float64) {
+	warned := 0
+	for name, b := range base.Benchmarks {
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("::warning::benchdiff: %s present in baseline but not in this run\n", name)
+			warned++
+			continue
+		}
+		bt, ct := throughput(b), throughput(c)
+		if bt <= 0 || ct <= 0 {
+			continue
+		}
+		drop := (bt - ct) / bt
+		fmt.Printf("benchdiff: %-50s baseline=%.1f/s current=%.1f/s (%+.1f%%)\n",
+			name, bt, ct, -drop*100)
+		if drop > threshold {
+			fmt.Printf("::warning::benchdiff: %s throughput dropped %.1f%% (%.1f/s -> %.1f/s, threshold %.0f%%)\n",
+				name, drop*100, bt, ct, threshold*100)
+			warned++
+		}
+	}
+	if warned == 0 {
+		fmt.Println("benchdiff: no regressions beyond threshold")
+	}
+}

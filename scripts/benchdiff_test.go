@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const multiProcOutput = `goos: linux
+BenchmarkParallelApply/workers=8-4   1   467972574 ns/op   4274 txns/sec
+BenchmarkMultiRaftShards/shards-16-4   1   1409877620 ns/op   254.0 writes_per_s
+BenchmarkDurabilityPipeline-4   1   3431921831 ns/op   268.9 grouped_tput_per_s
+PASS
+`
+
+func TestParseStripsUniformProcSuffix(t *testing.T) {
+	f, err := parse(strings.NewReader(multiProcOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"BenchmarkParallelApply/workers=8",
+		"BenchmarkMultiRaftShards/shards-16",
+		"BenchmarkDurabilityPipeline",
+	} {
+		if _, ok := f.Benchmarks[name]; !ok {
+			t.Fatalf("missing %q; got %v", name, f.Benchmarks)
+		}
+	}
+	r := f.Benchmarks["BenchmarkParallelApply/workers=8"]
+	if r.NsPerOp != 467972574 || r.Metrics["txns/sec"] != 4274 {
+		t.Fatalf("bad parse: %+v", r)
+	}
+}
+
+func TestParseKeepsSubBenchSuffixesOnSingleProc(t *testing.T) {
+	// GOMAXPROCS=1 output has no proc suffix; the -16 here is a real
+	// sub-benchmark name and must survive.
+	out := `BenchmarkMultiRaftShards/shards-16   1   1409877620 ns/op   254.0 writes_per_s
+BenchmarkParallelApply/workers=8   1   467972574 ns/op   4274 txns/sec
+`
+	f, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Benchmarks["BenchmarkMultiRaftShards/shards-16"]; !ok {
+		t.Fatalf("sub-bench suffix stripped: %v", f.Benchmarks)
+	}
+}
+
+func TestThroughputPrefersCustomMetric(t *testing.T) {
+	r := Result{NsPerOp: 1e9, Metrics: map[string]float64{"txns/sec": 4274}}
+	if got := throughput(r); got != 4274 {
+		t.Fatalf("throughput = %v, want 4274", got)
+	}
+	if got := throughput(Result{NsPerOp: 2e9}); got != 0.5 {
+		t.Fatalf("fallback throughput = %v, want 0.5", got)
+	}
+}

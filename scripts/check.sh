@@ -95,6 +95,20 @@ stage_parallelapply() {
 	go test ./internal/mysql -run '^$' -bench=BenchmarkParallelApply -benchtime=1x
 }
 
+stage_obs() {
+	echo "== observability (write-path tracing + metrics export slice)"
+	# The observability slice with the race detector on its hot handoffs:
+	# histogram reservoirs and registry maps under concurrent
+	# Observe/Snapshot, the tracer's armed-span handoff and journal, and
+	# the admin /metrics and /trace scrapes against live clusters.
+	go test -race -p 1 ./internal/metrics ./internal/trace ./internal/adminapi
+	# The seven-stage acceptance test and the registry-lifecycle tests.
+	go test ./internal/cluster -run 'TestWritePathTraces|TestMemberRegistries|TestRegistriesSurvive|TestTraceSampling'
+	go test ./internal/raft -run 'TestLogWriterObservesSpanStages|TestProposeObservesReplicateStage'
+	go test ./internal/binlog -run 'TestStatsCounts'
+	go test ./scripts
+}
+
 stage_compaction() {
 	echo "== compaction (bounded-log lifecycle)"
 	# The log-lifecycle slice across every layer it touches: binlog purge
@@ -111,7 +125,7 @@ stage_compaction() {
 }
 
 case "${1:-all}" in
-lint | build | tests | race | chaos | bench | compaction | multiraft | parallelapply)
+lint | build | tests | race | chaos | bench | compaction | multiraft | parallelapply | obs)
 	stage_"$1"
 	;;
 all)
@@ -122,10 +136,11 @@ all)
 	stage_compaction
 	stage_multiraft
 	stage_parallelapply
+	stage_obs
 	stage_bench
 	;;
 *)
-	echo "usage: $0 [lint|build|tests|race|chaos|bench|compaction|multiraft|parallelapply]" >&2
+	echo "usage: $0 [lint|build|tests|race|chaos|bench|compaction|multiraft|parallelapply|obs]" >&2
 	exit 2
 	;;
 esac
