@@ -1,11 +1,14 @@
-// Command myraftd runs a complete simulated MyRaft replicaset — MySQL
-// servers and logtailers across regions on the simulated WAN — and serves
-// the admin API for myraftctl. It is the interactive entry point of this
-// reproduction: boot a ring, point myraftctl (or curl) at it, kill
-// primaries, watch failovers.
+// Command myraftd runs a complete simulated MyRaft process — one
+// sharded runtime hosting one or more raft rings of MySQL servers and
+// logtailers across regions on the simulated WAN — and serves the admin
+// API for myraftctl. It is the interactive entry point of this
+// reproduction: boot a ring (or sixteen), point myraftctl (or curl) at
+// it, kill primaries, watch failovers, split shards online.
 //
 //	myraftd -listen 127.0.0.1:7070 -followers 2 -strategy single-region-dynamic -proxy
+//	myraftd -shards 8 -heartbeat 50ms
 //	myraftctl -addr http://127.0.0.1:7070 status
+//	myraftctl -shard 3 promote mysql-1
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 
 	"myraft/internal/adminapi"
 	"myraft/internal/cluster"
+	"myraft/internal/multiraft"
 	"myraft/internal/quorum"
 	"myraft/internal/raft"
 	"myraft/internal/transport"
@@ -30,6 +34,7 @@ func main() {
 	var (
 		listen    = flag.String("listen", "127.0.0.1:7070", "admin API listen address")
 		dir       = flag.String("dir", "", "state directory (temp dir when empty)")
+		shards    = flag.Int("shards", 1, "raft rings hosted by the process (single-shard is shards=1)")
 		followers = flag.Int("followers", 2, "follower regions (each: 1 MySQL voter + 2 logtailers)")
 		learners  = flag.Int("learners", 1, "learner replicas")
 		strategy  = flag.String("strategy", "single-region-dynamic", "quorum: majority|single-region-dynamic|static-any-region|grid")
@@ -48,32 +53,35 @@ func main() {
 	if *proxy {
 		rcfg.Route = raft.RegionProxyRoute
 	}
-	c, err := cluster.New(cluster.Options{
-		Name: "myraftd",
-		Dir:  *dir,
-		Raft: rcfg,
+	specs := cluster.PaperTopology(*followers, *learners)
+	rt, err := multiraft.New(multiraft.Options{
+		Shards: *shards,
+		Specs:  specs,
+		Name:   "myraftd",
+		Dir:    *dir,
+		Raft:   rcfg,
 
 		TraceSampleEvery: *traceEach,
 		NetConfig: transport.Config{
 			IntraRegion: 150 * time.Microsecond,
 			CrossRegion: *crossRTT,
 		},
-	}, cluster.PaperTopology(*followers, *learners))
+	})
 	if err != nil {
 		log.Fatalf("myraftd: %v", err)
 	}
-	defer c.Close()
+	defer rt.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+	if err := rt.Bootstrap(ctx); err != nil {
 		cancel()
 		log.Fatalf("myraftd: bootstrap: %v", err)
 	}
 	cancel()
-	log.Printf("replicaset up: %d members, strategy=%s proxy=%v, primary=mysql-0",
-		3*(*followers+1)+*learners, *strategy, *proxy)
+	log.Printf("runtime up: %d shard(s) × %d members, strategy=%s proxy=%v",
+		*shards, len(specs), *strategy, *proxy)
 
-	api := adminapi.NewServer(c)
+	api := adminapi.NewServer(rt)
 	if *pprofOn {
 		api.EnablePprof()
 		log.Printf("pprof enabled at http://%s/debug/pprof/", *listen)

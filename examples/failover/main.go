@@ -2,11 +2,13 @@
 // headline capability of MyRaft (§6.2: dead-primary failover in seconds
 // instead of the prior setup's minute).
 //
-// The in-region logtailer usually wins the first election (longest log)
-// and immediately hands leadership to a MySQL voter via a graceful
-// transfer (§2.2); the new primary runs the promotion orchestration and
-// publishes itself; clients re-resolve and continue. The crashed member
-// later rejoins as a replica, reconciling its log with the ring (§A.2).
+// The process runs the unified sharded runtime in single-shard mode; a
+// node crash takes down every ring the node hosts (here, the one). The
+// in-region logtailer usually wins the first election (longest log) and
+// immediately hands leadership to a MySQL voter via a graceful transfer
+// (§2.2); the new primary runs the promotion orchestration and publishes
+// itself; clients re-resolve and continue. The crashed member later
+// rejoins as a replica, reconciling its log with the ring (§A.2).
 //
 //	go run ./examples/failover
 package main
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"myraft/internal/cluster"
+	"myraft/internal/multiraft"
 	"myraft/internal/quorum"
 	"myraft/internal/raft"
 	"myraft/internal/transport"
@@ -25,8 +28,10 @@ import (
 )
 
 func main() {
-	c, err := cluster.New(cluster.Options{
-		Name: "failover-demo",
+	rt, err := multiraft.New(multiraft.Options{
+		Shards: 1,
+		Specs:  cluster.PaperTopology(2, 0),
+		Name:   "failover-demo",
 		Raft: raft.Config{
 			HeartbeatInterval: 50 * time.Millisecond, // paper: 500ms
 			Strategy:          quorum.SingleRegionDynamic{},
@@ -35,20 +40,21 @@ func main() {
 			IntraRegion: 200 * time.Microsecond,
 			CrossRegion: 10 * time.Millisecond,
 		},
-	}, cluster.PaperTopology(2, 0))
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Close()
+	defer rt.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+	if err := rt.Bootstrap(ctx); err != nil {
 		log.Fatal(err)
 	}
+	ring := rt.Shard(0)
 
 	// Write some committed data and keep a downtime prober running.
-	client := c.NewClient(0)
+	client := rt.NewClient(0)
 	for i := 0; i < 50; i++ {
 		if _, err := client.Write(ctx, fmt.Sprintf("row:%d", i), []byte("committed")); err != nil {
 			log.Fatal(err)
@@ -63,11 +69,11 @@ func main() {
 
 	fmt.Println("crashing the primary mysql-0 ...")
 	start := time.Now()
-	if err := c.Crash("mysql-0"); err != nil {
+	if err := rt.Crash("mysql-0"); err != nil {
 		log.Fatal(err)
 	}
 
-	next, err := c.AnyPrimary(ctx)
+	next, err := ring.AnyPrimary(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +92,7 @@ func main() {
 
 	// The erstwhile primary rejoins as a read-only replica and converges.
 	fmt.Println("restarting the crashed member ...")
-	if err := c.Restart("mysql-0"); err != nil {
+	if err := rt.Restart("mysql-0"); err != nil {
 		log.Fatal(err)
 	}
 	if _, err := client.Write(ctx, "post-failover", []byte("v")); err != nil {
@@ -94,7 +100,7 @@ func main() {
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		m := c.Member("mysql-0")
+		m := ring.Member("mysql-0")
 		if m.Server() != nil {
 			if v, ok := m.Server().Read("post-failover"); ok && string(v) == "v" {
 				fmt.Printf("mysql-0 rejoined as replica (read-only=%v) and caught up\n",

@@ -13,6 +13,10 @@
 // It then demonstrates the trade: with single-region-dynamic, the ring
 // keeps committing even when every remote region is unreachable.
 //
+// Quorum strategies are a per-ring concern, so this example drives
+// cluster.Cluster (the ring building block) directly rather than a
+// full multiraft.Runtime process.
+//
 //	go run ./examples/flexiraft
 package main
 

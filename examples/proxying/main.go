@@ -8,6 +8,10 @@
 // The simulated network meters every byte per directed region pair, so
 // the saving is measured, not estimated.
 //
+// This example drives one ring directly through cluster.Cluster — the
+// per-ring building block — because it measures a per-ring mechanism;
+// a process would host it inside a multiraft.Runtime.
+//
 //	go run ./examples/proxying
 package main
 

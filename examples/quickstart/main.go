@@ -1,10 +1,11 @@
-// Quickstart: boot a MyRaft replicaset, write through the consensus
-// commit pipeline, read it back, and inspect the replicated binlog.
+// Quickstart: boot a MyRaft process, write through the consensus commit
+// pipeline, read it back, and inspect the replicated binlog.
 //
-// The topology is the smallest production-shaped ring: one primary region
-// holding a MySQL server and two logtailers (the FlexiRaft in-region
-// data-commit quorum), plus one follower region with its own MySQL and
-// logtailers.
+// The process runtime is always multiraft.Runtime; a classic single
+// replicaset is simply a runtime hosting one shard. The topology is the
+// smallest production-shaped ring: one primary region holding a MySQL
+// server and two logtailers (the FlexiRaft in-region data-commit
+// quorum), plus one follower region with its own MySQL and logtailers.
 //
 //	go run ./examples/quickstart
 package main
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"myraft/internal/cluster"
+	"myraft/internal/multiraft"
 	"myraft/internal/quorum"
 	"myraft/internal/raft"
 	"myraft/internal/transport"
@@ -33,8 +35,10 @@ func main() {
 		{ID: "lt-1-b", Region: "us-east", Kind: cluster.KindLogtailer},
 	}
 
-	c, err := cluster.New(cluster.Options{
-		Name: "quickstart",
+	rt, err := multiraft.New(multiraft.Options{
+		Shards: 1, // single-shard mode: one ring, the classic replicaset
+		Specs:  specs,
+		Name:   "quickstart",
 		Raft: raft.Config{
 			HeartbeatInterval: 50 * time.Millisecond,
 			// FlexiRaft single-region-dynamic: commits need only the
@@ -45,26 +49,27 @@ func main() {
 			IntraRegion: 200 * time.Microsecond,
 			CrossRegion: 15 * time.Millisecond,
 		},
-	}, specs)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Close()
+	defer rt.Close()
 
-	// Elect mysql-0 as the initial primary. Raft runs the promotion
-	// orchestration (§3.3): No-Op, applier catch-up, log rewiring, write
-	// enable, service-discovery publish.
+	// Bootstrap elects the first MySQL voter (mysql-0) on each shard.
+	// Raft runs the promotion orchestration (§3.3): No-Op, applier
+	// catch-up, log rewiring, write enable, service-discovery publish.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+	if err := rt.Bootstrap(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("primary elected and published: mysql-0")
 
-	// Clients resolve the primary through service discovery and write.
-	// Each write rides the 3-stage commit pipeline: binlog flush through
-	// Raft, wait for the in-region consensus commit, engine commit.
-	client := c.NewClient(0)
+	// Clients route each key to its owning shard (with one shard, all of
+	// them) and resolve the primary through service discovery. Each write
+	// rides the 3-stage commit pipeline: binlog flush through Raft, wait
+	// for the in-region consensus commit, engine commit.
+	client := rt.NewClient(0)
 	start := time.Now()
 	res, err := client.Write(ctx, "user:42", []byte("alice"))
 	if err != nil {
@@ -76,8 +81,10 @@ func main() {
 	value, found, _ := client.Read(ctx, "user:42")
 	fmt.Printf("read back: %q (found=%v)\n", value, found)
 
-	// The transaction is in the primary's binlog with a GTID...
-	primary := c.Member("mysql-0").Server()
+	// The ring itself is a cluster.Cluster — drop down to it to inspect
+	// members. The transaction is in the primary's binlog with a GTID...
+	ring := rt.Shard(0)
+	primary := ring.Member("mysql-0").Server()
 	fmt.Printf("primary GTID set: %s\n", primary.GTIDExecuted())
 	for _, f := range primary.BinlogFiles() {
 		fmt.Printf("binlog file %s: entries %d..%d, %d bytes\n",
@@ -88,12 +95,12 @@ func main() {
 	// applier thread, the logtailers just store the log.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if v, ok := c.Member("mysql-1").Server().Read("user:42"); ok {
+		if v, ok := ring.Member("mysql-1").Server().Read("user:42"); ok {
 			fmt.Printf("follower mysql-1 applied the transaction: %q\n", v)
 			break
 		}
 		time.Sleep(time.Millisecond)
 	}
-	sums, _ := c.LogChecksums(1)
+	sums, _ := ring.LogChecksums(1)
 	fmt.Printf("replicated-log checksums across all %d members: %v\n", len(sums), sums)
 }

@@ -1,5 +1,6 @@
 // Reads: the three read consistency levels of internal/readpath on one
-// replicaset.
+// replicaset (a single-shard runtime; every level is served per ring, so
+// all three work unchanged on a many-shard process).
 //
 //   - Linearizable: the leader runs the ReadIndex protocol — capture the
 //     commit index, confirm leadership with a heartbeat-quorum round,
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"myraft/internal/cluster"
+	"myraft/internal/multiraft"
 	"myraft/internal/quorum"
 	"myraft/internal/raft"
 	"myraft/internal/transport"
@@ -39,8 +41,10 @@ func main() {
 		{ID: "lt-1-b", Region: "us-east", Kind: cluster.KindLogtailer},
 	}
 
-	c, err := cluster.New(cluster.Options{
-		Name: "reads",
+	rt, err := multiraft.New(multiraft.Options{
+		Shards: 1,
+		Specs:  specs,
+		Name:   "reads",
 		Raft: raft.Config{
 			HeartbeatInterval: 20 * time.Millisecond,
 			Strategy:          quorum.SingleRegionDynamic{},
@@ -49,19 +53,20 @@ func main() {
 			IntraRegion: 200 * time.Microsecond,
 			CrossRegion: 15 * time.Millisecond,
 		},
-	}, specs)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer c.Close()
+	defer rt.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+	if err := rt.Bootstrap(ctx); err != nil {
 		log.Fatal(err)
 	}
+	ring := rt.Shard(0)
 
-	client := c.NewClient(0)
+	client := rt.NewClient(0)
 	if _, err := client.Write(ctx, "user:42", []byte("alice")); err != nil {
 		log.Fatal(err)
 	}
@@ -78,10 +83,10 @@ func main() {
 
 	// Lease: wait for the leader to earn its lease from heartbeat acks,
 	// then read locally — no quorum round.
-	for c.Leader() == nil || !c.Leader().Node().Status().LeaseHeld {
+	for ring.Leader() == nil || !ring.Leader().Node().Status().LeaseHeld {
 		time.Sleep(time.Millisecond)
 	}
-	st := c.Leader().Node().Status()
+	st := ring.Leader().Node().Status()
 	fmt.Printf("leader holds its read lease until %s (skew already discounted)\n",
 		st.LeaseExpiry.Format("15:04:05.000"))
 	start = time.Now()
@@ -93,10 +98,10 @@ func main() {
 		res.Value, res.Index, time.Since(start).Round(time.Microsecond), res.FellBack)
 
 	// Session: the follower mysql-1 serves the client's own write. The
-	// session token (this client's last committed OpID) makes the replica
-	// wait until its applier has caught up that far — read-your-writes
-	// without touching the leader.
-	fmt.Printf("client session token: %s\n", client.SessionToken())
+	// session token (this client's last committed OpID on the key's
+	// shard) makes the replica wait until its applier has caught up that
+	// far — read-your-writes without touching the leader.
+	fmt.Printf("client session token: %s\n", client.SessionToken("user:42"))
 	start = time.Now()
 	res, err = client.ReadSession(ctx, "mysql-1", "user:42")
 	if err != nil {
@@ -105,5 +110,5 @@ func main() {
 	fmt.Printf("session:      %q at index %d in %v (served by follower mysql-1)\n",
 		res.Value, res.Index, time.Since(start).Round(time.Microsecond))
 
-	fmt.Printf("\nread-path metrics:\n%s\n", c.ReadMetrics())
+	fmt.Printf("\nread-path metrics:\n%s\n", ring.ReadMetrics())
 }

@@ -8,6 +8,9 @@
 // keeps the ring in one process with in-memory logs so it stays a
 // self-contained demonstration of the transport.
 //
+// This stays on the per-ring layer (raft.Node directly); the sharded
+// process runtime (multiraft.Runtime) sits above it and is simulator-only.
+//
 //	go run ./examples/tcpring
 package main
 

@@ -7,18 +7,23 @@ import (
 	"time"
 
 	"myraft/internal/cluster"
+	"myraft/internal/multiraft"
 	"myraft/internal/quorum"
 	"myraft/internal/raft"
 	"myraft/internal/transport"
 )
 
-// testStack boots a small cluster with its admin server and an HTTP
-// client pointed at it.
-func testStack(t *testing.T) (*cluster.Cluster, *Client) {
+// testStack boots a single-shard runtime — the paper topology as one
+// ring — with its admin server and an HTTP client pointed at it. The
+// pre-unification single-ring tests below run against it unchanged in
+// behavior: with one shard, the default shard scope covers everything.
+func testStack(t *testing.T) (*multiraft.Runtime, *Client) {
 	t.Helper()
-	c, err := cluster.New(cluster.Options{
-		Name: "rs-admin",
-		Dir:  t.TempDir(),
+	rt, err := multiraft.New(multiraft.Options{
+		Shards: 1,
+		Specs:  cluster.PaperTopology(1, 0),
+		Name:   "rs-admin",
+		Dir:    t.TempDir(),
 		Raft: raft.Config{
 			HeartbeatInterval: 10 * time.Millisecond,
 			Strategy:          quorum.SingleRegionDynamic{},
@@ -27,19 +32,20 @@ func testStack(t *testing.T) (*cluster.Cluster, *Client) {
 			IntraRegion: 200 * time.Microsecond,
 			CrossRegion: 2 * time.Millisecond,
 		},
-	}, cluster.PaperTopology(1, 0))
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(c.Close)
+	t.Cleanup(rt.Close)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if err := c.Bootstrap(ctx, "mysql-0"); err != nil {
+	// Bootstrap elects the first MySQL voter (mysql-0) on the lone shard.
+	if err := rt.Bootstrap(ctx); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewServer(c))
+	srv := httptest.NewServer(NewServer(rt))
 	t.Cleanup(srv.Close)
-	return c, NewClient(srv.URL)
+	return rt, NewClient(srv.URL)
 }
 
 func TestStatusEndpoint(t *testing.T) {
@@ -163,11 +169,12 @@ func TestWriteRequiresKey(t *testing.T) {
 }
 
 func TestPromoteEndpoint(t *testing.T) {
-	c, client := testStack(t)
+	rt, client := testStack(t)
+	ring := rt.Shard(0)
 	if err := client.Promote("mysql-1"); err != nil {
 		t.Fatal(err)
 	}
-	if id, _ := c.Registry().Primary(c.Name()); id != "mysql-1" {
+	if id, _ := ring.Registry().Primary(ring.Name()); id != "mysql-1" {
 		t.Fatalf("primary = %s", id)
 	}
 	if err := client.Promote("ghost"); err == nil {
@@ -176,13 +183,13 @@ func TestPromoteEndpoint(t *testing.T) {
 }
 
 func TestCrashRestartEndpoints(t *testing.T) {
-	c, client := testStack(t)
+	rt, client := testStack(t)
 	if err := client.Crash("mysql-0"); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	if _, err := c.AnyPrimary(ctx); err != nil {
+	if _, err := rt.Shard(0).AnyPrimary(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if err := client.Restart("mysql-0"); err != nil {
@@ -218,15 +225,16 @@ func TestMembershipEndpoints(t *testing.T) {
 }
 
 func TestFlushBinlogsEndpoint(t *testing.T) {
-	c, client := testStack(t)
+	rt, client := testStack(t)
+	ring := rt.Shard(0)
 	if _, err := client.Write("k", "v"); err != nil {
 		t.Fatal(err)
 	}
-	before := len(c.Member("mysql-0").Server().BinlogFiles())
+	before := len(ring.Member("mysql-0").Server().BinlogFiles())
 	if err := client.FlushBinlogs(); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(c.Member("mysql-0").Server().BinlogFiles()); got <= before {
+	if got := len(ring.Member("mysql-0").Server().BinlogFiles()); got <= before {
 		t.Fatalf("files %d -> %d, want rotation", before, got)
 	}
 }
@@ -245,7 +253,7 @@ func TestPartitionAndHealEndpoints(t *testing.T) {
 }
 
 func TestFixQuorumEndpoint(t *testing.T) {
-	c, client := testStack(t)
+	rt, client := testStack(t)
 	// Healthy ring: the fixer must refuse.
 	if _, err := client.FixQuorum(false); err == nil {
 		t.Fatal("fixer ran on a healthy ring")
@@ -257,7 +265,7 @@ func TestFixQuorumEndpoint(t *testing.T) {
 	// Let region-1 converge so conservative mode has a full-log survivor.
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		sums := c.EngineChecksums()
+		sums := rt.Shard(0).EngineChecksums()
 		if len(sums) == 2 && sums["mysql-0"] == sums["mysql-1"] {
 			break
 		}
@@ -283,7 +291,7 @@ func TestFixQuorumEndpoint(t *testing.T) {
 // and /status reports the lifecycle fields — purge floor, retained log
 // window, binlog inventory size.
 func TestPurgeEndpointAndLifecycleStatus(t *testing.T) {
-	c, client := testStack(t)
+	rt, client := testStack(t)
 	for i := 0; i < 20; i++ {
 		if _, err := client.Write(string(rune('a'+i%26))+"-key", "v"); err != nil {
 			t.Fatal(err)
@@ -310,7 +318,7 @@ func TestPurgeEndpointAndLifecycleStatus(t *testing.T) {
 	if floor == 0 {
 		t.Fatal("purge floor never advanced")
 	}
-	if got := c.PurgeFloor(); got != floor {
+	if got := rt.Shard(0).PurgeFloor(); got != floor {
 		t.Fatalf("client floor %d != cluster floor %d", floor, got)
 	}
 

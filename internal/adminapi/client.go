@@ -14,6 +14,10 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+	// shard, when set, scopes every ring-level request (status, promote,
+	// membership, flush, purge, fix-quorum, split) to that shard; empty
+	// means the server default, shard 0.
+	shard string
 }
 
 // NewClient targets the admin endpoint at base (e.g.
@@ -21,11 +25,23 @@ type Client struct {
 func NewClient(base string) *Client {
 	return &Client{
 		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: 60 * time.Second},
+		http: &http.Client{Timeout: 180 * time.Second},
 	}
 }
 
+// SetShard scopes subsequent ring-level requests to the given shard
+// ("" reverts to the server default, shard 0).
+func (c *Client) SetShard(shard string) { c.shard = shard }
+
 func (c *Client) do(method, path string, params url.Values, out any) error {
+	if c.shard != "" {
+		if params == nil {
+			params = url.Values{}
+		}
+		if params.Get("shard") == "" {
+			params.Set("shard", c.shard)
+		}
+	}
 	u := c.base + path
 	var body io.Reader
 	if method == http.MethodPost && params != nil {
@@ -64,7 +80,7 @@ func (c *Client) do(method, path string, params url.Values, out any) error {
 	return nil
 }
 
-// Status fetches the cluster status.
+// Status fetches the scoped shard ring's status (SetShard; default 0).
 func (c *Client) Status() (ClusterStatus, error) {
 	var st ClusterStatus
 	err := c.do(http.MethodGet, "/status", nil, &st)
@@ -161,14 +177,32 @@ func (c *Client) Purge(retain uint64) (uint64, error) {
 	return out["purge_floor"], err
 }
 
-// MultiStatus fetches the aggregate rollup of a multi-shard endpoint.
-func (c *Client) MultiStatus() (MultiStatus, error) {
-	var st MultiStatus
-	err := c.do(http.MethodGet, "/status", nil, &st)
+// RuntimeStatus fetches the aggregate process rollup.
+func (c *Client) RuntimeStatus() (RuntimeStatus, error) {
+	var st RuntimeStatus
+	err := c.do(http.MethodGet, "/runtime", nil, &st)
 	return st, err
 }
 
-// Shards fetches the per-shard rollup of a multi-shard endpoint.
+// SplitResult is the client-side decoding of multiraft.SplitReport.
+type SplitResult struct {
+	Source       uint32 `json:"source"`
+	NewShard     uint32 `json:"new_shard"`
+	Start        uint32 `json:"start"`
+	End          uint32 `json:"end"`
+	RowsMoved    int    `json:"rows_moved"`
+	TableVersion uint64 `json:"table_version"`
+}
+
+// Split splits the scoped shard (SetShard; default 0) online: the upper
+// half of its hash range moves to a freshly bootstrapped ring.
+func (c *Client) Split() (SplitResult, error) {
+	var out SplitResult
+	err := c.do(http.MethodPost, "/split", nil, &out)
+	return out, err
+}
+
+// Shards fetches the per-shard rollup.
 func (c *Client) Shards() ([]ShardRow, error) {
 	var rows []ShardRow
 	err := c.do(http.MethodGet, "/shards", nil, &rows)

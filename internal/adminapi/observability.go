@@ -1,9 +1,12 @@
 package adminapi
 
 // observability.go is the scrape-and-drill-down surface: GET /metrics
-// renders every up member's registry — write-path stage histograms,
-// raft/binlog/applier gauges — as Prometheus text (one family per
-// metric, one series per member), GET /trace returns the per-member
+// renders the whole process in one exposition — the runtime-scope
+// registry (shard count, table generation, split counters), each node's
+// shared-resource registry (coalescing, demux drops, fsync funnel)
+// labeled with the node, and every (shard, member) registry's
+// write-path stage histograms and raft/binlog/applier gauges labeled
+// with both dimensions. GET /trace returns the per-(shard, member)
 // stage summaries and slow-op journals as JSON for myraftctl top, and
 // EnablePprof mounts the runtime profiler behind an explicit opt-in.
 
@@ -39,10 +42,9 @@ type TraceSlowOp struct {
 	Stages  map[string]int64 `json:"stages_ns"`
 }
 
-// MemberTrace is one member's view in the GET /trace payload.
+// MemberTrace is one (shard, member) view in the GET /trace payload.
 type MemberTrace struct {
-	ID string `json:"id"`
-	// Shard is set in multi-shard payloads only.
+	ID      string                `json:"id"`
 	Shard   string                `json:"shard,omitempty"`
 	Stages  map[string]TraceStage `json:"stages"`
 	SlowOps []TraceSlowOp         `json:"slow_ops,omitempty"`
@@ -91,52 +93,22 @@ func traceSlowOps(j *trace.Journal) []TraceSlowOp {
 	return out
 }
 
-// handleMetrics renders every up member's refreshed registry as
-// Prometheus text, each series labeled with its member ID.
+// handleMetrics renders one exposition for the whole process: the
+// runtime registry under scope="runtime", each node's shared-resource
+// registry under node="<id>", and every up member's refreshed registry
+// under shard="<s>",member="<id>". Families stay properly named — the
+// dimensions live in labels, never in metric names.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var groups []metrics.LabeledRegistry
-	for _, mr := range s.c.MemberRegistries() {
-		groups = append(groups, metrics.LabeledRegistry{
-			Labels: map[string]string{"member": string(mr.ID)},
-			Reg:    mr.Reg,
-		})
-	}
-	w.Header().Set("Content-Type", metrics.PromContentType)
-	metrics.WritePrometheus(w, groups...)
-}
-
-// handleTrace returns per-member write-path stage summaries and slow-op
-// journals.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	var st TraceStatus
-	for _, mr := range s.c.MemberRegistries() {
-		if mr.Tracer == nil {
-			continue
-		}
-		st.Members = append(st.Members, MemberTrace{
-			ID:      string(mr.ID),
-			Stages:  traceStages(mr.Tracer.StageSummaries()),
-			SlowOps: traceSlowOps(mr.Tracer.Journal()),
-		})
-	}
-	writeJSON(w, st)
-}
-
-// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
-// default: profiling endpoints leak memory contents and cost CPU, so
-// exposure is an explicit operator decision (myraftd -pprof).
-func (s *Server) EnablePprof() {
-	mountPprof(s.mux)
-}
-
-// handleMetrics renders the runtime's shared registry (coalescing,
-// shared-fsync, leader-placement state) plus every (shard, member)
-// registry, labeled with both dimensions.
-func (s *MultiServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	groups := []metrics.LabeledRegistry{{
 		Labels: map[string]string{"scope": "runtime"},
 		Reg:    s.rt.Metrics(),
 	}}
+	for _, nr := range s.rt.NodeRegistries() {
+		groups = append(groups, metrics.LabeledRegistry{
+			Labels: map[string]string{"node": string(nr.ID)},
+			Reg:    nr.Reg,
+		})
+	}
 	for _, mr := range s.rt.MemberRegistries() {
 		groups = append(groups, metrics.LabeledRegistry{
 			Labels: map[string]string{"shard": strconv.FormatUint(uint64(mr.Shard), 10), "member": string(mr.ID)},
@@ -149,7 +121,7 @@ func (s *MultiServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // handleTrace returns stage summaries and slow ops for every (shard,
 // member) pair hosting a tracer.
-func (s *MultiServer) handleTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	var st TraceStatus
 	for _, mr := range s.rt.MemberRegistries() {
 		if mr.Tracer == nil {
@@ -165,9 +137,10 @@ func (s *MultiServer) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, st)
 }
 
-// EnablePprof mounts net/http/pprof under /debug/pprof/ (see
-// Server.EnablePprof).
-func (s *MultiServer) EnablePprof() {
+// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+// default: profiling endpoints leak memory contents and cost CPU, so
+// exposure is an explicit operator decision (myraftd -pprof).
+func (s *Server) EnablePprof() {
 	mountPprof(s.mux)
 }
 

@@ -13,14 +13,17 @@ import (
 	"myraft/internal/trace"
 )
 
+// Exporter charset only: colons are legal exposition grammar but
+// reserved for recording rules, so a metric name an exporter emits must
+// never contain one (satellite of the shard_unknown_drops:<id> fix).
 var (
-	promTypeLine   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (gauge|counter|summary)$`)
-	promSampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+-]+$`)
+	promTypeLine   = regexp.MustCompile(`^# TYPE [a-zA-Z_][a-zA-Z0-9_]* (gauge|counter|summary)$`)
+	promSampleLine = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? -?[0-9.eE+-]+$`)
 )
 
 // checkPromText validates Prometheus text-format invariants: every line
-// is a TYPE comment or a sample, and each family announces its type
-// exactly once.
+// is a TYPE comment or a sample with an exporter-valid name, and each
+// family announces its type exactly once.
 func checkPromText(t *testing.T, body string) {
 	t.Helper()
 	types := make(map[string]bool)
@@ -87,17 +90,27 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	checkPromText(t, body)
 
-	// The primary's propose histogram has nonzero observations.
-	proposeCount := regexp.MustCompile(`writepath_propose_seconds_count\{member="mysql-0"\} ([0-9]+)`)
+	// The primary's propose histogram has nonzero observations (member
+	// series always carry the shard dimension; a 1-shard runtime is
+	// shard 0).
+	proposeCount := regexp.MustCompile(`writepath_propose_seconds_count\{member="mysql-0",shard="0"\} ([0-9]+)`)
 	m := proposeCount.FindStringSubmatch(body)
 	if m == nil || m[1] == "0" {
 		t.Fatalf("no propose observations for mysql-0; body:\n%s", body)
 	}
 	// Every up member exports the raft gauge set.
 	for _, id := range []string{"mysql-0", "mysql-1", "lt-0-0"} {
-		if !strings.Contains(body, fmt.Sprintf(`raft_commit_index{member=%q}`, id)) {
+		if !strings.Contains(body, fmt.Sprintf(`raft_commit_index{member=%q,shard="0"}`, id)) {
 			t.Fatalf("member %s missing raft_commit_index", id)
 		}
+	}
+	// The runtime scope and per-node shared-resource families ride the
+	// same scrape, with dimensions in labels rather than names.
+	if !strings.Contains(body, `shards_hosted{scope="runtime"} 1`) {
+		t.Fatal("runtime-scope series missing from single-shard scrape")
+	}
+	if !strings.Contains(body, `multiraft_shard_unknown_drops{node="mysql-0"}`) {
+		t.Fatal("node-labeled demux drop family missing")
 	}
 }
 
@@ -141,7 +154,7 @@ func TestTraceEndpoint(t *testing.T) {
 }
 
 func TestPprofGatedByOptIn(t *testing.T) {
-	c, client := testStack(t)
+	rt, client := testStack(t)
 	resp, err := http.Get(client.base + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +165,7 @@ func TestPprofGatedByOptIn(t *testing.T) {
 	}
 
 	// A server with the opt-in serves the index.
-	srv := NewServer(c)
+	srv := NewServer(rt)
 	srv.EnablePprof()
 	req, _ := http.NewRequest(http.MethodGet, "/debug/pprof/", nil)
 	rec := httptest.NewRecorder()

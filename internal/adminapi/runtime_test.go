@@ -1,7 +1,12 @@
 package adminapi
 
+// runtime_test.go exercises the process-level surface of the unified
+// admin server — the /runtime rollup, /shards, /balance, shard-scoped
+// /status, and the online /split — against a multi-shard runtime.
+
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -17,8 +22,13 @@ import (
 // an HTTP client pointed at it.
 func multiStack(t *testing.T) (*multiraft.Runtime, *Client) {
 	t.Helper()
+	return stackWithShards(t, 4)
+}
+
+func stackWithShards(t *testing.T, shards int) (*multiraft.Runtime, *Client) {
+	t.Helper()
 	rt, err := multiraft.New(multiraft.Options{
-		Shards: 4,
+		Shards: shards,
 		Specs: []cluster.MemberSpec{
 			{ID: "n0", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
 			{ID: "n1", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
@@ -42,7 +52,7 @@ func multiStack(t *testing.T) (*multiraft.Runtime, *Client) {
 	if err := rt.Bootstrap(ctx); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewMultiServer(rt))
+	srv := httptest.NewServer(NewServer(rt))
 	t.Cleanup(srv.Close)
 	return rt, NewClient(srv.URL)
 }
@@ -66,9 +76,9 @@ func TestMultiShardsEndpoint(t *testing.T) {
 	}
 }
 
-func TestMultiStatusRollup(t *testing.T) {
+func TestRuntimeRollup(t *testing.T) {
 	_, client := multiStack(t)
-	st, err := client.MultiStatus()
+	st, err := client.RuntimeStatus()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,6 +96,38 @@ func TestMultiStatusRollup(t *testing.T) {
 	}
 	if st.Metrics["shards_hosted"] != 4 {
 		t.Fatalf("metrics rollup missing shards_hosted: %v", st.Metrics)
+	}
+}
+
+// TestShardScopedStatus drives one /status per shard through the shard
+// parameter: each answer names its own ring, and an out-of-range scope
+// is rejected.
+func TestShardScopedStatus(t *testing.T) {
+	_, client := multiStack(t)
+	for s := 0; s < 4; s++ {
+		client.SetShard(fmt.Sprint(s))
+		st, err := client.Status()
+		if err != nil {
+			t.Fatalf("status shard %d: %v", s, err)
+		}
+		if st.Shard != uint32(s) || st.Shards != 4 {
+			t.Fatalf("shard %d status scoped to %d/%d", s, st.Shard, st.Shards)
+		}
+		if want := fmt.Sprintf("rs-multi/shard-%d", s); st.Name != want {
+			t.Fatalf("shard %d status name %q, want %q", s, st.Name, want)
+		}
+		if st.Primary == "" || len(st.Members) != 3 {
+			t.Fatalf("shard %d status incomplete: %+v", s, st)
+		}
+	}
+	client.SetShard("9")
+	if _, err := client.Status(); err == nil {
+		t.Fatal("status of unknown shard succeeded")
+	}
+	client.SetShard("")
+	st, err := client.Status()
+	if err != nil || st.Shard != 0 {
+		t.Fatalf("default scope: shard=%d err=%v", st.Shard, err)
 	}
 }
 
@@ -124,11 +166,60 @@ func TestMultiRoutedWriteReadAndBalance(t *testing.T) {
 	if moves == 0 {
 		t.Fatal("balance endpoint moved nothing off a 4-0-0 skew")
 	}
-	st, err := client.MultiStatus()
+	st, err := client.RuntimeStatus()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.MaxLeadersPerNode > st.BalanceTarget+1 {
 		t.Fatalf("still skewed after balance: %+v", st.LeadersByNode)
+	}
+}
+
+// TestSplitEndpoint drives an online split through the admin surface: a
+// 1-shard runtime becomes 2 shards, the routing table bumps twice
+// (fence + cutover), rows actually move, and the new ring answers
+// shard-scoped status.
+func TestSplitEndpoint(t *testing.T) {
+	rt, client := stackWithShards(t, 1)
+	for i := 0; i < 24; i++ {
+		if _, err := client.Write(fmt.Sprintf("split-key-%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := client.Split()
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if res.Source != 0 || res.NewShard != 1 {
+		t.Fatalf("split report %+v", res)
+	}
+	if res.TableVersion != 3 {
+		t.Fatalf("table version after split = %d, want 3", res.TableVersion)
+	}
+	if res.RowsMoved == 0 {
+		t.Fatal("split moved no rows despite seeded keys")
+	}
+	if rt.Shards() != 2 {
+		t.Fatalf("runtime shards = %d", rt.Shards())
+	}
+	client.SetShard("1")
+	st, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard != 1 || st.Primary == "" {
+		t.Fatalf("new shard status: %+v", st)
+	}
+	client.SetShard("")
+	// The runtime rollup reflects the grown fleet and bumped table.
+	ru, err := client.RuntimeStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ru.Shards != 2 || ru.TableVersion != 3 {
+		t.Fatalf("rollup after split: %+v", ru)
+	}
+	if ru.Metrics["shard_splits_total"] != 1 {
+		t.Fatalf("shard_splits_total = %d", ru.Metrics["shard_splits_total"])
 	}
 }

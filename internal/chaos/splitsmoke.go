@@ -1,0 +1,305 @@
+package chaos
+
+// splitsmoke.go is the online shard-split gate: one runtime starts as a
+// single ring, routed writers hammer a fixed key population, a follower
+// partition churns and heals, and then the shard splits 1→2 while the
+// writers keep going. The checkers assert the split's contract — no
+// acknowledged write is lost across the cutover, every key is served by
+// exactly the shard the bumped table routes it to, both rings converge,
+// and every stale-version rejection the cutover caused was retried to an
+// acknowledged write (writers use the retrying client, so a surviving
+// rejection would surface as a write error).
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/multiraft"
+	"myraft/internal/raft"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+)
+
+// SplitSmokeConfig parameterizes one split-under-load run. The zero
+// value plus a Seed is the CI smoke configuration.
+type SplitSmokeConfig struct {
+	Seed            int64
+	Keys            int           // key population, default 48
+	Writers         int           // concurrent routed writers, default 4
+	Warmup          time.Duration // pre-split fault window, default 400ms
+	ConvergeTimeout time.Duration // default 30s
+	Logf            func(format string, args ...any)
+}
+
+func (c SplitSmokeConfig) withDefaults() SplitSmokeConfig {
+	if c.Keys == 0 {
+		c.Keys = 48
+	}
+	if c.Writers == 0 {
+		c.Writers = 4
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 400 * time.Millisecond
+	}
+	if c.ConvergeTimeout == 0 {
+		c.ConvergeTimeout = 30 * time.Second
+	}
+	return c
+}
+
+func (c SplitSmokeConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// SplitSmokeReport is the outcome of one split-under-load run.
+type SplitSmokeReport struct {
+	Seed         int64
+	Writes       int64
+	WriteErrs    int64
+	RowsMoved    int
+	TableVersion uint64
+	StaleRejects int64
+	FenceWaits   int64
+	Violations   []string
+}
+
+// Passed reports whether every invariant held.
+func (r *SplitSmokeReport) Passed() bool { return len(r.Violations) == 0 }
+
+// RunSplitSmoke executes one split-under-load run: boot a 1-shard
+// runtime of three voters, run routed writers through a brief follower
+// partition, split online while they write, crash and restart a node
+// post-cutover, then check durability, routing, and convergence on both
+// rings.
+func RunSplitSmoke(cfg SplitSmokeConfig) (*SplitSmokeReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &SplitSmokeReport{Seed: cfg.Seed}
+
+	rt, err := multiraft.New(multiraft.Options{
+		Shards: 1,
+		Specs: []cluster.MemberSpec{
+			{ID: "n0", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
+			{ID: "n1", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
+			{ID: "n2", Region: "r1", Kind: cluster.KindMySQL, Voter: true},
+		},
+		Name: fmt.Sprintf("split-smoke-%d", cfg.Seed),
+		Raft: raft.Config{
+			HeartbeatInterval: 10 * time.Millisecond,
+		},
+		NetConfig: transport.Config{
+			IntraRegion: 200 * time.Microsecond,
+			CrossRegion: 2 * time.Millisecond,
+		},
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: build split-smoke runtime: %w", err)
+	}
+	defer rt.Close()
+
+	bctx, bcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	err = rt.Bootstrap(bctx)
+	bcancel()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: split-smoke bootstrap: %w", err)
+	}
+
+	// Routed writers: each key carries a strictly increasing sequence
+	// number, and the acked floor per key is the durability contract.
+	var (
+		mu        sync.Mutex
+		acked     = make(map[string]uint64, cfg.Keys)
+		seqs      = make(map[string]uint64, cfg.Keys)
+		writes    int64
+		writeErrs int64
+	)
+	keys := make([]string, cfg.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("smoke-key-%d", i)
+	}
+	client := rt.NewClient(0)
+	wctx, wcancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for wctx.Err() == nil {
+				key := keys[rng.Intn(len(keys))]
+				mu.Lock()
+				seqs[key]++
+				seq := seqs[key]
+				mu.Unlock()
+				ctx, cancel := context.WithTimeout(wctx, 5*time.Second)
+				_, err := client.Write(ctx, key, []byte(strconv.FormatUint(seq, 10)))
+				cancel()
+				mu.Lock()
+				if err == nil {
+					writes++
+					if seq > acked[key] {
+						acked[key] = seq
+					}
+				} else {
+					writeErrs++
+				}
+				mu.Unlock()
+				select {
+				case <-wctx.Done():
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+		}(w)
+	}
+
+	violations := []string{}
+	violatef := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	// Warmup faults: partition a follower pair, let writes ride through
+	// the degraded quorum, heal before the split (the split itself needs
+	// both rings writable, so it runs on a healed network).
+	pctx, pcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	primary, err := rt.Shard(0).AnyPrimary(pctx)
+	pcancel()
+	if err != nil {
+		wcancel()
+		wg.Wait()
+		return nil, fmt.Errorf("chaos: split-smoke primary: %w", err)
+	}
+	var followers []wire.NodeID
+	for _, id := range rt.Nodes() {
+		if id != primary.Spec.ID {
+			followers = append(followers, id)
+		}
+	}
+	rt.Net().Partition(followers[0], followers[1])
+	cfg.logf("split-smoke: partition %s <-> %s under load", followers[0], followers[1])
+	time.Sleep(cfg.Warmup)
+	rt.Net().HealAll()
+
+	// The tentpole moment: split shard 0 while the writers keep going.
+	sctx, scancel := context.WithTimeout(context.Background(), 60*time.Second)
+	splitRep, err := rt.Split(sctx, 0)
+	scancel()
+	if err != nil {
+		wcancel()
+		wg.Wait()
+		return nil, fmt.Errorf("chaos: online split under load: %w", err)
+	}
+	rep.RowsMoved = splitRep.RowsMoved
+	rep.TableVersion = splitRep.TableVersion
+	cfg.logf("split-smoke: moved %d rows to shard %d, table v%d",
+		splitRep.RowsMoved, splitRep.NewShard, splitRep.TableVersion)
+
+	// Post-cutover fault: crash whichever node led the source shard and
+	// bring it back — both rings must re-elect and reconverge.
+	cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+	primary, err = rt.Shard(0).AnyPrimary(cctx)
+	ccancel()
+	if err != nil {
+		violatef("post-split: shard 0 has no primary: %v", err)
+	} else {
+		if err := rt.Crash(primary.Spec.ID); err != nil {
+			violatef("harness: crash %s: %v", primary.Spec.ID, err)
+		} else {
+			cfg.logf("split-smoke: crash %s post-cutover", primary.Spec.ID)
+			time.Sleep(200 * time.Millisecond)
+			if err := rt.Restart(primary.Spec.ID); err != nil {
+				violatef("harness: restart %s: %v", primary.Spec.ID, err)
+			}
+		}
+	}
+
+	wcancel()
+	wg.Wait()
+	rt.Net().HealAll()
+
+	if rt.Shards() != 2 {
+		violatef("runtime hosts %d shards after split, want 2", rt.Shards())
+	}
+	if v := rt.Router().Version(); v != rep.TableVersion {
+		violatef("router at table v%d, split reported v%d", v, rep.TableVersion)
+	}
+
+	// Both rings converge: primary, matching logs, matching engines.
+	deadline := time.Now().Add(cfg.ConvergeTimeout)
+	for s := 0; s < rt.Shards(); s++ {
+		c := rt.Shard(wire.ShardID(s))
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		_, err := c.AnyPrimary(ctx)
+		cancel()
+		if err != nil {
+			violatef("shard %d: no primary after split smoke: %v", s, err)
+			continue
+		}
+		for {
+			from := c.LogCommonStart()
+			sums, serr := c.LogChecksums(from)
+			logOK := serr == nil && len(sums) == len(c.Members()) && allEqual(sums)
+			esums := c.EngineChecksums()
+			engOK := len(esums) > 0 && allEqual(esums)
+			if logOK && engOK {
+				break
+			}
+			if time.Now().After(deadline) {
+				violatef("shard %d: no convergence within %s: logs=%v (err=%v) engines=%v",
+					s, cfg.ConvergeTimeout, sums, serr, esums)
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Durability plus routing: every acked key reads back at or above its
+	// floor through the routed client, and only through the shard the
+	// bumped table names — reading it through the other ring is leakage.
+	router := rt.Router()
+	for _, key := range keys {
+		mu.Lock()
+		floor := acked[key]
+		mu.Unlock()
+		if floor == 0 {
+			continue
+		}
+		home := router.ShardFor(key)
+		rctx, rcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		res, err := rt.Shard(home).ReadLinearizable(rctx, key)
+		rcancel()
+		if err != nil {
+			violatef("durability: read of %s (acked seq %d) via shard %d failed: %v", key, floor, home, err)
+			continue
+		}
+		if !res.Found {
+			violatef("durability: %s lost across split after seq %d was acked", key, floor)
+			continue
+		}
+		if seq, perr := strconv.ParseUint(string(res.Value), 10, 64); perr != nil || seq < floor {
+			violatef("durability: %s = %q, below acked seq %d", key, res.Value, floor)
+		}
+		other := wire.ShardID(1 - int(home))
+		octx, ocancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ores, oerr := rt.Shard(other).ReadLinearizable(octx, key)
+		ocancel()
+		if oerr == nil && ores.Found {
+			violatef("isolation: %s routed to shard %d but still readable on shard %d", key, home, other)
+		}
+	}
+
+	mu.Lock()
+	rep.Writes, rep.WriteErrs = writes, writeErrs
+	mu.Unlock()
+	rep.StaleRejects = rt.StaleRejects()
+	rep.FenceWaits = rt.FenceWaits()
+	rep.Violations = violations
+	return rep, nil
+}

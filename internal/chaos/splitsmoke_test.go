@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestChaosShardSplitSmoke is the fixed-seed split-under-load gate: a
+// 1-shard runtime splits online into two rings while routed writers keep
+// committing through a follower partition before the split and a primary
+// crash after it. Zero acked-write loss, routing matches the bumped
+// table, both rings converge, and every stale rejection was retried.
+func TestChaosShardSplitSmoke(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			cfg := SplitSmokeConfig{Seed: seed}
+			if testing.Verbose() {
+				cfg.Logf = t.Logf
+			}
+			rep, err := RunSplitSmoke(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: harness error: %v", seed, err)
+			}
+			if !rep.Passed() {
+				t.Errorf("seed %d: %d invariant violation(s):", seed, len(rep.Violations))
+				for _, v := range rep.Violations {
+					t.Errorf("  %s", v)
+				}
+			}
+			if rep.Writes == 0 {
+				t.Errorf("seed %d: workload never acknowledged a write (errs=%d)", seed, rep.WriteErrs)
+			}
+			if rep.TableVersion != 3 {
+				t.Errorf("seed %d: table version %d after split, want 3 (fence then cutover)", seed, rep.TableVersion)
+			}
+			if testing.Verbose() {
+				t.Logf("seed %d: writes=%d errs=%d rowsMoved=%d staleRejects=%d fenceWaits=%d",
+					seed, rep.Writes, rep.WriteErrs, rep.RowsMoved, rep.StaleRejects, rep.FenceWaits)
+			}
+		})
+	}
+}

@@ -1,9 +1,15 @@
-// Package cluster assembles MyRaft replicasets: MySQL servers and
-// logtailers spread across regions, wired together over the simulated
-// network, with the plugin and Raft node stacked on each member and a
-// service-discovery registry that promotion publishes into. It is the
-// top-level public API of this reproduction — examples, benchmarks and
-// the operational tooling all drive replicasets through this package.
+// Package cluster assembles one MyRaft replicaset — a single raft ring
+// of MySQL servers and logtailers spread across regions, wired together
+// over the simulated network, with the plugin and Raft node stacked on
+// each member and a service-discovery registry that promotion publishes
+// into.
+//
+// Cluster is the per-ring building block, not a process runtime: a
+// process always hosts rings inside a multiraft.Runtime (the classic
+// standalone replicaset is a runtime with Shards: 1), which owns the
+// shared transport demux, routing table, retention scheduling, and the
+// admin API. Drop down to this package to operate one ring — members,
+// promotion, checksums, per-ring reads — via Runtime.Shard.
 package cluster
 
 import (

@@ -116,6 +116,10 @@ func (c *Cluster) PurgeOnce(retentionEntries uint64) (uint64, error) {
 // without a leader, or with nothing to purge, are skipped silently; the
 // protocol is idempotent and self-healing across leadership changes
 // because the floor is recomputed from live replication state each round.
+//
+// Deprecated: a process should let multiraft.Runtime.RunRetention drive
+// every hosted ring from one scheduler instead of running a ticker per
+// ring; this per-ring loop remains for tests and direct ring embedding.
 func (c *Cluster) RunRetention(ctx context.Context, opts RetentionOptions) {
 	interval := opts.Interval
 	if interval == 0 {

@@ -121,8 +121,12 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
-// PromName sanitizes an instrument name to the Prometheus metric-name
-// charset [a-zA-Z_:][a-zA-Z0-9_:]*; every invalid rune becomes '_'.
+// PromName sanitizes an instrument name to the exporter metric-name
+// charset [a-zA-Z_][a-zA-Z0-9_]*; every invalid rune becomes '_'.
+// Colons are rewritten too: the exposition grammar technically admits
+// them, but they are reserved for recording rules, and an exporter must
+// never emit them — per-instance dimensions belong in labels, not baked
+// into names like the old "shard_unknown_drops:<node>" gauges.
 func PromName(name string) string {
 	if name == "" {
 		return "_"
@@ -130,7 +134,7 @@ func PromName(name string) string {
 	var b strings.Builder
 	for i, r := range name {
 		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
 			b.WriteRune(r)
 		case r >= '0' && r <= '9' && i > 0:
 			b.WriteRune(r)

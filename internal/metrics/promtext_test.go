@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -69,16 +70,52 @@ func TestPrometheusNoLabels(t *testing.T) {
 
 func TestPromName(t *testing.T) {
 	cases := map[string]string{
-		"ok_name:x9":  "ok_name:x9",
-		"9starts":     "_starts",
-		"a-b.c d":     "a_b_c_d",
-		"":            "_",
-		"writepath_0": "writepath_0",
+		// Colons are reserved for recording rules: an exporter rewrites
+		// them instead of emitting them.
+		"ok_name:x9":     "ok_name_x9",
+		"drops:node-1":   "drops_node_1",
+		"9starts":        "_starts",
+		"a-b.c d":        "a_b_c_d",
+		"":               "_",
+		"writepath_0":    "writepath_0",
+		"leaders_held":   "leaders_held",
+		"Fsync_Requests": "Fsync_Requests",
 	}
 	for in, want := range cases {
 		if got := PromName(in); got != want {
 			t.Fatalf("PromName(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestPrometheusExporterNameValidity renders a registry whose instrument
+// names carry every historical sin — colons, embedded node IDs, dashes —
+// and asserts no rendered metric-name token violates the exporter
+// charset [a-zA-Z_][a-zA-Z0-9_]*. This is the regression gate for the
+// old "shard_unknown_drops:<node>" gauge family.
+func TestPrometheusExporterNameValidity(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("shard_unknown_drops:n0").Set(1)
+	r.Gauge("hb_coalesced:n1:flushes").Set(2)
+	r.Counter("demux-drops.decode").Add(3)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, LabeledRegistry{Labels: map[string]string{"node": "n0"}, Reg: r}); err != nil {
+		t.Fatal(err)
+	}
+	validName := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		var name string
+		if strings.HasPrefix(line, "# TYPE ") {
+			name = strings.Fields(line)[2]
+		} else {
+			name = line[:strings.IndexAny(line, "{ ")]
+		}
+		if !validName.MatchString(name) {
+			t.Fatalf("exporter emitted invalid metric name %q in line %q", name, line)
+		}
+	}
+	if !strings.Contains(sb.String(), "shard_unknown_drops_n0") {
+		t.Fatalf("colon name not rewritten:\n%s", sb.String())
 	}
 }
 

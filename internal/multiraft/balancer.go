@@ -36,7 +36,8 @@ func (rt *Runtime) BalanceOnce(ctx context.Context) int {
 	if len(voters) == 0 {
 		return 0
 	}
-	target := (len(rt.shards) + len(voters) - 1) / len(voters)
+	shards := rt.shardList()
+	target := (len(shards) + len(voters) - 1) / len(voters)
 
 	load := make(map[wire.NodeID]int, len(voters))
 	for _, id := range voters {
@@ -65,9 +66,9 @@ func (rt *Runtime) BalanceOnce(ctx context.Context) int {
 
 	moves := 0
 	for _, donor := range donors {
-		shards := append([]wire.ShardID(nil), byNode[donor]...)
-		sort.Slice(shards, func(i, j int) bool { return shards[i] > shards[j] })
-		for _, shard := range shards {
+		held := append([]wire.ShardID(nil), byNode[donor]...)
+		sort.Slice(held, func(i, j int) bool { return held[i] > held[j] })
+		for _, shard := range held {
 			if load[donor] <= target {
 				break
 			}
@@ -80,7 +81,10 @@ func (rt *Runtime) BalanceOnce(ctx context.Context) int {
 				return moves
 			default:
 			}
-			if err := rt.shards[shard].TransferLeadership(dest); err != nil {
+			if int(shard) >= len(shards) {
+				continue
+			}
+			if err := shards[shard].TransferLeadership(dest); err != nil {
 				continue
 			}
 			load[donor]--

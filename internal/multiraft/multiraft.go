@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"myraft/internal/clock"
@@ -80,7 +81,9 @@ type Options struct {
 	WrapLogStore func(id wire.NodeID, store raft.LogStore) raft.LogStore
 }
 
-// Runtime is a running multi-shard process set.
+// Runtime is a running multi-shard process set. It is the process
+// runtime: cluster.Cluster is the per-ring building block underneath it,
+// and a single-ring deployment is simply Shards: 1.
 type Runtime struct {
 	opts     Options
 	net      *transport.Network
@@ -88,12 +91,94 @@ type Runtime struct {
 	clk      clock.Clock
 	demuxes  map[wire.NodeID]*transport.Demux
 	syncs    map[wire.NodeID]*SyncGroup
-	shards   []*cluster.Cluster
 	router   *Router
 	reg      *metrics.Registry
+	nodeRegs map[wire.NodeID]*metrics.Registry
 
-	mu   sync.Mutex
-	down map[wire.NodeID]bool
+	mu     sync.RWMutex
+	shards []*cluster.Cluster
+	down   map[wire.NodeID]bool
+
+	// gate tracks in-flight routed writes per routing-table version so a
+	// split can drain every write admitted under a pre-fence table before
+	// taking its copy snapshot (see split.go).
+	gate writeGate
+
+	// splitMu serializes topology changes (AddShard/Split).
+	splitMu sync.Mutex
+
+	staleRejects atomic.Int64
+	fenceWaits   atomic.Int64
+	splits       atomic.Int64
+}
+
+// writeGate counts in-flight routed writes keyed by the table version
+// they were admitted under. Writers increment before revalidating their
+// route, so after a Reload every write still running under an older
+// version is visible to drainBelow — the ordering that makes the split's
+// fence sound.
+type writeGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight map[uint64]int
+}
+
+func (g *writeGate) enter(version uint64) func() {
+	g.mu.Lock()
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+		g.inflight = make(map[uint64]int)
+	}
+	g.inflight[version]++
+	g.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.inflight[version]--
+			if g.inflight[version] <= 0 {
+				delete(g.inflight, version)
+			}
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		})
+	}
+}
+
+// drainBelow blocks until no write admitted under a table version older
+// than the given one remains in flight. Writes admitted under the fenced
+// table itself (or newer) keep flowing — only the moved subrange is
+// fenced, and its writers can no longer be admitted at all.
+func (g *writeGate) drainBelow(ctx context.Context, version uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cond == nil {
+		return nil
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			g.cond.Broadcast()
+		case <-done:
+		}
+	}()
+	for {
+		older := 0
+		for v, n := range g.inflight {
+			if v < version {
+				older += n
+			}
+		}
+		if older == 0 {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		g.cond.Wait()
+	}
 }
 
 // New builds and starts every shard ring. No leaders exist until
@@ -139,6 +224,7 @@ func New(opts Options) (*Runtime, error) {
 		syncs:    make(map[wire.NodeID]*SyncGroup),
 		router:   router,
 		reg:      metrics.NewRegistry(),
+		nodeRegs: make(map[wire.NodeID]*metrics.Registry),
 		down:     make(map[wire.NodeID]bool),
 	}
 
@@ -159,35 +245,11 @@ func New(opts Options) (*Runtime, error) {
 		ep := rt.net.Register(spec.ID, spec.Region)
 		rt.demuxes[spec.ID] = transport.NewDemux(ep, opts.Clock, transport.DemuxConfig{FlushInterval: flush})
 		rt.syncs[spec.ID] = NewSyncGroup()
+		rt.nodeRegs[spec.ID] = metrics.NewRegistry()
 	}
 
 	for s := 0; s < opts.Shards; s++ {
-		shard := wire.ShardID(s)
-		rcfg := opts.Raft
-		if opts.OnRoleChange != nil {
-			hook := opts.OnRoleChange
-			rcfg.OnRoleChange = func(rc raft.RoleChange) { hook(shard, rc) }
-		}
-		c, err := cluster.New(cluster.Options{
-			Name:     rt.ShardName(shard),
-			Dir:      filepath.Join(opts.Dir, fmt.Sprintf("shard-%d", s)),
-			Raft:     rcfg,
-			Net:      rt.net,
-			Registry: rt.registry,
-			Clock:    opts.Clock,
-			Seed:     opts.Seed,
-
-			TraceSampleEvery: opts.TraceSampleEvery,
-			Transport: func(id wire.NodeID, _ wire.Region) transport.Transport {
-				return rt.demuxes[id].Shard(shard)
-			},
-			WrapLogStore: func(id wire.NodeID, store raft.LogStore) raft.LogStore {
-				if opts.WrapLogStore != nil {
-					store = opts.WrapLogStore(id, store)
-				}
-				return rt.syncs[id].Wrap(store)
-			},
-		}, opts.Specs)
+		c, err := rt.newShardCluster(wire.ShardID(s))
 		if err != nil {
 			rt.Close()
 			return nil, fmt.Errorf("multiraft: shard %d: %w", s, err)
@@ -196,6 +258,41 @@ func New(opts Options) (*Runtime, error) {
 	}
 	rt.reg.Gauge("shards_hosted").Set(int64(opts.Shards))
 	return rt, nil
+}
+
+// newShardCluster assembles one shard's ring over the shared per-node
+// demuxes and fsync groups. Every node's port for the shard is created up
+// front, before any member starts, so no early vote or heartbeat can be
+// dropped as an unknown-shard leak.
+func (rt *Runtime) newShardCluster(shard wire.ShardID) (*cluster.Cluster, error) {
+	for _, d := range rt.demuxes {
+		d.Shard(shard)
+	}
+	rcfg := rt.opts.Raft
+	if rt.opts.OnRoleChange != nil {
+		hook := rt.opts.OnRoleChange
+		rcfg.OnRoleChange = func(rc raft.RoleChange) { hook(shard, rc) }
+	}
+	return cluster.New(cluster.Options{
+		Name:     rt.ShardName(shard),
+		Dir:      filepath.Join(rt.opts.Dir, fmt.Sprintf("shard-%d", shard)),
+		Raft:     rcfg,
+		Net:      rt.net,
+		Registry: rt.registry,
+		Clock:    rt.opts.Clock,
+		Seed:     rt.opts.Seed,
+
+		TraceSampleEvery: rt.opts.TraceSampleEvery,
+		Transport: func(id wire.NodeID, _ wire.Region) transport.Transport {
+			return rt.demuxes[id].Shard(shard)
+		},
+		WrapLogStore: func(id wire.NodeID, store raft.LogStore) raft.LogStore {
+			if rt.opts.WrapLogStore != nil {
+				store = rt.opts.WrapLogStore(id, store)
+			}
+			return rt.syncs[id].Wrap(store)
+		},
+	}, rt.opts.Specs)
 }
 
 // Name returns the runtime's name prefix.
@@ -207,14 +304,28 @@ func (rt *Runtime) ShardName(shard wire.ShardID) string {
 }
 
 // Shards returns the number of hosted shards.
-func (rt *Runtime) Shards() int { return len(rt.shards) }
+func (rt *Runtime) Shards() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.shards)
+}
 
 // Shard returns one shard's cluster (nil for unknown shards).
 func (rt *Runtime) Shard(id wire.ShardID) *cluster.Cluster {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	if int(id) >= len(rt.shards) {
 		return nil
 	}
 	return rt.shards[id]
+}
+
+// shardList snapshots the shard slice under the lock; a split may append
+// a new ring at any time.
+func (rt *Runtime) shardList() []*cluster.Cluster {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return append([]*cluster.Cluster(nil), rt.shards...)
 }
 
 // Router returns the key→shard router.
@@ -256,13 +367,14 @@ func (rt *Runtime) Bootstrap(ctx context.Context) error {
 	if len(voters) == 0 {
 		return fmt.Errorf("multiraft: no MySQL voters to bootstrap")
 	}
-	errs := make(chan error, len(rt.shards))
-	for s, c := range rt.shards {
+	shards := rt.shardList()
+	errs := make(chan error, len(shards))
+	for s, c := range shards {
 		go func(c *cluster.Cluster, at wire.NodeID) {
 			errs <- c.Bootstrap(ctx, at)
 		}(c, voters[s%len(voters)])
 	}
-	for range rt.shards {
+	for range shards {
 		if err := <-errs; err != nil {
 			return err
 		}
@@ -284,8 +396,9 @@ type ShardStatus struct {
 // ShardStatuses surveys every shard: its leader (empty while none is
 // claiming), term, commit/durable progress and purge floor.
 func (rt *Runtime) ShardStatuses() []ShardStatus {
-	out := make([]ShardStatus, 0, len(rt.shards))
-	for s, c := range rt.shards {
+	shards := rt.shardList()
+	out := make([]ShardStatus, 0, len(shards))
+	for s, c := range shards {
 		st := ShardStatus{
 			Shard:      wire.ShardID(s),
 			Name:       rt.ShardName(wire.ShardID(s)),
@@ -315,37 +428,74 @@ func (rt *Runtime) LeadersByNode() map[wire.NodeID][]wire.ShardID {
 	return out
 }
 
-// Metrics refreshes and returns the runtime's instrument registry:
-// per-node leaders-held gauges, coalesced-heartbeat traffic, and fsync
-// coalescing counters — one scrape covers the process.
+// Metrics refreshes and returns the runtime-scope instrument registry:
+// shard count, routing-table generation, and the routed-write cutover
+// counters (stale rejections, fence waits, completed splits). Per-node
+// gauges live in NodeRegistries — the exporter renders them as one
+// labeled family per metric, never a metric name per node (colons and
+// node IDs are not legal in Prometheus metric names).
 func (rt *Runtime) Metrics() *metrics.Registry {
+	rt.reg.Gauge("shards_hosted").Set(int64(rt.Shards()))
+	rt.reg.Gauge("router_table_version").Set(int64(rt.router.Version()))
+	rt.reg.Gauge("router_stale_rejects").Set(rt.staleRejects.Load())
+	rt.reg.Gauge("router_fence_waits").Set(rt.fenceWaits.Load())
+	rt.reg.Gauge("shard_splits_total").Set(rt.splits.Load())
+	return rt.reg
+}
+
+// NodeRegistry pairs one node with its shared-resource instrument
+// registry (leaders held, heartbeat-coalescing traffic, demux drops,
+// fsync funnel counters). The admin exporter attaches a node label to
+// each, so the families stay properly named across the fleet.
+type NodeRegistry struct {
+	ID  wire.NodeID
+	Reg *metrics.Registry
+}
+
+// NodeRegistries refreshes and returns every node's registry in spec
+// order.
+func (rt *Runtime) NodeRegistries() []NodeRegistry {
 	byNode := rt.LeadersByNode()
+	out := make([]NodeRegistry, 0, len(rt.opts.Specs))
 	for _, spec := range rt.opts.Specs {
 		id := spec.ID
-		rt.reg.Gauge("leaders_held:" + string(id)).Set(int64(len(byNode[id])))
+		reg := rt.nodeRegs[id]
+		if reg == nil {
+			continue
+		}
+		reg.Gauge("multiraft_leaders_held").Set(int64(len(byNode[id])))
 		if d := rt.demuxes[id]; d != nil {
 			st := d.Stats()
 			var flushes int64
 			for _, n := range st.CoalescedFlushes {
 				flushes += n
 			}
-			rt.reg.Gauge("hb_coalesced_flushes:" + string(id)).Set(flushes)
-			rt.reg.Gauge("hb_coalesced_items:" + string(id)).Set(st.CoalescedItems)
-			rt.reg.Gauge("shard_unknown_drops:" + string(id)).Set(st.UnknownShardDrops)
+			reg.Gauge("multiraft_hb_coalesced_flushes").Set(flushes)
+			reg.Gauge("multiraft_hb_coalesced_items").Set(st.CoalescedItems)
+			reg.Gauge("multiraft_shard_unknown_drops").Set(st.UnknownShardDrops)
 		}
 		if g := rt.syncs[id]; g != nil {
 			st := g.Stats()
-			rt.reg.Gauge("fsync_requests:" + string(id)).Set(st.Requests)
-			rt.reg.Gauge("fsync_physical:" + string(id)).Set(st.Syncs)
+			reg.Gauge("multiraft_fsync_requests").Set(st.Requests)
+			reg.Gauge("multiraft_fsync_physical").Set(st.Syncs)
 		}
+		out = append(out, NodeRegistry{ID: id, Reg: reg})
 	}
-	return rt.reg
+	return out
 }
+
+// StaleRejects returns how many routed writes were rejected for holding a
+// stale table version and re-routed.
+func (rt *Runtime) StaleRejects() int64 { return rt.staleRejects.Load() }
+
+// FenceWaits returns how many routed write attempts backed off on a
+// fenced range during a split.
+func (rt *Runtime) FenceWaits() int64 { return rt.fenceWaits.Load() }
 
 // Crash takes a node down across every shard it hosts — one process
 // death kills all co-located rings.
 func (rt *Runtime) Crash(id wire.NodeID) error {
-	for s, c := range rt.shards {
+	for s, c := range rt.shardList() {
 		if err := c.Crash(id); err != nil {
 			return fmt.Errorf("multiraft: crash %s on shard %d: %w", id, s, err)
 		}
@@ -358,7 +508,7 @@ func (rt *Runtime) Crash(id wire.NodeID) error {
 
 // Restart brings a crashed node back on every shard.
 func (rt *Runtime) Restart(id wire.NodeID) error {
-	for s, c := range rt.shards {
+	for s, c := range rt.shardList() {
 		if err := c.Restart(id); err != nil {
 			return fmt.Errorf("multiraft: restart %s on shard %d: %w", id, s, err)
 		}
@@ -397,7 +547,7 @@ func (rt *Runtime) RunRetention(ctx context.Context, opts cluster.RetentionOptio
 		case <-ctx.Done():
 			return
 		case <-tk.C():
-			for _, c := range rt.shards {
+			for _, c := range rt.shardList() {
 				// Purge errors (no leader mid-failover) are transient;
 				// the next round retries.
 				_, _ = c.PurgeOnce(opts.RetentionEntries)
@@ -409,7 +559,7 @@ func (rt *Runtime) RunRetention(ctx context.Context, opts cluster.RetentionOptio
 // Close tears the whole process set down: every shard ring, then the
 // shared demuxes, fsync groups and network.
 func (rt *Runtime) Close() {
-	for _, c := range rt.shards {
+	for _, c := range rt.shardList() {
 		c.Close()
 	}
 	for _, d := range rt.demuxes {

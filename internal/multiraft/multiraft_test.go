@@ -144,17 +144,23 @@ func TestRuntimeSixteenShards(t *testing.T) {
 		}
 	}
 
-	// The metrics rollup reflects the survey.
+	// The metrics rollup reflects the survey: runtime scope carries the
+	// shard count, per-node registries carry leaders-held — as properly
+	// named families with the node as a label dimension, never a node ID
+	// baked into a metric name.
 	snap := rt.Metrics().Snapshot()
 	if snap["shards_hosted"] != shards {
 		t.Fatalf("shards_hosted = %d", snap["shards_hosted"])
 	}
+	if snap["router_table_version"] != 1 {
+		t.Fatalf("router_table_version = %d, want 1", snap["router_table_version"])
+	}
 	var held int64
-	for _, id := range rt.Nodes() {
-		held += snap["leaders_held:"+string(id)]
+	for _, nr := range rt.NodeRegistries() {
+		held += nr.Reg.Snapshot()["multiraft_leaders_held"]
 	}
 	if held != shards {
-		t.Fatalf("leaders_held sums to %d, want %d (snapshot %v)", held, shards, snap)
+		t.Fatalf("multiraft_leaders_held sums to %d, want %d", held, shards)
 	}
 }
 

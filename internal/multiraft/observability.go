@@ -18,8 +18,9 @@ type ShardMemberRegistry struct {
 // the whole process: N shards × M members groups, each carrying its own
 // write-path stage histograms and raft/binlog/applier gauges.
 func (rt *Runtime) MemberRegistries() []ShardMemberRegistry {
-	out := make([]ShardMemberRegistry, 0, len(rt.shards)*len(rt.opts.Specs))
-	for s, c := range rt.shards {
+	shards := rt.shardList()
+	out := make([]ShardMemberRegistry, 0, len(shards)*len(rt.opts.Specs))
+	for s, c := range shards {
 		for _, mr := range c.MemberRegistries() {
 			out = append(out, ShardMemberRegistry{Shard: wire.ShardID(s), MemberRegistry: mr})
 		}

@@ -1,0 +1,228 @@
+package multiraft
+
+// reloadrace_test.go pits concurrent router table reloads against routed
+// writes (run under -race via scripts/check.sh). The contract under test:
+// a write admitted under table version V lands only on a shard that owned
+// its key under V (no misroute, ever — Route resolves version and shard
+// under one lock, and the client revalidates after admission), and every
+// stale-version rejection is retried until the write succeeds.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"myraft/internal/wire"
+)
+
+// TestStaleRejectionRetriesToSuccess drives the admit→revalidate window
+// deterministically: a Reload lands exactly between a write's in-flight
+// admission and its route revalidation. The single attempt must be
+// rejected as stale (counted, no data written), and the retrying Write
+// must converge on the new table.
+func TestStaleRejectionRetriesToSuccess(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rt, err := New(testOptions(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A key in the top quarter, whose owner flips 1 -> 0 on reload.
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("stale-key-%d", i)
+		if hashKey(key) >= uint32(3*(uint64(math.MaxUint32)+1)/4) {
+			break
+		}
+	}
+	flip := Table{Version: 2, Ranges: []Range{
+		{Start: 0, End: uint32(3*(uint64(math.MaxUint32)+1)/4) - 1, Shard: 0},
+		{Start: uint32(3 * (uint64(math.MaxUint32) + 1) / 4), End: math.MaxUint32, Shard: 0},
+	}}
+
+	cl := rt.NewClient(0)
+	fired := false
+	cl.testAfterAdmit = func() {
+		if fired {
+			return
+		}
+		fired = true
+		if err := rt.Router().Reload(flip); err != nil {
+			t.Errorf("reload: %v", err)
+		}
+	}
+
+	before := rt.StaleRejects()
+	res, err := cl.Write(ctx, key, []byte("v1"))
+	if err != nil {
+		t.Fatalf("write after stale rejection: %v", err)
+	}
+	if !fired {
+		t.Fatal("test hook never fired")
+	}
+	if got := rt.StaleRejects(); got != before+1 {
+		t.Fatalf("stale rejects = %d, want %d", got, before+1)
+	}
+	if res.Retries == 0 {
+		t.Fatalf("write reported no retries; the stale rejection was not retried")
+	}
+	// The row must exist on the NEW owner (shard 0) and not on the ring
+	// the stale attempt had resolved (shard 1).
+	if got := rt.Router().ShardFor(key); got != 0 {
+		t.Fatalf("key routes to shard %d, want 0", got)
+	}
+	p0, err := rt.Shard(0).AnyPrimary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, found := p0.Server().Read(key); !found || string(v) != "v1" {
+		t.Fatalf("key missing on new owner: found=%v v=%q", found, v)
+	}
+	p1, err := rt.Shard(1).AnyPrimary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := p1.Server().Read(key); found {
+		t.Fatal("stale attempt leaked the row onto the old owner")
+	}
+}
+
+func TestRouterReloadRacingRoutedWrites(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rt, err := New(testOptions(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two alternating table layouts. The bottom three quarters of the
+	// ring are stable (same owner in both); the top quarter flaps between
+	// shard 1 and shard 0 on every reload, so in-flight writes to it keep
+	// hitting stale-version rejections.
+	const (
+		half = uint32(math.MaxUint32/2) + 1 // 0x80000000
+		flap = uint32(3 * (uint64(math.MaxUint32) + 1) / 4)
+	)
+	layout := func(version uint64, top wire.ShardID) Table {
+		return Table{Version: version, Ranges: []Range{
+			{Start: 0, End: half - 1, Shard: 0},
+			{Start: half, End: flap - 1, Shard: 1},
+			{Start: flap, End: math.MaxUint32, Shard: top},
+		}}
+	}
+
+	// Pre-sort probe keys into stable (fixed owner under every layout)
+	// and flapping (top-quarter) families.
+	var stableKeys, flapKeys []string
+	stableOwner := make(map[string]wire.ShardID)
+	for i := 0; len(stableKeys) < 32 || len(flapKeys) < 32; i++ {
+		k := fmt.Sprintf("race-key-%d", i)
+		h := hashKey(k)
+		switch {
+		case h < flap && len(stableKeys) < 32:
+			stableKeys = append(stableKeys, k)
+			if h < half {
+				stableOwner[k] = 0
+			} else {
+				stableOwner[k] = 1
+			}
+		case h >= flap && len(flapKeys) < 32:
+			flapKeys = append(flapKeys, k)
+		}
+	}
+
+	var (
+		stop   atomic.Bool
+		failed atomic.Int64
+		wrote  atomic.Int64
+		wg     sync.WaitGroup
+	)
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := rt.NewClient(0)
+			for i := 0; !stop.Load(); i++ {
+				key := stableKeys[(w+i)%len(stableKeys)]
+				if i%2 == 1 {
+					key = flapKeys[(w+i)%len(flapKeys)]
+				}
+				wctx, wcancel := context.WithTimeout(ctx, 20*time.Second)
+				_, err := cl.Write(wctx, key, []byte(fmt.Sprintf("w%d-%d", w, i)))
+				wcancel()
+				if err != nil {
+					if ctx.Err() == nil {
+						failed.Add(1)
+					}
+					return
+				}
+				wrote.Add(1)
+			}
+		}(w)
+	}
+
+	// Reload continuously while writes are in flight, alternating the
+	// flapping quarter's owner. Run at least 100 generations, extending
+	// up to a soft deadline hoping to catch a reload inside a write's
+	// admit→revalidate window (a stale rejection); the no-misroute and
+	// retry-to-success properties hold and are checked either way.
+	version := uint64(1)
+	soft := time.Now().Add(10 * time.Second)
+	for gen := 0; version < 100 || (rt.StaleRejects() == 0 && time.Now().Before(soft)); gen++ {
+		version++
+		top := wire.ShardID(gen % 2)
+		if err := rt.Router().Reload(layout(version, top)); err != nil {
+			t.Fatalf("reload v%d: %v", version, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A stale reload must be rejected, not applied.
+	if err := rt.Router().Reload(layout(version, 0)); err == nil {
+		t.Fatal("stale-version reload was accepted")
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d routed writes failed despite retries (stale rejections must retry to success)", failed.Load())
+	}
+	if wrote.Load() == 0 {
+		t.Fatal("no writes completed")
+	}
+	t.Logf("completed %d writes across %d table generations, stale rejects=%d fence waits=%d",
+		wrote.Load(), version, rt.StaleRejects(), rt.FenceWaits())
+
+	// No misroute: a stable key must never appear on the ring that never
+	// owned it, on any member's engine.
+	for s := 0; s < rt.Shards(); s++ {
+		c := rt.Shard(wire.ShardID(s))
+		for _, m := range c.Members() {
+			if m.Server() == nil || m.IsDown() {
+				continue
+			}
+			for _, k := range stableKeys {
+				if stableOwner[k] == wire.ShardID(s) {
+					continue
+				}
+				if _, found := m.Server().Read(k); found {
+					t.Fatalf("misroute: stable key %s (owner shard %d) found on shard %d member %s",
+						k, stableOwner[k], s, m.Spec.ID)
+				}
+			}
+		}
+	}
+}

@@ -18,10 +18,15 @@ import (
 )
 
 // Range assigns the keys hashing into [Start, End] (inclusive) to Shard.
+// A Fenced range still names the shard serving reads, but rejects routed
+// writes: the shard split publishes a fenced table for the moving
+// subrange while it drains in-flight writes and copies rows, so no write
+// can land on the source after the copy snapshot is taken.
 type Range struct {
-	Start uint32
-	End   uint32
-	Shard wire.ShardID
+	Start  uint32
+	End    uint32
+	Shard  wire.ShardID
+	Fenced bool
 }
 
 // Table is one immutable routing-table version: an exhaustive,
@@ -106,19 +111,19 @@ func hashKey(key string) uint32 {
 	return x
 }
 
-// lookup returns the shard owning the hash point. The table is assumed
-// validated (exhaustive), so a miss cannot happen; the zero shard is
+// lookup returns the range owning the hash point. The table is assumed
+// validated (exhaustive), so a miss cannot happen; the zero range is
 // returned defensively.
-func (t Table) lookup(point uint32) wire.ShardID {
+func (t Table) lookup(point uint32) Range {
 	i := sort.Search(len(t.Ranges), func(i int) bool { return t.Ranges[i].End >= point })
 	if i < len(t.Ranges) && t.Ranges[i].Start <= point {
-		return t.Ranges[i].Shard
+		return t.Ranges[i]
 	}
-	return 0
+	return Range{}
 }
 
 // ShardFor returns the shard owning the key under this table.
-func (t Table) ShardFor(key string) wire.ShardID { return t.lookup(hashKey(key)) }
+func (t Table) ShardFor(key string) wire.ShardID { return t.lookup(hashKey(key)).Shard }
 
 // Router is the concurrent-safe holder of the current routing table.
 // Reload swaps in a newer version atomically; in-flight lookups see
@@ -150,19 +155,58 @@ func (r *Router) Table() Table {
 func (r *Router) ShardFor(key string) wire.ShardID {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.table.lookup(hashKey(key))
+	return r.table.lookup(hashKey(key)).Shard
+}
+
+// RouteInfo is one atomic routing decision: the table version it was made
+// under, the owning shard, and whether writes to the key are fenced.
+type RouteInfo struct {
+	Version uint64
+	Shard   wire.ShardID
+	Fenced  bool
+}
+
+// Route resolves one key under the current table, returning the decision
+// together with the table version — version and lookup are read under one
+// lock, so a concurrent Reload can never produce a (version, shard) pair
+// that no single table ever contained. Routed writers revalidate this
+// pair after registering in-flight; a mismatch is a stale-version
+// rejection and the write re-routes.
+func (r *Router) Route(key string) RouteInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rg := r.table.lookup(hashKey(key))
+	return RouteInfo{Version: r.table.Version, Shard: rg.Shard, Fenced: rg.Fenced}
+}
+
+// Version returns the current table version.
+func (r *Router) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.table.Version
+}
+
+// SetShardBound raises the highest shard ID (exclusive) a reloaded table
+// may target. The runtime calls this after a new shard ring is up, before
+// publishing the table that routes keys to it.
+func (r *Router) SetShardBound(shards int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if shards > r.shards {
+		r.shards = shards
+	}
 }
 
 // Reload swaps in a strictly newer table version. Stale reloads (same or
 // older version) are rejected, so concurrent reloaders converge on the
 // newest table no matter the arrival order.
 func (r *Router) Reload(t Table) error {
-	if err := t.Validate(r.shards); err != nil {
-		return err
-	}
 	sort.Slice(t.Ranges, func(i, j int) bool { return t.Ranges[i].Start < t.Ranges[j].Start })
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if err := t.Validate(r.shards); err != nil {
+		return err
+	}
 	if t.Version <= r.table.Version {
 		return fmt.Errorf("multiraft: stale table version %d (have %d)", t.Version, r.table.Version)
 	}

@@ -18,6 +18,112 @@ cd "$(dirname "$0")/.."
 # the heaviest cross-goroutine surface in the repo.
 RACE_PKGS="./internal/raft ./internal/readpath ./internal/cluster ./internal/mysql ./internal/binlog ./internal/transport ./internal/storage ./internal/logstore ./internal/multiraft"
 
+# STAGES is the stage table: "name<TAB>in-all<TAB>description", one row
+# per stage. Usage and the `all` order derive from it, and every stage's
+# test lines live in stage_spec below — adding a stage is one table row
+# plus one spec case, with no per-stage function to copy-paste. chaos is
+# not in `all` because the tests stage already runs the full campaign.
+STAGES="lint	y	gofmt and go vet
+build	y	go build ./...
+tests	y	go test ./... (includes the full 20-seed chaos campaign)
+race	y	race detector over the concurrency-heavy packages
+compaction	y	bounded-log lifecycle slice
+multiraft	y	multi-shard runtime slice (incl. online shard split)
+parallelapply	y	writeset-scheduled replica applier slice
+obs	y	write-path tracing + metrics export slice
+bench	y	durability pipeline bench smoke
+chaos	n	fixed-seed chaos smoke (incl. shard split under load)"
+
+# stage_spec maps a test stage to its rows, one per line:
+#   ./pkg                  go test ./pkg
+#   ./pkg=Regex            go test ./pkg -run 'Regex'
+#   race:./p1 ./p2         go test -race -p 1 ./p1 ./p2
+#   bench:./pkg=Regex      go test ./pkg -run '^$' -bench=Regex -benchtime=1x
+# (-p 1 for race rows: timing-sensitive integration tests get the machine
+# to themselves — concurrent race-instrumented packages slow the
+# schedulers enough to trip failover timeouts. One bench iteration keeps
+# CI fast while still exercising each ablation end to end.)
+stage_spec() {
+	case "$1" in
+	tests)
+		echo "./..."
+		;;
+	race)
+		echo "race:$RACE_PKGS"
+		;;
+	chaos)
+		# The fixed-seed subset plus the determinism property the repro
+		# workflow depends on, plus the online split under load. A failing
+		# seed prints its own repro command.
+		echo "./internal/chaos=TestChaosSmoke|TestSchedule|TestChaosShardSplitSmoke"
+		;;
+	bench)
+		echo "bench:.=BenchmarkDurabilityPipeline"
+		;;
+	multiraft)
+		# The multi-shard slice across its layers: shard-envelope framing
+		# and demux coalescing, router/sync-group/runtime units, the split
+		# protocol, the 3x16 acceptance scenario with the leader balancer,
+		# the shard-scoped admin server, and the fixed-seed multi-shard and
+		# shard-split chaos smokes.
+		cat <<-EOF
+		./internal/wire=Shard|Coalesced
+		./internal/transport=Demux
+		./internal/multiraft
+		./internal/adminapi=TestMulti|TestSplit|TestShardScoped|TestRuntimeRollup
+		./internal/chaos=TestChaosMultiShardSmoke|TestChaosShardSplitSmoke
+		bench:.=BenchmarkMultiRaftShards
+		EOF
+		;;
+	parallelapply)
+		# The parallel-apply slice across its layers: writeset extraction
+		# and payload framing, dependency tracking and batch scheduling
+		# (the serial-equivalence property tests), the coalesced commit
+		# notifier, the range read the batch applier leans on, and the
+		# fixed-seed chaos smoke with appliers forced wide.
+		cat <<-EOF
+		./internal/storage=Writeset|TxnPayload
+		./internal/mysql=Parallel|Waiters|ApplyStatus
+		./internal/raft=CommitNotifier
+		./internal/binlog=Entries
+		./internal/chaos=TestChaosParallelApplySmoke
+		bench:./internal/mysql=BenchmarkParallelApply
+		EOF
+		;;
+	obs)
+		# The observability slice with the race detector on its hot
+		# handoffs: histogram reservoirs and registry maps under concurrent
+		# Observe/Snapshot, the tracer's armed-span handoff and journal,
+		# and the admin /metrics and /trace scrapes against live runtimes.
+		cat <<-EOF
+		race:./internal/metrics ./internal/trace ./internal/adminapi
+		./internal/cluster=TestWritePathTraces|TestMemberRegistries|TestRegistriesSurvive|TestTraceSampling
+		./internal/raft=TestLogWriterObservesSpanStages|TestProposeObservesReplicateStage
+		./internal/binlog=TestStatsCounts
+		./scripts
+		EOF
+		;;
+	compaction)
+		# The log-lifecycle slice across every layer it touches: binlog
+		# purge and snapshot-anchor mechanics, engine checkpoints and the
+		# purge guard, raft snapshot streaming, and the two cluster
+		# acceptance scenarios (crashed-behind-floor catch-up, fast-join
+		# via snapshot).
+		cat <<-EOF
+		./internal/binlog=Purge|Anchor|Reset
+		./internal/storage=Checkpoint
+		./internal/mysql=Purge|Checkpoint
+		./internal/raft=Snapshot
+		./internal/cluster=TestPurgeAndSnapshotCatchup|TestAddMemberFastJoinViaSnapshot
+		bench:./internal/mysql=BenchmarkSnapshotCatchup
+		EOF
+		;;
+	*)
+		return 1
+		;;
+	esac
+}
+
 stage_lint() {
 	echo "== gofmt -l"
 	fmt=$(gofmt -l .)
@@ -35,114 +141,69 @@ stage_build() {
 	go build ./...
 }
 
-stage_tests() {
-	echo "== go test ./..."
-	# Includes the full chaos campaign (internal/chaos, 20 seeds).
-	go test ./...
+run_stage() {
+	case "$1" in
+	lint)
+		stage_lint
+		return
+		;;
+	build)
+		stage_build
+		return
+		;;
+	esac
+	echo "== $1: $(stage_desc "$1")"
+	stage_spec "$1" | while IFS= read -r row; do
+		[ -n "$row" ] || continue
+		case "$row" in
+		bench:*)
+			spec=${row#bench:}
+			pkg=${spec%%=*}
+			pat=${spec#*=}
+			echo "-- bench $pat ($pkg, 1 iteration)"
+			go test "$pkg" -run '^$' -bench="$pat" -benchtime=1x
+			;;
+		race:*)
+			pkgs=${row#race:}
+			echo "-- go test -race -p 1 $pkgs"
+			# shellcheck disable=SC2086
+			go test -race -p 1 $pkgs
+			;;
+		*=*)
+			pkg=${row%%=*}
+			pat=${row#*=}
+			echo "-- go test $pkg -run '$pat'"
+			go test "$pkg" -run "$pat"
+			;;
+		*)
+			echo "-- go test $row"
+			# shellcheck disable=SC2086
+			go test $row
+			;;
+		esac
+	done
 }
 
-stage_race() {
-	echo "== go test -race ($RACE_PKGS)"
-	# -p 1: the timing-sensitive cluster integration tests get the machine
-	# to themselves; running race-instrumented packages concurrently slows
-	# the schedulers enough to trip failover timeouts.
-	# shellcheck disable=SC2086
-	go test -race -p 1 $RACE_PKGS
+stage_desc() {
+	printf '%s\n' "$STAGES" | awk -F'\t' -v s="$1" '$1 == s { print $3 }'
 }
 
-stage_chaos() {
-	echo "== chaos smoke (fixed seeds)"
-	# The fixed-seed subset plus the determinism property the repro
-	# workflow depends on. A failing seed prints its own repro command.
-	go test ./internal/chaos -run 'TestChaosSmoke|TestSchedule'
+stage_names() {
+	printf '%s\n' "$STAGES" | awk -F'\t' '{ printf "%s%s", sep, $1; sep="|" } END { print "" }'
 }
 
-stage_bench() {
-	echo "== bench smoke (durability pipeline, 1 iteration)"
-	# One iteration keeps CI fast while still exercising the grouped-vs-
-	# sync-every ablation end to end under modeled fsync latency.
-	go test -run '^$' -bench=BenchmarkDurabilityPipeline -benchtime=1x .
-}
-
-stage_multiraft() {
-	echo "== multiraft (multi-shard runtime slice)"
-	# The multi-shard slice across its layers: shard-envelope framing and
-	# demux coalescing, router/sync-group/runtime units, the 3x16
-	# acceptance scenario with the leader balancer, the multi-shard admin
-	# rollup, and the fixed-seed multi-shard chaos smoke.
-	go test ./internal/wire -run 'Shard|Coalesced'
-	go test ./internal/transport -run 'Demux'
-	go test ./internal/multiraft
-	go test ./internal/adminapi -run 'TestMulti'
-	go test ./internal/chaos -run 'TestChaosMultiShardSmoke'
-	echo "== multi-shard scaling bench (1 iteration)"
-	go test -run '^$' -bench=BenchmarkMultiRaftShards -benchtime=1x .
-}
-
-stage_parallelapply() {
-	echo "== parallel apply (writeset-scheduled replica applier slice)"
-	# The parallel-apply slice across its layers: writeset extraction and
-	# payload framing, dependency tracking and batch scheduling (the
-	# serial-equivalence property tests), the coalesced commit notifier,
-	# the range read the batch applier leans on, and the fixed-seed chaos
-	# smoke that runs the whole fault schedule with appliers forced wide.
-	go test ./internal/storage -run 'Writeset|TxnPayload'
-	go test ./internal/mysql -run 'Parallel|Waiters|ApplyStatus'
-	go test ./internal/raft -run 'CommitNotifier'
-	go test ./internal/binlog -run 'Entries'
-	go test ./internal/chaos -run 'TestChaosParallelApplySmoke'
-	echo "== parallel apply bench (1 iteration)"
-	go test ./internal/mysql -run '^$' -bench=BenchmarkParallelApply -benchtime=1x
-}
-
-stage_obs() {
-	echo "== observability (write-path tracing + metrics export slice)"
-	# The observability slice with the race detector on its hot handoffs:
-	# histogram reservoirs and registry maps under concurrent
-	# Observe/Snapshot, the tracer's armed-span handoff and journal, and
-	# the admin /metrics and /trace scrapes against live clusters.
-	go test -race -p 1 ./internal/metrics ./internal/trace ./internal/adminapi
-	# The seven-stage acceptance test and the registry-lifecycle tests.
-	go test ./internal/cluster -run 'TestWritePathTraces|TestMemberRegistries|TestRegistriesSurvive|TestTraceSampling'
-	go test ./internal/raft -run 'TestLogWriterObservesSpanStages|TestProposeObservesReplicateStage'
-	go test ./internal/binlog -run 'TestStatsCounts'
-	go test ./scripts
-}
-
-stage_compaction() {
-	echo "== compaction (bounded-log lifecycle)"
-	# The log-lifecycle slice across every layer it touches: binlog purge
-	# and snapshot-anchor mechanics, engine checkpoints and the purge
-	# guard, raft snapshot streaming, and the two cluster acceptance
-	# scenarios (crashed-behind-floor catch-up, fast-join via snapshot).
-	go test ./internal/binlog -run 'Purge|Anchor|Reset'
-	go test ./internal/storage -run 'Checkpoint'
-	go test ./internal/mysql -run 'Purge|Checkpoint'
-	go test ./internal/raft -run 'Snapshot'
-	go test ./internal/cluster -run 'TestPurgeAndSnapshotCatchup|TestAddMemberFastJoinViaSnapshot'
-	echo "== snapshot catch-up bench (1 iteration)"
-	go test ./internal/mysql -run '^$' -bench=BenchmarkSnapshotCatchup -benchtime=1x
-}
-
-case "${1:-all}" in
-lint | build | tests | race | chaos | bench | compaction | multiraft | parallelapply | obs)
-	stage_"$1"
-	;;
-all)
-	stage_lint
-	stage_build
-	stage_tests
-	stage_race
-	stage_compaction
-	stage_multiraft
-	stage_parallelapply
-	stage_obs
-	stage_bench
-	;;
-*)
-	echo "usage: $0 [lint|build|tests|race|chaos|bench|compaction|multiraft|parallelapply|obs]" >&2
+stage="${1:-all}"
+if [ "$stage" = all ]; then
+	printf '%s\n' "$STAGES" | while IFS='	' read -r name inall _; do
+		if [ "$inall" = y ]; then
+			run_stage "$name"
+		fi
+	done
+elif [ -n "$(stage_desc "$stage")" ]; then
+	run_stage "$stage"
+else
+	echo "usage: $0 [$(stage_names)]" >&2
 	exit 2
-	;;
-esac
+fi
 
 echo "== OK"
