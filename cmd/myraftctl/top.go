@@ -34,14 +34,45 @@ func runTop(c *adminapi.Client, arg string) error {
 		if err != nil {
 			return err
 		}
+		cs, err := c.Status()
+		if err != nil {
+			return err
+		}
 		if !once {
 			fmt.Print("\033[2J\033[H") // clear + home between refreshes
 		}
 		renderTop(st)
+		renderPipelines(cs)
 		if once {
 			return nil
 		}
 		time.Sleep(interval)
+	}
+}
+
+// renderPipelines shows each primary's commit-pipeline occupancy: how
+// deep the flusher/committer overlap is running, how large groups are
+// forming, and where stage time is going.
+func renderPipelines(cs adminapi.ClusterStatus) {
+	shown := false
+	for _, m := range cs.Members {
+		p := m.Pipeline
+		// Idle replicas carry a pipeline too; only primaries (or members
+		// with pipeline history) are interesting.
+		if p == nil || p.GroupsProposed == 0 {
+			continue
+		}
+		if !shown {
+			fmt.Printf("\ncommit pipeline\n")
+			fmt.Printf("%-14s %5s %8s %6s %7s %7s %7s %9s %10s %10s %10s %9s\n",
+				"MEMBER", "DEPTH", "INFLIGHT", "QUEUE", "GROUPS", "TXNS", "GRPSZ", "GRPSZ_P95",
+				"FLUSH", "QUORUM", "ENGINE", "SYNCSKIP")
+			shown = true
+		}
+		fmt.Printf("%-14s %5d %8d %6d %7d %7d %7d %9d %10s %10s %10s %9d\n",
+			m.ID, p.Depth, p.InFlight, p.QueueLen, p.GroupsProposed, p.TxnsCommitted,
+			p.GroupSizeMean, p.GroupSizeP95,
+			ns(p.FlushBusyNs), ns(p.QuorumBusyNs), ns(p.EngineBusyNs), p.SyncsCoalesced)
 	}
 }
 

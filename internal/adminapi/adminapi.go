@@ -66,6 +66,30 @@ type MemberStatus struct {
 	// scheduling outcomes (§3.5): apply lag, worker occupancy, and how
 	// often writeset tracking fell back to serial ordering.
 	Apply *ApplyStatus `json:"apply,omitempty"`
+	// Pipeline reports the primary commit pipeline's overlap state
+	// (§3.4): in-flight groups, group-size distribution, per-stage busy
+	// time and engine sync coalescing.
+	Pipeline *PipelineStatus `json:"pipeline,omitempty"`
+}
+
+// PipelineStatus is the /status view of one member's primary commit
+// pipeline (mysql.PipelineStatus).
+type PipelineStatus struct {
+	Depth           int   `json:"depth"`
+	InFlight        int   `json:"in_flight"`
+	QueueLen        int   `json:"queue_len,omitempty"`
+	GroupsProposed  int64 `json:"groups_proposed,omitempty"`
+	TxnsCommitted   int64 `json:"txns_committed,omitempty"`
+	TxnsAborted     int64 `json:"txns_aborted,omitempty"`
+	GroupSizeMean   int64 `json:"group_size_mean,omitempty"`
+	GroupSizeP95    int64 `json:"group_size_p95,omitempty"`
+	GroupSizeMax    int64 `json:"group_size_max,omitempty"`
+	FlushBusyNs     int64 `json:"flush_busy_ns,omitempty"`
+	QuorumBusyNs    int64 `json:"quorum_busy_ns,omitempty"`
+	EngineBusyNs    int64 `json:"engine_busy_ns,omitempty"`
+	SyncsCoalesced  int64 `json:"syncs_coalesced,omitempty"`
+	EngineSyncs     int64 `json:"engine_syncs,omitempty"`
+	EngineNoopSyncs int64 `json:"engine_noop_syncs,omitempty"`
 }
 
 // ApplyStatus is the /status view of one member's replica applier
@@ -322,6 +346,24 @@ func (s *Server) clusterStatus(c *cluster.Cluster, shard wire.ShardID) ClusterSt
 				ParallelBatches:   as.ParallelBatches,
 				SerialBatches:     as.SerialBatches,
 				LastError:         as.LastError,
+			}
+			ps := srv.PipelineStatus()
+			ms.Pipeline = &PipelineStatus{
+				Depth:           ps.Depth,
+				InFlight:        ps.InFlight,
+				QueueLen:        ps.QueueLen,
+				GroupsProposed:  ps.GroupsProposed,
+				TxnsCommitted:   ps.TxnsCommitted,
+				TxnsAborted:     ps.TxnsAborted,
+				GroupSizeMean:   ps.GroupSizeMean,
+				GroupSizeP95:    ps.GroupSizeP95,
+				GroupSizeMax:    ps.GroupSizeMax,
+				FlushBusyNs:     ps.FlushBusyNs,
+				QuorumBusyNs:    ps.QuorumBusyNs,
+				EngineBusyNs:    ps.EngineBusyNs,
+				SyncsCoalesced:  ps.SyncsCoalesced,
+				EngineSyncs:     ps.EngineSyncs,
+				EngineNoopSyncs: ps.EngineNoopSyncs,
 			}
 			for _, f := range srv.BinlogFiles() {
 				ms.BinlogFiles = append(ms.BinlogFiles, FileEntry{Name: f.Name, Size: f.Size})

@@ -73,6 +73,12 @@ type Config struct {
 	// serial apply. The parallel-apply equivalence checker judges the
 	// result either way.
 	ApplyWorkers int
+	// CommitPipelineDepth sets every MySQL member's primary commit
+	// pipeline depth (cluster.Options.CommitPipelineDepth): 0 keeps the
+	// mysql default, 1 forces the serial pipeline. The acked-write
+	// durability and gap-free engine sequence checkers judge the result
+	// either way.
+	CommitPipelineDepth int
 	// Logf, when set, receives a trace of applied actions and checker
 	// progress (testing.T.Logf fits).
 	Logf func(format string, args ...any)
@@ -328,12 +334,13 @@ func Run(cfg Config) (*Report, error) {
 			IntraRegion: 200 * time.Microsecond,
 			CrossRegion: 2 * time.Millisecond,
 		},
-		Seed:          cfg.Seed,
-		WrapTransport: h.wrapTransport,
-		WrapLogStore:  h.wrapLogStore,
-		WrapClock:     h.wrapClock,
-		ReadWitness:   h,
-		ApplyWorkers:  cfg.ApplyWorkers,
+		Seed:                cfg.Seed,
+		WrapTransport:       h.wrapTransport,
+		WrapLogStore:        h.wrapLogStore,
+		WrapClock:           h.wrapClock,
+		ReadWitness:         h,
+		ApplyWorkers:        cfg.ApplyWorkers,
+		CommitPipelineDepth: cfg.CommitPipelineDepth,
 	}, cluster.PaperTopology(cfg.FollowerRegions, 0))
 	if err != nil {
 		return nil, fmt.Errorf("chaos: build cluster: %w", err)

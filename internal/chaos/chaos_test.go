@@ -132,6 +132,36 @@ func TestChaosParallelApplySmoke(t *testing.T) {
 	}
 }
 
+// TestChaosPipelinedCommitSmoke runs the fixed-seed smoke with the
+// leader's commit pipeline opened wide (depth 4), so groups are
+// consensus-pending in flight when the schedule crashes and partitions
+// the primary. Seeds 3 and 11 both include mysql-0 crashes and
+// partitions; the durability and gap-free-engine checkers judge whether
+// any acked write was lost or any unacked write leaked across the
+// mid-pipeline demotions this provokes.
+func TestChaosPipelinedCommitSmoke(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(seedName(seed), func(t *testing.T) {
+			cfg := Config{Seed: seed, CommitPipelineDepth: 4}
+			if testing.Verbose() {
+				cfg.Logf = t.Logf
+			}
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: harness error: %v", seed, err)
+			}
+			if !rep.Passed() {
+				t.Errorf("seed %d: %d invariant violation(s):", seed, len(rep.Violations))
+				for _, v := range rep.Violations {
+					t.Errorf("  %s", v)
+				}
+				t.Errorf("repro: go test -run TestChaosPipelinedCommitSmoke ./internal/chaos")
+			}
+		})
+	}
+}
+
 // TestScheduleDeterminism pins the property the repro workflow depends
 // on: the schedule is a pure function of the config.
 func TestScheduleDeterminism(t *testing.T) {

@@ -29,6 +29,7 @@ import (
 	"myraft/internal/plugin"
 	"myraft/internal/raft"
 	"myraft/internal/readpath"
+	"myraft/internal/storage"
 	"myraft/internal/trace"
 	"myraft/internal/transport"
 	"myraft/internal/wire"
@@ -110,6 +111,14 @@ type Options struct {
 	// (mysql.Options.ApplyWorkers): 0 keeps the mysql default, 1 forces
 	// serial apply.
 	ApplyWorkers int
+	// CommitPipelineDepth sets every MySQL member's primary commit
+	// pipeline depth (mysql.Options.CommitPipelineDepth): 0 keeps the
+	// mysql default, 1 forces the serial (non-overlapped) pipeline.
+	CommitPipelineDepth int
+	// Engine is the storage-engine option template applied to every MySQL
+	// member (Dir is filled per member). Experiments use it to model
+	// device latencies (storage.Options.SyncLatency, PrepareLatency).
+	Engine storage.Options
 	// TraceSampleEvery sets write-path trace sampling for every member: 0
 	// samples every transaction (the per-stage histograms are capped, so
 	// always-on tracing stays bounded), n > 1 samples every nth, and a
@@ -289,7 +298,14 @@ func (c *Cluster) startMember(m *Member) error {
 	var cb raft.Callbacks
 	switch m.Spec.Kind {
 	case KindMySQL:
-		srv, err := mysql.NewServer(mysql.Options{ID: m.Spec.ID, Dir: m.dir, ApplyWorkers: c.opts.ApplyWorkers, Tracer: m.tracer})
+		srv, err := mysql.NewServer(mysql.Options{
+			ID:                  m.Spec.ID,
+			Dir:                 m.dir,
+			ApplyWorkers:        c.opts.ApplyWorkers,
+			CommitPipelineDepth: c.opts.CommitPipelineDepth,
+			Engine:              c.opts.Engine,
+			Tracer:              m.tracer,
+		})
 		if err != nil {
 			return err
 		}

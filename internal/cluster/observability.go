@@ -101,5 +101,22 @@ func (m *Member) refreshMetrics() {
 		reg.Gauge("apply_txns").Set(as.AppliedTxns)
 		reg.Gauge("apply_conflict_fallbacks").Set(as.ConflictFallbacks)
 		reg.Gauge("apply_parallel_batches").Set(as.ParallelBatches)
+
+		ps := m.server.PipelineStatus()
+		reg.Gauge("pipeline_depth").Set(int64(ps.Depth))
+		reg.Gauge("pipeline_inflight_groups").Set(int64(ps.InFlight))
+		reg.Gauge("pipeline_queue_len").Set(int64(ps.QueueLen))
+		reg.Gauge("pipeline_groups_proposed").Set(ps.GroupsProposed)
+		reg.Gauge("pipeline_txns_committed").Set(ps.TxnsCommitted)
+		reg.Gauge("pipeline_txns_aborted").Set(ps.TxnsAborted)
+		reg.Gauge("pipeline_group_size_mean").Set(ps.GroupSizeMean)
+		reg.Gauge("pipeline_group_size_p95").Set(ps.GroupSizeP95)
+		reg.Gauge("pipeline_group_size_max").Set(ps.GroupSizeMax)
+		reg.Gauge("pipeline_flush_busy_ns").Set(ps.FlushBusyNs)
+		reg.Gauge("pipeline_quorum_busy_ns").Set(ps.QuorumBusyNs)
+		reg.Gauge("pipeline_engine_busy_ns").Set(ps.EngineBusyNs)
+		reg.Gauge("pipeline_syncs_coalesced").Set(ps.SyncsCoalesced)
+		reg.Gauge("engine_syncs").Set(ps.EngineSyncs)
+		reg.Gauge("engine_noop_syncs").Set(ps.EngineNoopSyncs)
 	}
 }

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"myraft/internal/cluster"
+	"myraft/internal/logstore"
+	"myraft/internal/mysql"
+	"myraft/internal/raft"
+	"myraft/internal/storage"
+	"myraft/internal/transport"
+	"myraft/internal/wire"
+	"myraft/internal/workload"
+)
+
+// GroupCommitResult is the pipelined-commit ablation: the same
+// sysbench-style workload run with the leader's commit pipeline fully
+// serial (depth 1, the pre-pipelining write path: flush, quorum wait and
+// engine commit of a group finish before the next group's flush starts)
+// and with the flusher/committer overlap enabled (depth N). Both runs
+// model the same slow commit path — a device fsync on the log store and
+// the engine WAL, plus an intra-region quorum round trip — so the serial
+// run pays flush + quorum + engine per group while the pipelined run
+// pays only the slowest stage.
+type GroupCommitResult struct {
+	Serial    *workload.Result
+	Pipelined *workload.Result
+	// SerialPipe / PipelinedPipe are the primary's commit-pipeline
+	// counters at the end of each run (groups, sizes, per-stage busy
+	// time, coalesced engine syncs).
+	SerialPipe    mysql.PipelineStatus
+	PipelinedPipe mysql.PipelineStatus
+	Depth         int
+	Params        Params
+}
+
+// Speedup returns pipelined throughput relative to serial.
+func (r *GroupCommitResult) Speedup() float64 {
+	if r.Serial.Throughput() == 0 {
+		return 0
+	}
+	return r.Pipelined.Throughput() / r.Serial.Throughput()
+}
+
+// String renders the ablation report.
+func (r *GroupCommitResult) String() string {
+	return fmt.Sprintf(
+		"serial (depth 1) : %s  throughput=%.0f/s  groups=%d  engine fsyncs=%d\n"+
+			"pipelined (depth %d): %s  throughput=%.0f/s  groups=%d  engine fsyncs=%d (coalesced %d)\n"+
+			"speedup=%.1fx (fsync latency %v)",
+		r.Serial.Latency, r.Serial.Throughput(), r.SerialPipe.GroupsProposed, r.SerialPipe.EngineSyncs,
+		r.Depth, r.Pipelined.Latency, r.Pipelined.Throughput(), r.PipelinedPipe.GroupsProposed,
+		r.PipelinedPipe.EngineSyncs, r.PipelinedPipe.SyncsCoalesced,
+		r.Speedup(), r.Params.FsyncLatency)
+}
+
+// groupCommitNet is the modeled network for the ablation: ~1ms
+// intra-region RTT (500µs each way), so the quorum stage has real cost
+// next to the modeled fsyncs.
+func (p Params) groupCommitNet() transport.Config {
+	nc := p.netConfig()
+	nc.IntraRegion = 500 * time.Microsecond
+	return nc
+}
+
+// groupCommitStack boots a MyRaft cluster whose log stores and engine
+// WALs carry the modeled fsync latency, with the given commit pipeline
+// depth.
+func groupCommitStack(ctx context.Context, p Params, depth int) (*cluster.Cluster, error) {
+	c, err := cluster.New(cluster.Options{
+		Name:                "rs-groupcommit",
+		Dir:                 "",
+		Raft:                p.raftConfig(),
+		NetConfig:           p.groupCommitNet(),
+		CommitPipelineDepth: depth,
+		Engine:              storage.Options{SyncLatency: p.FsyncLatency},
+		WrapLogStore: func(_ wire.NodeID, s raft.LogStore) raft.LogStore {
+			return logstore.Delayed{Inner: s, SyncDelay: p.FsyncLatency}
+		},
+	}, cluster.PaperTopology(p.FollowerRegions, p.Learners))
+	if err != nil {
+		return nil, err
+	}
+	bctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := c.Bootstrap(bctx, "mysql-0"); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// GroupCommitPipeline runs the serial-vs-pipelined commit ablation at
+// the given depth. Clients are co-located with the primary (no client
+// RTT) so commit throughput is bounded by the three-stage write path.
+func GroupCommitPipeline(ctx context.Context, p Params, depth int) (*GroupCommitResult, error) {
+	p = p.withDefaults()
+	if p.FsyncLatency == 0 {
+		p.FsyncLatency = 5 * time.Millisecond
+	}
+	if depth < 2 {
+		depth = 4
+	}
+	cfg := workload.Sysbench(p.Clients, p.Duration)
+
+	run := func(d int) (*workload.Result, mysql.PipelineStatus, error) {
+		c, err := groupCommitStack(ctx, p, d)
+		if err != nil {
+			return nil, mysql.PipelineStatus{}, fmt.Errorf("experiments: group commit stack: %w", err)
+		}
+		defer c.Close()
+		res := workload.Run(ctx, clusterDriver(c, 0), cfg)
+		var ps mysql.PipelineStatus
+		if leader := c.Leader(); leader != nil && leader.Server() != nil {
+			ps = leader.Server().PipelineStatus()
+		}
+		return res, ps, nil
+	}
+
+	serial, sstats, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	pipelined, pstats, err := run(depth)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupCommitResult{
+		Serial:        serial,
+		Pipelined:     pipelined,
+		SerialPipe:    sstats,
+		PipelinedPipe: pstats,
+		Depth:         depth,
+		Params:        p,
+	}, nil
+}

@@ -67,6 +67,10 @@ type Options struct {
 	// usually wants n > 1: the per-txn cost is small but exists, and the
 	// histograms converge quickly even at 1-in-16.
 	TraceSampleEvery int
+	// CommitPipelineDepth is each shard's primary commit pipeline depth
+	// (see cluster.Options.CommitPipelineDepth): 0 keeps the mysql
+	// default, 1 forces the serial pipeline.
+	CommitPipelineDepth int
 	// DisableCoalescing turns off heartbeat coalescing: every shard
 	// heartbeat crosses in its own envelope (the per-shard fallback, and
 	// the baseline for the coalescing experiments).
@@ -282,7 +286,8 @@ func (rt *Runtime) newShardCluster(shard wire.ShardID) (*cluster.Cluster, error)
 		Clock:    rt.opts.Clock,
 		Seed:     rt.opts.Seed,
 
-		TraceSampleEvery: rt.opts.TraceSampleEvery,
+		TraceSampleEvery:    rt.opts.TraceSampleEvery,
+		CommitPipelineDepth: rt.opts.CommitPipelineDepth,
 		Transport: func(id wire.NodeID, _ wire.Region) transport.Transport {
 			return rt.demuxes[id].Shard(shard)
 		},

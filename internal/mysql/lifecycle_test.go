@@ -251,7 +251,7 @@ func TestCheckpointExcludesUnappliedGTIDs(t *testing.T) {
 	for i := 6; i <= 7; i++ {
 		if _, err := f.ProposeTransaction(
 			storage.EncodeChanges([]storage.RowChange{{Key: "late", After: []byte("x")}}),
-			s.nextGTID(),
+			s.nextGTIDs(1)[0],
 		); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,198 @@
+package mysql
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"myraft/internal/opid"
+	"myraft/internal/storage"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// newPipelinedPrimary builds a primary with an explicit commit pipeline
+// depth and a manual-commit fake replicator, so tests control exactly
+// when consensus resolves.
+func newPipelinedPrimary(t *testing.T, depth int) (*Server, *fakeReplicator, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := NewServer(Options{ID: "srv-1", Dir: dir, StartAsPrimary: true, CommitPipelineDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	f := newFakeReplicator(s)
+	f.manual = true
+	s.AttachReplicator(f)
+	return s, f, dir
+}
+
+type writeResult struct {
+	op  opid.OpID
+	err error
+}
+
+// TestDemotionMidPipelinePreservesAckedWritesAndGapFreeEngine drives the
+// exact race the pipelined flusher/committer handoff opens up: leadership
+// is lost after group N+1 is proposed but before group N engine-commits.
+// Group N is consensus-committed (a quorum has it; the paper's promise to
+// the client holds), group N+1 is not. The acked write must land in the
+// engine, the unacked one must roll back, and the engine WAL's commit
+// sequence must stay gap-free — the applier restart cursor (§3.3 step 5)
+// depends on it.
+func TestDemotionMidPipelinePreservesAckedWritesAndGapFreeEngine(t *testing.T) {
+	s, f, dir := newPipelinedPrimary(t, 4)
+	base := f.lastIndex()
+	ctx := context.Background()
+
+	aRes := make(chan writeResult, 1)
+	go func() {
+		op, err := s.Set(ctx, "a", []byte("1"))
+		aRes <- writeResult{op, err}
+	}()
+	// Group N proposed; its committer wait is parked (manual mode).
+	waitUntil(t, "group N proposed", func() bool { return f.lastIndex() == base+1 })
+
+	bRes := make(chan writeResult, 1)
+	go func() {
+		op, err := s.Set(ctx, "b", []byte("2"))
+		bRes <- writeResult{op, err}
+	}()
+	// Group N+1 proposed while group N still awaits quorum: the overlap
+	// under test. Impossible at depth 1; the in-flight slots allow it
+	// here.
+	waitUntil(t, "group N+1 proposed", func() bool { return f.lastIndex() == base+2 })
+	if got := s.Engine().LastCommitted().Index; got != 0 {
+		t.Fatalf("engine committed %d before consensus", got)
+	}
+
+	// Consensus commits group N, then leadership is lost: group N+1's
+	// stage-2 wait fails and its commit-marker re-check sees it uncovered.
+	f.release(base + 1)
+	f.fail(errors.New("leadership lost"))
+
+	a := <-aRes
+	if a.err != nil {
+		t.Fatalf("acked write lost: %v", a.err)
+	}
+	if b := <-bRes; b.err == nil {
+		t.Fatal("uncommitted write acked across demotion")
+	}
+
+	// The MySQL side of demotion rolls back what is left prepared.
+	if err := s.DemoteToReplica(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Engine().PreparedCount(); n != 0 {
+		t.Fatalf("prepared txns leaked: %d", n)
+	}
+	if got := s.Engine().LastCommitted(); got != a.op {
+		t.Fatalf("engine cursor = %v, want acked %v", got, a.op)
+	}
+	if v, ok := s.Read("a"); !ok || string(v) != "1" {
+		t.Fatalf("acked write missing: %q %v", v, ok)
+	}
+	if _, ok := s.Read("b"); ok {
+		t.Fatal("aborted write visible")
+	}
+
+	// The engine WAL's on-disk commit order is strictly increasing with
+	// no index gap — the invariant the restart cursor depends on.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := storage.WALCommitOps(filepath.Join(dir, "engine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Index != ops[i-1].Index+1 {
+			t.Fatalf("engine commit sequence has a gap: %v", ops)
+		}
+	}
+	if len(ops) == 0 || ops[len(ops)-1] != a.op {
+		t.Fatalf("engine commit sequence %v does not end at acked %v", ops, a.op)
+	}
+}
+
+// TestPipelineDepthOneKeepsFlushSerial pins the depth-1 contract: the
+// flusher must not propose group N+1 until group N has fully
+// engine-committed (the pre-pipelining behavior).
+func TestPipelineDepthOneKeepsFlushSerial(t *testing.T) {
+	s, f, _ := newPipelinedPrimary(t, 1)
+	base := f.lastIndex()
+	ctx := context.Background()
+
+	aRes := make(chan writeResult, 1)
+	go func() {
+		op, err := s.Set(ctx, "a", []byte("1"))
+		aRes <- writeResult{op, err}
+	}()
+	waitUntil(t, "group 1 proposed", func() bool { return f.lastIndex() == base+1 })
+
+	bRes := make(chan writeResult, 1)
+	go func() {
+		op, err := s.Set(ctx, "b", []byte("2"))
+		bRes <- writeResult{op, err}
+	}()
+	// With a single in-flight slot, b's flush must wait for a's engine
+	// commit.
+	time.Sleep(50 * time.Millisecond)
+	if got := f.lastIndex(); got != base+1 {
+		t.Fatalf("depth 1 overlapped: proposed through %d with group 1 unresolved", got)
+	}
+
+	f.release(base + 1)
+	waitUntil(t, "group 2 proposed after group 1 resolved", func() bool { return f.lastIndex() == base+2 })
+	f.release(base + 2)
+	if a := <-aRes; a.err != nil {
+		t.Fatal(a.err)
+	}
+	if b := <-bRes; b.err != nil {
+		t.Fatal(b.err)
+	}
+}
+
+// TestPipelineStatusCountsGroupsAndStages sanity-checks the observable
+// pipeline stats surfaced through adminapi /status and /metrics.
+func TestPipelineStatusCountsGroupsAndStages(t *testing.T) {
+	s, _ := newPrimary(t)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := s.Set(ctx, "k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.PipelineStatus()
+	if st.Depth != defaultCommitPipelineDepth {
+		t.Fatalf("depth = %d", st.Depth)
+	}
+	if st.TxnsCommitted != 8 {
+		t.Fatalf("committed = %d", st.TxnsCommitted)
+	}
+	if st.GroupsProposed == 0 || st.GroupsProposed > 8 {
+		t.Fatalf("groups = %d", st.GroupsProposed)
+	}
+	if st.GroupSizeMax < 1 {
+		t.Fatalf("group size max = %d", st.GroupSizeMax)
+	}
+	if st.FlushBusyNs <= 0 || st.QuorumBusyNs < 0 || st.EngineBusyNs <= 0 {
+		t.Fatalf("stage occupancy = %d/%d/%d", st.FlushBusyNs, st.QuorumBusyNs, st.EngineBusyNs)
+	}
+	if st.EngineSyncs == 0 {
+		t.Fatal("engine never synced")
+	}
+}

@@ -28,12 +28,25 @@ import (
 	"myraft/internal/wire"
 )
 
+// TxnProposal is one transaction of a batched group proposal: the encoded
+// payload plus the GTID assigned at commit time.
+type TxnProposal struct {
+	Payload []byte
+	GTID    gtid.GTID
+}
+
 // Replicator is how the server reaches consensus on a transaction. The
 // plugin adapts a raft.Node to it.
 type Replicator interface {
 	// ProposeTransaction appends a client transaction to the replicated
 	// log (the binlog), returning its assigned OpID.
 	ProposeTransaction(payload []byte, g gtid.GTID) (opid.OpID, error)
+	// ProposeTransactionBatch appends a whole drained commit group in one
+	// consensus-layer round-trip, returning the contiguously assigned
+	// OpIDs. On a mid-batch failure the OpIDs of the appended prefix are
+	// returned alongside the error; everything past the prefix was not
+	// appended.
+	ProposeTransactionBatch(reqs []TxnProposal) ([]opid.OpID, error)
 	// ProposeRotate replicates a FLUSH BINARY LOGS rotate marker (§A.1).
 	ProposeRotate() (opid.OpID, error)
 	// WaitCommitted blocks until index is consensus committed.
@@ -83,6 +96,14 @@ type Options struct {
 	// (writeset dependency tracking, §3.5). 0 picks the default; 1 forces
 	// serial apply. Engine commits are sequenced in log order regardless.
 	ApplyWorkers int
+	// CommitPipelineDepth bounds how many proposed-but-not-engine-committed
+	// commit groups the primary's write pipeline keeps in flight: the
+	// flusher proposes group N+1 while group N still awaits quorum or the
+	// engine. 0 picks the default; 1 forces the fully serial pipeline
+	// (flush, quorum and engine commit of a group complete before the next
+	// group's flush starts). Engine commits stay strictly log-ordered at
+	// any depth.
+	CommitPipelineDepth int
 	// Tracer, when set, samples write-path transactions: the primary's
 	// commit pipeline observes propose/commit/engine-commit stages, the
 	// replica applier observes apply/engine-commit. Share it with the
@@ -96,6 +117,13 @@ type Options struct {
 // engine commit sequence identical to serial apply, so concurrency is a
 // pure latency knob.
 const defaultApplyWorkers = 4
+
+// defaultCommitPipelineDepth is the in-flight commit-group bound when
+// Options.CommitPipelineDepth is zero. Overlap is on by default: the
+// committer keeps engine commits strictly log-ordered at any depth, so
+// depth is a pure throughput knob (it amortizes the quorum round-trip
+// across groups without reordering anything).
+const defaultCommitPipelineDepth = 4
 
 // Server is one simulated MySQL instance.
 type Server struct {
@@ -267,10 +295,19 @@ func (s *Server) Delete(ctx context.Context, key string) (opid.OpID, error) {
 	})
 }
 
-// nextGTID assigns the next GTID for this server's UUID at commit time.
-func (s *Server) nextGTID() gtid.GTID {
+// nextGTIDs assigns the next n consecutive GTIDs for this server's UUID
+// at commit time. The executed set is read once per commit group; the
+// pipeline's flusher is the only caller and waits for each group's binlog
+// durability before forming the next, so the set always covers every
+// previously assigned GTID by the next read.
+func (s *Server) nextGTIDs(n int) []gtid.GTID {
 	set := s.log.GTIDSet()
-	return gtid.GTID{Source: s.opts.ServerUUID, ID: set.NextID(s.opts.ServerUUID)}
+	next := set.NextID(s.opts.ServerUUID)
+	gs := make([]gtid.GTID, n)
+	for i := range gs {
+		gs[i] = gtid.GTID{Source: s.opts.ServerUUID, ID: next + int64(i)}
+	}
+	return gs
 }
 
 // FlushBinaryLogs rotates the binlog through a replicated rotate event
@@ -521,6 +558,11 @@ func (s *Server) ApplierLastError() error { return s.applier.LastError() }
 // ApplyStatus reports the parallel applier's detailed state: lag, worker
 // occupancy and conflict-fallback accounting (adminapi /status).
 func (s *Server) ApplyStatus() ApplyStatus { return s.applier.status() }
+
+// PipelineStatus reports the primary commit pipeline's detailed state:
+// configured depth, in-flight groups, group-size distribution and
+// per-stage occupancy (adminapi /status).
+func (s *Server) PipelineStatus() PipelineStatus { return s.pipeline.status() }
 
 // Checksum summarizes engine contents for cross-member comparison.
 func (s *Server) Checksum() uint32 { return s.engine.Checksum() }

@@ -55,6 +55,28 @@ func (f *fakeReplicator) ProposeTransaction(payload []byte, g gtid.GTID) (opid.O
 	return op, nil
 }
 
+func (f *fakeReplicator) ProposeTransactionBatch(reqs []TxnProposal) ([]opid.OpID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var ops []opid.OpID
+	for _, r := range reqs {
+		if f.proposeErr != nil {
+			return ops, f.proposeErr
+		}
+		op := opid.OpID{Term: f.term, Index: f.next}
+		e := &wire.LogEntry{OpID: op, Kind: 1, HasGTID: true, GTID: r.GTID, Payload: r.Payload}
+		if err := (logstore.BinlogStore{Log: f.s.Log()}).Append(e); err != nil {
+			return ops, err
+		}
+		f.next++
+		if !f.manual {
+			f.commit = op.Index
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
 func (f *fakeReplicator) ProposeRotate() (opid.OpID, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()

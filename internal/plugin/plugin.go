@@ -197,6 +197,21 @@ func (p *Plugin) ProposeTransaction(payload []byte, g gtid.GTID) (opid.OpID, err
 	return n.Propose(payload, g, true)
 }
 
+// ProposeTransactionBatch implements mysql.Replicator: the whole commit
+// group crosses into the raft event loop in one post instead of one per
+// transaction.
+func (p *Plugin) ProposeTransactionBatch(reqs []mysql.TxnProposal) ([]opid.OpID, error) {
+	n := p.Node()
+	if n == nil {
+		return nil, fmt.Errorf("plugin: no raft node attached")
+	}
+	batch := make([]raft.ProposeReq, len(reqs))
+	for i, r := range reqs {
+		batch[i] = raft.ProposeReq{Payload: r.Payload, GTID: r.GTID, HasGTID: true}
+	}
+	return n.ProposeBatch(batch)
+}
+
 // ProposeRotate implements mysql.Replicator (§A.1).
 func (p *Plugin) ProposeRotate() (opid.OpID, error) {
 	n := p.Node()

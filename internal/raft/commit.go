@@ -189,6 +189,79 @@ func (n *Node) propose(payload []byte, g gtid.GTID, hasGTID bool, kind int) (opi
 	return op, perr
 }
 
+// ProposeReq is one transaction in a ProposeBatch call.
+type ProposeReq struct {
+	Payload []byte
+	GTID    gtid.GTID
+	HasGTID bool
+}
+
+// ProposeBatch appends a whole group of client transactions in a single
+// event-loop post: OpIDs are assigned contiguously, every entry is handed
+// to the async log writer, and ONE coalesced broadcast is armed for the
+// batch. Propose pays the post round-trip, the leadership check and the
+// broadcast arming once per transaction; a pipelined group-commit flusher
+// pays them once per group. On a mid-batch append failure the OpIDs of
+// the appended prefix are returned alongside the error — those entries
+// are in the log and will replicate; everything past the prefix was not
+// appended.
+func (n *Node) ProposeBatch(reqs []ProposeReq) ([]opid.OpID, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	var ops []opid.OpID
+	var perr error
+	err := n.post(func() {
+		// Collect the span the pipeline armed for the group even on the
+		// error paths: an armed span must never leak to an unrelated later
+		// proposal.
+		sp := n.tracer.TakeArmed()
+		if n.role != RoleLeader {
+			perr = ErrNotLeader
+			return
+		}
+		if n.transfer != nil && n.transfer.stage >= transferCatchup {
+			perr = ErrQuiesced
+			return
+		}
+		ops = make([]opid.OpID, 0, len(reqs))
+		for i := range reqs {
+			// The armed span rides the batch's LAST entry: its append and
+			// group fsync cover every entry before it, and the commit marker
+			// reaching it commits the whole group, so observing the tail
+			// observes the group.
+			esp := sp
+			if i != len(reqs)-1 {
+				esp = nil
+			}
+			e := &wire.LogEntry{
+				OpID:    opid.OpID{Term: n.term, Index: n.lastOpID.Index + 1},
+				Kind:    wire.EntryType(entryNormalKind),
+				HasGTID: reqs[i].HasGTID,
+				GTID:    reqs[i].GTID,
+				Payload: reqs[i].Payload,
+			}
+			if perr = n.appendLocal(e, esp); perr != nil {
+				break
+			}
+			ops = append(ops, e.OpID)
+			if esp != nil {
+				esp.SetOp(e.OpID.String())
+				n.spans[e.OpID.Index] = proposedSpan{sp: esp, at: time.Now()}
+			}
+		}
+		if len(ops) == 0 {
+			return
+		}
+		n.advanceLeaderCommit()
+		n.needsBroadcast = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ops, perr
+}
+
 // WaitCommitted blocks until the given index is consensus committed, the
 // node loses leadership/stops, or the context is done.
 func (n *Node) WaitCommitted(ctx context.Context, index uint64) error {

@@ -3,6 +3,7 @@ package raft
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"myraft/internal/clock"
@@ -369,28 +370,41 @@ func (n *Node) preOrReal() wire.VoteKind {
 	return wire.VotePre
 }
 
+// postDonePool recycles the per-call completion channels of post: every
+// proposal, status probe and wait registration posts onto the event loop,
+// so under load the one-shot channel allocation was a measurable slice of
+// the propose path. Channels are buffered (capacity 1) so the event loop
+// signals completion without blocking, and a channel returns to the pool
+// only on paths where it is provably empty again.
+var postDonePool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
 // post runs fn on the event loop and waits for completion. Once enqueued,
 // post only returns after fn has run or after the loop has fully exited
 // (in which case fn will never run): callers may therefore safely read
 // variables fn writes whenever post returns nil, and a non-nil error
 // guarantees fn is not running concurrently.
 func (n *Node) post(fn func()) error {
-	done := make(chan struct{})
+	done := postDonePool.Get().(chan struct{})
 	select {
-	case n.api <- func() { fn(); close(done) }:
+	case n.api <- func() { fn(); done <- struct{}{} }:
 	case <-n.stop:
+		postDonePool.Put(done) // never enqueued: still empty
 		return ErrStopped
 	}
 	select {
 	case <-done:
+		postDonePool.Put(done)
 		return nil
 	case <-n.done:
 		// The loop has exited; fn either completed just before exit or
-		// will never run.
+		// will never run (no fn executes after the loop returns, so the
+		// channel's state is settled by now).
 		select {
 		case <-done:
+			postDonePool.Put(done)
 			return nil
 		default:
+			postDonePool.Put(done) // fn will never run: still empty
 			return ErrStopped
 		}
 	}

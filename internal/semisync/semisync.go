@@ -255,6 +255,29 @@ func (r *primaryRepl) ProposeTransaction(payload []byte, g gtid.GTID) (opid.OpID
 	return op, nil
 }
 
+// ProposeTransactionBatch appends a whole commit group under one lock
+// acquisition and wakes the dump threads once.
+func (r *primaryRepl) ProposeTransactionBatch(reqs []mysql.TxnProposal) ([]opid.OpID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ops []opid.OpID
+	for _, req := range reqs {
+		if r.stopped {
+			return ops, fmt.Errorf("semisync: replication stopped")
+		}
+		op := opid.OpID{Term: r.era, Index: r.last + 1}
+		e := &wire.LogEntry{OpID: op, Kind: 1, HasGTID: true, GTID: req.GTID, Payload: req.Payload}
+		if err := r.node.store().Append(e); err != nil {
+			return ops, err
+		}
+		r.cachePut(e)
+		r.last = op.Index
+		ops = append(ops, op)
+	}
+	r.cond.Broadcast()
+	return ops, nil
+}
+
 // ProposeRotate appends a rotate marker; it replicates like any entry.
 func (r *primaryRepl) ProposeRotate() (opid.OpID, error) {
 	r.mu.Lock()
@@ -405,6 +428,10 @@ func (r *replicaRepl) handleAppend(req *wire.AppendEntriesReq) {
 // CommitIndex/WaitCommitted; proposals are rejected (read-only replica).
 func (r *replicaRepl) ProposeTransaction([]byte, gtid.GTID) (opid.OpID, error) {
 	return opid.Zero, mysql.ErrReadOnly
+}
+
+func (r *replicaRepl) ProposeTransactionBatch([]mysql.TxnProposal) ([]opid.OpID, error) {
+	return nil, mysql.ErrReadOnly
 }
 
 func (r *replicaRepl) ProposeRotate() (opid.OpID, error) {

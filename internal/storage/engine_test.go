@@ -464,3 +464,76 @@ func TestChangesRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSyncDirtyTrackingCoalesces(t *testing.T) {
+	e := openTestEngine(t, "")
+	s0, n0 := e.SyncStats()
+	if s0 != 0 || n0 != 0 {
+		t.Fatalf("fresh engine stats = %d/%d", s0, n0)
+	}
+
+	// Clean WAL: Sync is a free no-op.
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s, n := e.SyncStats(); s != 0 || n != 1 {
+		t.Fatalf("clean sync stats = %d/%d, want 0/1", s, n)
+	}
+
+	// A commit dirties the WAL; the next Sync performs a real fsync and
+	// the one after that no-ops again.
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 1}, map[string]string{"a": "1"})
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s, n := e.SyncStats(); s != 1 || n != 1 {
+		t.Fatalf("post-commit sync stats = %d/%d, want 1/1", s, n)
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s, n := e.SyncStats(); s != 1 || n != 2 {
+		t.Fatalf("repeat sync stats = %d/%d, want 1/2", s, n)
+	}
+
+	// FlushWAL pushes the user-space buffer without an fsync, so it must
+	// NOT mark the WAL clean: the records are in the page cache only, and
+	// a Sync afterwards still has work to do.
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 2}, map[string]string{"b": "2"})
+	if _, err := e.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := e.SyncStats(); s != 2 {
+		t.Fatalf("sync after FlushWAL performed %d fsyncs, want 2", s)
+	}
+}
+
+func TestSyncLatencyModelsDeviceFsync(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Options{Dir: dir, SyncLatency: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+
+	// No-op syncs skip the modeled device entirely.
+	start := time.Now()
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 15*time.Millisecond {
+		t.Fatalf("clean sync paid the modeled latency: %v", d)
+	}
+
+	mustCommit(t, e, opid.OpID{Term: 1, Index: 1}, map[string]string{"a": "1"})
+	start = time.Now()
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("real sync skipped the modeled latency: %v", d)
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"myraft/internal/metrics"
 	"myraft/internal/wire"
 )
 
@@ -35,6 +37,33 @@ type TCPNode struct {
 
 	inbox chan Envelope
 	wg    sync.WaitGroup
+
+	// drops is the labeled drop accounting (nil until SetMetrics): every
+	// silent-drop site bumps its own counter so "network semantics" losses
+	// are invisible to callers but visible on /metrics.
+	drops atomic.Pointer[tcpDropCounters]
+}
+
+// tcpDropCounters is one counter per silent-drop site.
+type tcpDropCounters struct {
+	unknownPeer *metrics.Counter // Send to a peer with no registered address
+	queueFull   *metrics.Counter // per-peer outbound queue saturated
+	inboxFull   *metrics.Counter // local inbox saturated
+	dialFail    *metrics.Counter // frame dropped because the dial failed
+	writeFail   *metrics.Counter // frame dropped after the redial attempt
+}
+
+// SetMetrics attaches a metrics registry: each silent-drop site gets a
+// labeled counter (tcp_drop_*). Safe to call at any time; counters are
+// resolved once and cached.
+func (t *TCPNode) SetMetrics(reg *metrics.Registry) {
+	t.drops.Store(&tcpDropCounters{
+		unknownPeer: reg.Counter("tcp_drop_unknown_peer"),
+		queueFull:   reg.Counter("tcp_drop_queue_full"),
+		inboxFull:   reg.Counter("tcp_drop_inbox_full"),
+		dialFail:    reg.Counter("tcp_drop_dial_fail"),
+		writeFail:   reg.Counter("tcp_drop_write_fail"),
+	})
 }
 
 // tcpPeer is the outbound side of one peer connection.
@@ -92,6 +121,21 @@ func (t *TCPNode) Recv() <-chan Envelope { return t.inbox }
 // Send transmits msg to the peer. Unknown peers and transmit failures
 // drop silently (network semantics); encoding failures are returned.
 func (t *TCPNode) Send(to wire.NodeID, msg wire.Message) error {
+	if to == t.id {
+		// Loopback: deliver the message object directly, skipping the
+		// marshal→frame→unmarshal round-trip — it never touches the
+		// network. Callers already treat a message as frozen once handed
+		// to Send (the remote path marshals synchronously before reusing
+		// any send buffers), so handing the same object to the local
+		// inbox is safe.
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if !closed {
+			t.deliver(Envelope{From: t.id, To: t.id, Msg: msg})
+		}
+		return nil
+	}
 	data, err := wire.Marshal(msg)
 	if err != nil {
 		return fmt.Errorf("transport: %w", err)
@@ -103,20 +147,16 @@ func (t *TCPNode) Send(to wire.NodeID, msg wire.Message) error {
 		t.mu.Unlock()
 		return nil
 	}
-	if to == t.id {
-		t.mu.Unlock()
-		// Loopback without touching the network.
-		if m, err := wire.Unmarshal(data); err == nil {
-			t.deliver(Envelope{From: t.id, To: t.id, Msg: m, Size: len(data)})
-		}
-		return nil
-	}
 	p := t.outs[to]
 	if p == nil {
 		addr, ok := t.peers[to]
 		if !ok {
 			t.mu.Unlock()
-			return nil // unknown peer: drop, like an unroutable address
+			// Unknown peer: drop, like an unroutable address.
+			if d := t.drops.Load(); d != nil {
+				d.unknownPeer.Inc()
+			}
+			return nil
 		}
 		p = &tcpPeer{addr: addr, queue: make(chan []byte, tcpQueueDepth)}
 		t.outs[to] = p
@@ -128,6 +168,9 @@ func (t *TCPNode) Send(to wire.NodeID, msg wire.Message) error {
 	select {
 	case p.queue <- frame:
 	default: // saturated: drop, Raft retries
+		if d := t.drops.Load(); d != nil {
+			d.queueFull.Inc()
+		}
 	}
 	return nil
 }
@@ -142,6 +185,7 @@ func (t *TCPNode) sendLoop(p *tcpPeer) {
 		}
 	}()
 	for frame := range p.queue {
+		sent, dialFailed := false, false
 		for attempt := 0; attempt < 2; attempt++ {
 			if conn == nil {
 				t.mu.Lock()
@@ -153,6 +197,7 @@ func (t *TCPNode) sendLoop(p *tcpPeer) {
 				}
 				c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 				if err != nil {
+					dialFailed = true
 					break // drop this frame; retry dial on the next one
 				}
 				conn = c
@@ -163,7 +208,17 @@ func (t *TCPNode) sendLoop(p *tcpPeer) {
 				conn = nil
 				continue // one redial attempt for this frame
 			}
+			sent = true
 			break
+		}
+		if !sent {
+			if d := t.drops.Load(); d != nil {
+				if dialFailed {
+					d.dialFail.Inc()
+				} else {
+					d.writeFail.Inc()
+				}
+			}
 		}
 	}
 }
@@ -215,6 +270,9 @@ func (t *TCPNode) deliver(env Envelope) {
 	select {
 	case t.inbox <- env:
 	default: // inbox saturated: drop
+		if d := t.drops.Load(); d != nil {
+			d.inboxFull.Inc()
+		}
 	}
 }
 

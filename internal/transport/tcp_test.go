@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"net"
 	"testing"
 	"time"
 
+	"myraft/internal/metrics"
 	"myraft/internal/wire"
 )
 
@@ -147,5 +149,54 @@ func TestTCPCloseIdempotent(t *testing.T) {
 	}
 	if err := a.Send("b", vote(1, "a")); err != nil {
 		t.Fatalf("send after close errored: %v", err)
+	}
+}
+
+func TestTCPDropCountersLabelSilentDrops(t *testing.T) {
+	a, _ := newTCPPair(t)
+	reg := metrics.NewRegistry()
+	a.SetMetrics(reg)
+
+	// Unknown peer: dropped like an unroutable address, but counted.
+	if err := a.Send("ghost", vote(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("tcp_drop_unknown_peer").Value(); got != 1 {
+		t.Fatalf("unknown-peer drops = %d", got)
+	}
+
+	// Dead peer address: the sendLoop's dial fails and the frame is
+	// dropped, counted under dial-fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+	a.SetPeer("dead", deadAddr)
+	if err := a.Send("dead", vote(2, "a")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Counter("tcp_drop_dial_fail").Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter("tcp_drop_dial_fail").Value(); got != 1 {
+		t.Fatalf("dial-fail drops = %d", got)
+	}
+}
+
+func TestTCPLoopbackSkipsEncodeAndPreservesMessage(t *testing.T) {
+	a, _ := newTCPPair(t)
+	msg := vote(42, "a")
+	if err := a.Send("a", msg); err != nil {
+		t.Fatal(err)
+	}
+	env := recvTCP(t, a, 5*time.Second)
+	if env.From != "a" || env.To != "a" {
+		t.Fatalf("env = %+v", env)
+	}
+	if got := env.Msg.(*wire.RequestVoteResp).Term; got != 42 {
+		t.Fatalf("term = %d", got)
 	}
 }

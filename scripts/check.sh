@@ -31,6 +31,7 @@ compaction	y	bounded-log lifecycle slice
 multiraft	y	multi-shard runtime slice (incl. online shard split)
 parallelapply	y	writeset-scheduled replica applier slice
 obs	y	write-path tracing + metrics export slice
+pipeline	y	pipelined group-commit slice
 bench	y	durability pipeline bench smoke
 chaos	n	fixed-seed chaos smoke (incl. shard split under load)"
 
@@ -101,6 +102,21 @@ stage_spec() {
 		./internal/raft=TestLogWriterObservesSpanStages|TestProposeObservesReplicateStage
 		./internal/binlog=TestStatsCounts
 		./scripts
+		EOF
+		;;
+	pipeline)
+		# The pipelined group-commit slice across its layers: batched raft
+		# ingress, the flusher/committer overlap with its demotion-race and
+		# depth-1-serial contracts, engine sync coalescing, the loopback +
+		# drop-counter transport satellites, the fixed-seed chaos smoke
+		# with the pipeline opened wide, and the depth 1-vs-4 A/B bench.
+		cat <<-EOF
+		./internal/raft=ProposeBatch
+		./internal/mysql=Pipeline|Demotion
+		./internal/storage=Sync
+		./internal/transport=TCPDrop|TCPLoopback
+		./internal/chaos=TestChaosPipelinedCommitSmoke
+		bench:.=BenchmarkGroupCommitPipeline
 		EOF
 		;;
 	compaction)
